@@ -1,0 +1,128 @@
+// Ablations for the Section IV-VI design choices:
+//   * LDM blocking parameters (bB, bCo) — the Eq. (1) landscape and the
+//     LDM-feasibility frontier;
+//   * DMA promotion (the §IV loop-hoisting extension);
+//   * double buffering on/off;
+//   * instruction reordering on/off;
+//   * plan chooser decisions across the channel range.
+
+#include <cstdio>
+
+#include "src/perf/chooser.h"
+#include "src/util/table.h"
+#include "workloads.h"
+
+int main() {
+  using swdnn::util::TextTable;
+  using swdnn::util::fmt_double;
+  namespace perf = swdnn::perf;
+
+  const auto& spec = swdnn::arch::default_spec();
+  perf::PerformanceModel model(spec);
+  perf::PlanChooser chooser(spec);
+
+  std::printf("=== Ablation: LDM blocking (bB x bCo) for Ni=No=128 ===\n");
+  std::printf("cells: Eq.(1) RBW GB/s -> modeled Gflops/CG; '-' = does "
+              "not fit LDM\n\n");
+  {
+    const auto shape = swdnn::bench::paper_shape(128, 128);
+    TextTable table;
+    table.set_header({"bB\\bCo", "4", "8", "16", "32"});
+    for (std::int64_t bb : {32L, 64L, 128L}) {
+      std::vector<std::string> row = {std::to_string(bb)};
+      for (std::int64_t bco : {4L, 8L, 16L, 32L}) {
+        perf::ConvPlan plan;
+        plan.kind = perf::PlanKind::kImageSizeAware;
+        plan.block_b = bb;
+        plan.block_co = bco;
+        if (!perf::plan_feasible(shape, plan, spec)) {
+          row.push_back("-");
+          continue;
+        }
+        const auto e = model.estimate(shape, plan);
+        row.push_back(fmt_double(e.rbw_mem_gbs, 1) + "->" +
+                      fmt_double(e.gflops_per_cg, 0));
+      }
+      table.add_row(row);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Larger bCo*bB lowers RBW (Eq. 1) until the tile "
+                "overflows the LDM budget — the tension the chooser "
+                "navigates.\n\n");
+  }
+
+  std::printf("=== Ablation: DMA promotion (Section IV extension) ===\n");
+  {
+    TextTable table;
+    table.set_header({"config", "plan", "RBW base", "RBW promoted",
+                      "Gflops/CG base", "Gflops/CG promoted"});
+    for (auto ch : {64L, 128L, 256L}) {
+      const auto shape = swdnn::bench::paper_shape(ch, ch);
+      perf::ConvPlan plan;
+      plan.kind = perf::PlanKind::kBatchSizeAware;
+      plan.block_co = 8;
+      auto promoted = plan;
+      promoted.promote_filter_dma = true;
+      if (!perf::plan_feasible(shape, promoted, spec)) continue;
+      const auto e0 = model.estimate(shape, plan);
+      const auto e1 = model.estimate(shape, promoted);
+      table.add_row({std::to_string(ch) + "x" + std::to_string(ch),
+                     plan.to_string(), fmt_double(e0.rbw_mem_gbs, 1),
+                     fmt_double(e1.rbw_mem_gbs, 1),
+                     fmt_double(e0.gflops_per_cg, 0),
+                     fmt_double(e1.gflops_per_cg, 0)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Hoisting the filter get above the pixel loop amortizes "
+                "it over the output-column tile; the gain is largest "
+                "where 1/(Kc*No) dominates Eq. (2) — small No.\n\n");
+  }
+
+  std::printf("=== Ablation: double buffering and reordering ===\n");
+  {
+    TextTable table;
+    table.set_header({"config", "full", "no double-buffer",
+                      "no reordering", "neither"});
+    for (auto ch : {128L, 256L, 384L}) {
+      const auto shape = swdnn::bench::paper_shape(ch, ch);
+      auto plan = chooser.choose(shape).plan;
+      auto no_db = plan;
+      no_db.double_buffer = false;
+      auto no_re = plan;
+      no_re.reordered_pipeline = false;
+      auto neither = no_db;
+      neither.reordered_pipeline = false;
+      table.add_row(
+          {std::to_string(ch) + "x" + std::to_string(ch),
+           fmt_double(model.estimate(shape, plan).gflops_per_cg, 0),
+           fmt_double(model.estimate(shape, no_db).gflops_per_cg, 0),
+           fmt_double(model.estimate(shape, no_re).gflops_per_cg, 0),
+           fmt_double(model.estimate(shape, neither).gflops_per_cg, 0)});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  std::printf("=== Plan chooser decisions across the channel range ===\n");
+  {
+    TextTable table;
+    table.set_header({"Ni=No", "chosen plan", "RBW", "Gflops/CG",
+                      "runner-up", "Gflops/CG"});
+    for (std::int64_t ch = 64; ch <= 384; ch += 64) {
+      const auto shape = swdnn::bench::paper_shape(ch, ch);
+      const auto ranked = chooser.rank(shape);
+      const auto& best = ranked.front();
+      const auto* second = ranked.size() > 1 ? &ranked[1] : nullptr;
+      table.add_row(
+          {std::to_string(ch), best.plan.to_string(),
+           fmt_double(best.estimate.rbw_mem_gbs, 1),
+           fmt_double(best.estimate.gflops_per_cg, 0),
+           second ? second->plan.to_string() : "-",
+           second ? fmt_double(second->estimate.gflops_per_cg, 0) : "-"});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("The image plan wins while its tiles fit; the batch plan "
+                "takes over at 256+ channels — the same switch the "
+                "paper's Table III documents.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Ablation for the Section III-C method decision: spatial-domain vs
+// frequency-domain convolution on SW26010.
+//
+// The paper rejects the FFT approach in two sentences; this bench
+// quantifies the rejection with the library's own FFT implementation
+// and bandwidth model: flop counts, required bandwidth, and the modeled
+// end-to-end layer time of both methods across the filter-size range.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/conv/fftconv.h"
+#include "src/conv/winograd.h"
+#include "src/perf/chooser.h"
+#include "src/util/table.h"
+#include "workloads.h"
+
+int main() {
+  using swdnn::util::TextTable;
+  using swdnn::util::fmt_double;
+  namespace conv = swdnn::conv;
+
+  const auto& spec = swdnn::arch::default_spec();
+  swdnn::perf::PlanChooser chooser(spec);
+
+  std::printf("=== Ablation: spatial vs frequency domain (paper "
+              "Section III-C) ===\n\n");
+  std::printf("FFT model: planes padded to the next power of two, rows "
+              "FFT'd in LDM, one full-plane pass per dimension per "
+              "direction; effective rate = peak * min(1, 22/RBW)^2 "
+              "(the model's in-kernel bandwidth cap).\n\n");
+
+  TextTable table;
+  table.set_header({"filter", "spatial Gflop", "fft Gflop", "fft RBW GB/s",
+                    "spatial ms", "fft ms", "spatial wins by"});
+  for (std::int64_t k : {1, 3, 5, 7, 11, 15, 21}) {
+    const auto shape = swdnn::bench::paper_shape(128, 128, k);
+    const double fft_rbw = conv::fft_required_bandwidth_gbs(shape, spec);
+    const double ratio = std::min(1.0, 22.0 / fft_rbw);
+    const double fft_gflops = spec.peak_gflops_per_cg() * ratio * ratio;
+    const double fft_ms =
+        conv::fft_method_flops(shape) / (fft_gflops * 1e9) * 1e3;
+    const auto choice = chooser.choose(shape);
+    const double spatial_ms = static_cast<double>(shape.flops()) /
+                              (choice.estimate.gflops_per_cg * 1e9) * 1e3;
+    table.add_row({std::to_string(k) + "x" + std::to_string(k),
+                   fmt_double(static_cast<double>(shape.flops()) / 1e9, 1),
+                   fmt_double(conv::fft_method_flops(shape) / 1e9, 1),
+                   fmt_double(fft_rbw, 0), fmt_double(spatial_ms, 1),
+                   fmt_double(fft_ms, 1),
+                   fmt_double(fft_ms / spatial_ms, 1) + "x"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("The FFT method can need FEWER flops (transforms amortize "
+              "over B=128), but its bandwidth demand sits far above what "
+              "the DMA interface delivers — on a machine with 36 GB/s "
+              "per CG against 742.4 Gflops, arithmetic is cheap and "
+              "bytes are not. For every filter size CNNs commonly use "
+              "the spatial method wins by a wide margin; only at the "
+              "extreme end of the Fig. 9 range (~21x21) does the FFT's "
+              "flop advantage finally overcome its bandwidth starvation "
+              "— and there the spatial kernels still deliver their flat "
+              "~1.6 Tflops while an FFT library would additionally need "
+              "the all-to-all transposes the paper cites against it.\n\n");
+
+  // --- Winograd F(2x2, 3x3) — the other cited fast-conv family -------
+  std::printf("=== Winograd F(2x2,3x3) on SW26010 (related-work "
+              "analysis) ===\n\n");
+  TextTable wino;
+  wino.set_header({"Ni=No", "nominal multiply cut", "transform Gflop",
+                   "effective speedup", "filter bytes"});
+  for (std::int64_t ch : {16L, 64L, 128L, 256L, 384L}) {
+    const auto shape = swdnn::bench::paper_shape(ch, ch, 3);
+    const auto a = conv::winograd_analysis(shape);
+    wino.add_row({std::to_string(ch),
+                  fmt_double(a.multiply_reduction, 2) + "x",
+                  fmt_double(a.transform_flops / 1e9, 1),
+                  fmt_double(a.effective_speedup, 2) + "x",
+                  fmt_double(a.filter_bytes_ratio, 2) + "x"});
+  }
+  std::printf("%s\n", wino.render().c_str());
+  std::printf("Winograd's 2.25x multiply cut shrinks once the transform "
+              "adds run on the same P0 pipeline (no FMA fusion for pure "
+              "adds) and the transformed filters carry 16/9 the bytes "
+              "into an already bandwidth-bound Eq. (1). At deep layers "
+              "~2.2x survives on the compute side before the extra "
+              "filter traffic erodes it; at shallow layers the "
+              "transforms eat the margin. A worthwhile extension the "
+              "paper leaves on the table (\"will expand ... at a later "
+              "stage\").\n");
+  return 0;
+}

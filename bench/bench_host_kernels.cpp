@@ -1,0 +1,126 @@
+// Host-measured microbenchmarks (google-benchmark): the functional
+// kernels that actually execute on this machine. These are real timings
+// — unlike the figure harnesses, which report the SW26010 model — and
+// cover the substrate the examples and the simulator run on: the naive
+// reference convolution, the im2col+GEMM lowering, the GEMM variants,
+// the mesh simulator's launch overhead, and the layout transforms.
+
+#include <benchmark/benchmark.h>
+
+#include "src/conv/gemm.h"
+#include "src/conv/im2col.h"
+#include "src/conv/ldm_blocked.h"
+#include "src/conv/reference.h"
+#include "src/tensor/layout.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace swdnn;
+
+conv::ConvShape small_shape() {
+  // Small enough for a 1-core host, large enough to be meaningful.
+  return conv::ConvShape::from_output(4, 8, 8, 12, 12, 3, 3);
+}
+
+void BM_ReferenceConv(benchmark::State& state) {
+  const auto shape = small_shape();
+  util::Rng rng(1);
+  auto input = conv::make_input(shape);
+  auto filter = conv::make_filter(shape);
+  rng.fill_uniform(input.data(), -1, 1);
+  rng.fill_uniform(filter.data(), -1, 1);
+  auto output = conv::make_output(shape);
+  for (auto _ : state) {
+    conv::reference_forward(input, filter, output, shape);
+    benchmark::DoNotOptimize(output.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * shape.flops());
+}
+BENCHMARK(BM_ReferenceConv);
+
+void BM_Im2colConv(benchmark::State& state) {
+  const auto shape = small_shape();
+  util::Rng rng(2);
+  auto input = conv::make_input(shape);
+  auto filter = conv::make_filter(shape);
+  rng.fill_uniform(input.data(), -1, 1);
+  rng.fill_uniform(filter.data(), -1, 1);
+  auto output = conv::make_output(shape);
+  for (auto _ : state) {
+    conv::im2col_forward(input, filter, output, shape);
+    benchmark::DoNotOptimize(output.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * shape.flops());
+}
+BENCHMARK(BM_Im2colConv);
+
+void BM_GemmNaive(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  util::Rng rng(3);
+  std::vector<double> a(static_cast<std::size_t>(n * n));
+  std::vector<double> b(static_cast<std::size_t>(n * n));
+  std::vector<double> c(static_cast<std::size_t>(n * n));
+  rng.fill_uniform(a, -1, 1);
+  rng.fill_uniform(b, -1, 1);
+  for (auto _ : state) {
+    conv::gemm_naive(n, n, n, a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128);
+
+void BM_GemmBlocked(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  util::Rng rng(4);
+  std::vector<double> a(static_cast<std::size_t>(n * n));
+  std::vector<double> b(static_cast<std::size_t>(n * n));
+  std::vector<double> c(static_cast<std::size_t>(n * n));
+  rng.fill_uniform(a, -1, 1);
+  rng.fill_uniform(b, -1, 1);
+  for (auto _ : state) {
+    conv::gemm_blocked(n, n, n, a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmBlocked)->Arg(64)->Arg(128);
+
+void BM_MeshSimulatedConv(benchmark::State& state) {
+  // Cost of simulating the full mesh algorithm (threads + buses + DMA
+  // accounting) — how expensive level-1 fidelity is on the host.
+  arch::Sw26010Spec spec = arch::default_spec();
+  spec.mesh_rows = spec.mesh_cols = static_cast<int>(state.range(0));
+  const auto shape = conv::ConvShape::from_output(8, 8, 8, 4, 4, 3, 3);
+  perf::ConvPlan plan;
+  plan.kind = perf::PlanKind::kBatchSizeAware;
+  plan.block_co = 2;
+  util::Rng rng(5);
+  auto input = conv::make_input(shape);
+  auto filter = conv::make_filter(shape);
+  rng.fill_uniform(input.data(), -1, 1);
+  rng.fill_uniform(filter.data(), -1, 1);
+  auto output = conv::make_output(shape);
+  sim::MeshExecutor exec(spec);
+  for (auto _ : state) {
+    conv::run_batch_size_aware(exec, input, filter, output, shape, plan);
+    benchmark::DoNotOptimize(output.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * shape.flops());
+}
+BENCHMARK(BM_MeshSimulatedConv)->Arg(2)->Arg(4);
+
+void BM_LayoutTransform(benchmark::State& state) {
+  tensor::Tensor canon({16, 16, 8, 32});
+  util::Rng rng(6);
+  rng.fill_uniform(canon.data(), -1, 1);
+  for (auto _ : state) {
+    auto v = tensor::to_image_size_aware(canon);
+    benchmark::DoNotOptimize(v.data().data());
+  }
+  state.SetBytesProcessed(state.iterations() * canon.size() * 8);
+}
+BENCHMARK(BM_LayoutTransform);
+
+}  // namespace

@@ -1,0 +1,71 @@
+// Reproduces the Section III-D multi-core-group scaling claim: output
+// rows partitioned across the four CGs give near-linear scaling.
+//
+// Two views: (a) a functional run on reduced meshes where all four
+// partitions execute and the result is checked against the reference,
+// and (b) the level-2 model at paper scale, 1..4 CGs.
+
+#include <cstdio>
+
+#include "src/conv/reference.h"
+#include "src/conv/swconv.h"
+#include "src/util/rng.h"
+#include "src/util/table.h"
+#include "workloads.h"
+
+int main() {
+  using swdnn::util::TextTable;
+  using swdnn::util::fmt_double;
+  namespace conv = swdnn::conv;
+
+  std::printf("=== Multi-CG scaling (paper Section III-D) ===\n\n");
+
+  // (a) Functional: 4 partitions on a 4x4 mesh, checked exactly.
+  {
+    swdnn::arch::Sw26010Spec spec = swdnn::arch::default_spec();
+    spec.mesh_rows = spec.mesh_cols = 4;
+    conv::SwConvolution sw(spec);
+    const auto shape = conv::ConvShape::from_output(8, 8, 8, 8, 4, 3, 3);
+    swdnn::util::Rng rng(1234);
+    auto input = conv::make_input(shape);
+    auto filter = conv::make_filter(shape);
+    rng.fill_uniform(input.data(), -1, 1);
+    rng.fill_uniform(filter.data(), -1, 1);
+    auto expected = conv::make_output(shape);
+    conv::reference_forward(input, filter, expected, shape);
+    auto actual = conv::make_output(shape);
+    const auto stats = sw.forward_multi_cg(input, filter, actual, shape, 4);
+    std::printf("functional 4-partition run on %s: max |diff| vs "
+                "reference = %.2e, parallel speedup %.2fx over serial "
+                "execution of the partitions\n\n",
+                shape.to_string().c_str(), expected.max_abs_diff(actual),
+                stats.scaling_speedup());
+  }
+
+  // (b) Modeled: paper-scale layer across 1..4 CGs.
+  {
+    conv::SwConvolution sw;
+    const auto shape = swdnn::bench::paper_shape(256, 256);
+    const auto plan = sw.plan_for(shape).plan;
+    const double per_cg = sw.cycle_accounted_gflops_per_cg(shape, plan);
+    TextTable table;
+    table.set_header({"CGs", "Gflops", "speedup", "efficiency"});
+    for (int cgs = 1; cgs <= 4; ++cgs) {
+      // Row partitioning: chip time = slowest partition.
+      const double rows = static_cast<double>(shape.ro());
+      const double part = std::ceil(rows / cgs);
+      const double gf = per_cg * cgs * (rows / (part * cgs));
+      table.add_row({std::to_string(cgs), fmt_double(gf, 0),
+                     fmt_double(gf / per_cg, 2) + "x",
+                     fmt_double(100.0 * gf / (per_cg * cgs), 1) + "%"});
+    }
+    std::printf("modeled scaling for %s, plan %s:\n%s\n",
+                shape.to_string().c_str(), plan.to_string().c_str(),
+                table.render().c_str());
+    std::printf("64 output rows split 16/16/16/16 across 4 CGs -> the "
+                "partitions are perfectly balanced and scaling is linear "
+                "up to the launch overhead, matching the paper's 'near "
+                "linear scaling among the four CGs'.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Reproduces paper Table III: performance-model evaluation on one core
+// group. For each of the paper's four (plan, shape) rows we print the
+// model's required bandwidth (Eq. 1/2), the effective DMA bandwidth,
+// the closed-form estimate ("mdl") and the level-2 cycle-accounted
+// proxy for the silicon measurement ("meas"), side by side with the
+// published numbers.
+
+#include <cstdio>
+#include <string>
+
+#include "src/conv/swconv.h"
+#include "src/util/table.h"
+#include "workloads.h"
+
+namespace {
+
+struct Row {
+  const char* plan;
+  std::int64_t kc, bb, bco, ni, no;
+  double rbw, mbw, mdl, meas;  // published values
+};
+
+constexpr Row kPaperRows[] = {
+    {"img", 3, 32, 16, 128, 128, 29.0, 21.9, 368, 350},
+    {"img", 3, 32, 8, 128, 256, 23.2, 18.2, 397, 375},
+    {"batch", 3, 0, 8, 256, 256, 27.1, 21.2, 422, 410},
+    {"batch", 3, 0, 8, 128, 384, 25.7, 21.2, 407, 392},
+};
+
+}  // namespace
+
+int main() {
+  using swdnn::util::TextTable;
+  using swdnn::util::fmt_double;
+
+  swdnn::conv::SwConvolution sw;
+  const auto& model = sw.chooser().model();
+
+  std::printf("=== Table III: performance model evaluation (1 CG) ===\n");
+  std::printf("Columns: ours | (paper). RBW from Eq. (1)/(2); mdl = "
+              "closed-form model; meas = level-2 cycle-accounted proxy "
+              "for the silicon measurement.\n\n");
+
+  TextTable table;
+  table.set_header({"Plan", "Kc", "bB", "bCo", "Ni", "No", "RBW", "MBW",
+                    "mdl", "meas"});
+  for (const Row& row : kPaperRows) {
+    const auto shape = swdnn::bench::paper_shape(row.ni, row.no);
+    swdnn::perf::ConvPlan plan;
+    if (std::string(row.plan) == "img") {
+      plan.kind = swdnn::perf::PlanKind::kImageSizeAware;
+      plan.block_b = row.bb;
+      plan.block_co = row.bco;
+    } else {
+      plan.kind = swdnn::perf::PlanKind::kBatchSizeAware;
+      plan.block_co = row.bco;
+    }
+    const auto e = model.estimate(shape, plan);
+    const double meas = sw.cycle_accounted_gflops_per_cg(shape, plan);
+    auto cell = [](double ours, double paper, int digits) {
+      return swdnn::util::fmt_double(ours, digits) + " (" +
+             swdnn::util::fmt_double(paper, digits) + ")";
+    };
+    table.add_row({row.plan, std::to_string(row.kc),
+                   row.bb ? std::to_string(row.bb) : "-",
+                   std::to_string(row.bco), std::to_string(row.ni),
+                   std::to_string(row.no), cell(e.rbw_mem_gbs, row.rbw, 1),
+                   cell(e.mbw_mem_gbs, row.mbw, 1),
+                   cell(e.gflops_per_cg, row.mdl, 0),
+                   cell(meas, row.meas, 0)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("--- Notes ---\n");
+  std::printf("* RBW reproduces the published equation values exactly.\n");
+  std::printf("* meas < mdl on every row, as in the paper "
+              "(their ratios: 0.95/0.94/0.97/0.96).\n");
+  std::printf("* Row 2 is the known deviation: the paper measured "
+              "MBW = 18.2 GB/s in-kernel where our Table II-derived "
+              "model cannot go below its 22 GB/s cap "
+              "(see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,234 @@
+#include "src/api/swdnn_api.h"
+
+#include <algorithm>
+#include <exception>
+#include <string>
+
+#include "src/conv/backward.h"
+#include "src/conv/im2col.h"
+#include "src/conv/swconv.h"
+
+namespace swdnn::api {
+
+struct Handle {
+  arch::Sw26010Spec spec = arch::default_spec();
+  conv::SwConvolution sw;
+  ExecutionRoute last_route = ExecutionRoute::kNone;
+  std::string last_error;
+
+  explicit Handle(const arch::Sw26010Spec& s) : spec(s), sw(s) {}
+};
+
+const char* status_string(Status status) {
+  switch (status) {
+    case Status::kSuccess:
+      return "SWDNN_STATUS_SUCCESS";
+    case Status::kBadParam:
+      return "SWDNN_STATUS_BAD_PARAM";
+    case Status::kShapeMismatch:
+      return "SWDNN_STATUS_SHAPE_MISMATCH";
+    case Status::kExecutionFailed:
+      return "SWDNN_STATUS_EXECUTION_FAILED";
+  }
+  return "SWDNN_STATUS_UNKNOWN";
+}
+
+Status create(Handle** handle, const arch::Sw26010Spec* spec) {
+  if (handle == nullptr) return Status::kBadParam;
+  *handle = new Handle(spec ? *spec : arch::default_spec());
+  return Status::kSuccess;
+}
+
+Status destroy(Handle* handle) {
+  if (handle == nullptr) return Status::kBadParam;
+  delete handle;
+  return Status::kSuccess;
+}
+
+Status set_tensor4d_descriptor(TensorDescriptor& desc, std::int64_t rows,
+                               std::int64_t cols, std::int64_t channels,
+                               std::int64_t batch) {
+  if (rows <= 0 || cols <= 0 || channels <= 0 || batch <= 0) {
+    return Status::kBadParam;
+  }
+  desc = TensorDescriptor{rows, cols, channels, batch};
+  return Status::kSuccess;
+}
+
+Status set_filter_descriptor(FilterDescriptor& desc, std::int64_t kr,
+                             std::int64_t kc, std::int64_t ni,
+                             std::int64_t no) {
+  if (kr <= 0 || kc <= 0 || ni <= 0 || no <= 0) return Status::kBadParam;
+  desc = FilterDescriptor{kr, kc, ni, no};
+  return Status::kSuccess;
+}
+
+Status get_convolution_output_descriptor(const TensorDescriptor& input,
+                                         const FilterDescriptor& filter,
+                                         TensorDescriptor& output) {
+  if (input.channels != filter.ni) return Status::kShapeMismatch;
+  if (filter.kr > input.rows || filter.kc > input.cols) {
+    return Status::kShapeMismatch;
+  }
+  output = TensorDescriptor{input.rows - filter.kr + 1,
+                            input.cols - filter.kc + 1, filter.no,
+                            input.batch};
+  return Status::kSuccess;
+}
+
+namespace {
+
+/// Builds the ConvShape from the descriptor triple; kShapeMismatch if
+/// they are inconsistent.
+Status resolve_shape(const TensorDescriptor& x, const FilterDescriptor& w,
+                     const TensorDescriptor& y, conv::ConvShape& shape) {
+  TensorDescriptor expect_y;
+  const Status s = get_convolution_output_descriptor(x, w, expect_y);
+  if (s != Status::kSuccess) return s;
+  if (expect_y.rows != y.rows || expect_y.cols != y.cols ||
+      expect_y.channels != y.channels || expect_y.batch != y.batch) {
+    return Status::kShapeMismatch;
+  }
+  shape.batch = x.batch;
+  shape.ni = w.ni;
+  shape.no = w.no;
+  shape.ri = x.rows;
+  shape.ci = x.cols;
+  shape.kr = w.kr;
+  shape.kc = w.kc;
+  return Status::kSuccess;
+}
+
+tensor::Tensor wrap(const double* data, std::initializer_list<std::int64_t>
+                                            dims) {
+  tensor::Tensor t(dims);
+  std::copy(data, data + t.size(), t.data().begin());
+  return t;
+}
+
+}  // namespace
+
+Status convolution_forward(Handle* handle, const TensorDescriptor& x_desc,
+                           const double* x, const FilterDescriptor& w_desc,
+                           const double* w, const TensorDescriptor& y_desc,
+                           double* y) {
+  if (handle == nullptr || x == nullptr || w == nullptr || y == nullptr) {
+    return Status::kBadParam;
+  }
+  conv::ConvShape shape;
+  const Status s = resolve_shape(x_desc, w_desc, y_desc, shape);
+  if (s != Status::kSuccess) return s;
+
+  try {
+    tensor::Tensor input =
+        wrap(x, {shape.ri, shape.ci, shape.ni, shape.batch});
+    tensor::Tensor filter = wrap(w, {shape.kr, shape.kc, shape.ni, shape.no});
+    tensor::Tensor output({shape.ro(), shape.co(), shape.no, shape.batch});
+    try {
+      handle->sw.forward(input, filter, output, shape);
+      handle->last_route = ExecutionRoute::kSimulatedMesh;
+    } catch (const std::exception&) {
+      // Shape does not map onto the mesh (divisibility): host fallback.
+      conv::im2col_forward(input, filter, output, shape);
+      handle->last_route = ExecutionRoute::kHostGemm;
+    }
+    std::copy(output.data().begin(), output.data().end(), y);
+  } catch (const std::exception& e) {
+    handle->last_error = e.what();
+    return Status::kExecutionFailed;
+  }
+  return Status::kSuccess;
+}
+
+Status convolution_backward_data(Handle* handle,
+                                 const FilterDescriptor& w_desc,
+                                 const double* w,
+                                 const TensorDescriptor& dy_desc,
+                                 const double* dy,
+                                 const TensorDescriptor& dx_desc,
+                                 double* dx) {
+  if (handle == nullptr || w == nullptr || dy == nullptr || dx == nullptr) {
+    return Status::kBadParam;
+  }
+  conv::ConvShape shape;
+  const Status s = resolve_shape(dx_desc, w_desc, dy_desc, shape);
+  if (s != Status::kSuccess) return s;
+  try {
+    tensor::Tensor filter = wrap(w, {shape.kr, shape.kc, shape.ni, shape.no});
+    tensor::Tensor dout =
+        wrap(dy, {shape.ro(), shape.co(), shape.no, shape.batch});
+    tensor::Tensor din({shape.ri, shape.ci, shape.ni, shape.batch});
+    try {
+      conv::swconv_backward_data(handle->sw, dout, filter, din, shape);
+      handle->last_route = ExecutionRoute::kSimulatedMesh;
+    } catch (const std::exception&) {
+      conv::im2col_backward_data(dout, filter, din, shape);
+      handle->last_route = ExecutionRoute::kHostGemm;
+    }
+    std::copy(din.data().begin(), din.data().end(), dx);
+  } catch (const std::exception& e) {
+    handle->last_error = e.what();
+    return Status::kExecutionFailed;
+  }
+  return Status::kSuccess;
+}
+
+Status convolution_backward_filter(Handle* handle,
+                                   const TensorDescriptor& x_desc,
+                                   const double* x,
+                                   const TensorDescriptor& dy_desc,
+                                   const double* dy,
+                                   const FilterDescriptor& dw_desc,
+                                   double* dw) {
+  if (handle == nullptr || x == nullptr || dy == nullptr || dw == nullptr) {
+    return Status::kBadParam;
+  }
+  conv::ConvShape shape;
+  const Status s = resolve_shape(x_desc, dw_desc, dy_desc, shape);
+  if (s != Status::kSuccess) return s;
+  try {
+    tensor::Tensor input =
+        wrap(x, {shape.ri, shape.ci, shape.ni, shape.batch});
+    tensor::Tensor dout =
+        wrap(dy, {shape.ro(), shape.co(), shape.no, shape.batch});
+    tensor::Tensor dfilter({shape.kr, shape.kc, shape.ni, shape.no});
+    sim::MeshExecutor exec(handle->spec);
+    conv::mesh_backward_filter(exec, input, dout, dfilter, shape);
+    handle->last_route = ExecutionRoute::kSimulatedMesh;
+    std::copy(dfilter.data().begin(), dfilter.data().end(), dw);
+  } catch (const std::exception& e) {
+    handle->last_error = e.what();
+    return Status::kExecutionFailed;
+  }
+  return Status::kSuccess;
+}
+
+Status get_convolution_estimate(Handle* handle,
+                                const TensorDescriptor& x_desc,
+                                const FilterDescriptor& w_desc,
+                                double* gflops_chip) {
+  if (handle == nullptr || gflops_chip == nullptr) return Status::kBadParam;
+  TensorDescriptor y_desc;
+  const Status s = get_convolution_output_descriptor(x_desc, w_desc, y_desc);
+  if (s != Status::kSuccess) return s;
+  try {
+    conv::ConvShape shape;
+    const Status rs = resolve_shape(x_desc, w_desc, y_desc, shape);
+    if (rs != Status::kSuccess) return rs;
+    *gflops_chip = handle->sw.estimate(shape).gflops_chip;
+  } catch (const std::exception& e) {
+    handle->last_error = e.what();
+    return Status::kExecutionFailed;
+  }
+  return Status::kSuccess;
+}
+
+ExecutionRoute last_execution_route(const Handle* handle) {
+  return handle == nullptr ? ExecutionRoute::kNone : handle->last_route;
+}
+
+const char* last_error_message(const Handle* handle) {
+  return handle == nullptr ? "" : handle->last_error.c_str();
+}
+
+}  // namespace swdnn::api

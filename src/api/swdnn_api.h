@@ -1,0 +1,111 @@
+#pragma once
+// The library's handle/descriptor API — the calling convention of
+// cuDNN, which the real swDNN mirrored so frameworks (Caffe et al.)
+// could swap backends. Everything is plain structs, raw pointers, and
+// status codes at this boundary; the C++ machinery lives underneath.
+//
+//   swdnn::api::Handle* handle = nullptr;
+//   swdnn::api::create(&handle);
+//   TensorDescriptor x_desc, y_desc;
+//   FilterDescriptor w_desc;
+//   set_tensor4d_descriptor(x_desc, Ri, Ci, Ni, B);
+//   set_filter_descriptor(w_desc, Kr, Kc, Ni, No);
+//   get_convolution_output_descriptor(x_desc, w_desc, y_desc);
+//   convolution_forward(handle, x_desc, x, w_desc, w, y_desc, y);
+//   destroy(handle);
+//
+// Data layout at this boundary is the library's canonical row-major
+// [R][C][N][B] (filters [Kr][Kc][Ni][No]). Convolutions are valid,
+// stride 1 — the paper's configuration space. Shapes that cannot map
+// onto the simulated mesh run on the host GEMM path; the result is the
+// same, only the execution substrate differs (query the chosen route
+// with last_execution_route()).
+
+#include <cstdint>
+
+#include "src/arch/spec.h"
+
+namespace swdnn::api {
+
+enum class Status {
+  kSuccess = 0,
+  kBadParam,        ///< null pointer or invalid descriptor
+  kShapeMismatch,   ///< descriptors disagree with each other
+  kExecutionFailed, ///< internal failure (carried exception message)
+};
+
+const char* status_string(Status status);
+
+enum class ExecutionRoute {
+  kNone = 0,
+  kSimulatedMesh,  ///< Algorithms 1/2 on the SW26010 simulator
+  kHostGemm,       ///< im2col + GEMM on the host
+};
+
+struct TensorDescriptor {
+  std::int64_t rows = 0, cols = 0, channels = 0, batch = 0;
+};
+
+struct FilterDescriptor {
+  std::int64_t kr = 0, kc = 0, ni = 0, no = 0;
+};
+
+struct Handle;  // opaque
+
+/// Creates a handle. `spec` overrides the machine (nullptr = the real
+/// SW26010 numbers; tests pass reduced meshes).
+Status create(Handle** handle, const arch::Sw26010Spec* spec = nullptr);
+Status destroy(Handle* handle);
+
+Status set_tensor4d_descriptor(TensorDescriptor& desc, std::int64_t rows,
+                               std::int64_t cols, std::int64_t channels,
+                               std::int64_t batch);
+Status set_filter_descriptor(FilterDescriptor& desc, std::int64_t kr,
+                             std::int64_t kc, std::int64_t ni,
+                             std::int64_t no);
+
+/// Fills `output` with the valid-convolution output dims of (input,
+/// filter); kShapeMismatch if channels disagree or the filter exceeds
+/// the image.
+Status get_convolution_output_descriptor(const TensorDescriptor& input,
+                                         const FilterDescriptor& filter,
+                                         TensorDescriptor& output);
+
+/// y = conv(x, w). Buffers must hold exactly the descriptor's element
+/// counts.
+Status convolution_forward(Handle* handle, const TensorDescriptor& x_desc,
+                           const double* x, const FilterDescriptor& w_desc,
+                           const double* w, const TensorDescriptor& y_desc,
+                           double* y);
+
+/// dx = conv_backward_data(dy, w).
+Status convolution_backward_data(Handle* handle,
+                                 const FilterDescriptor& w_desc,
+                                 const double* w,
+                                 const TensorDescriptor& dy_desc,
+                                 const double* dy,
+                                 const TensorDescriptor& dx_desc, double* dx);
+
+/// dw = conv_backward_filter(x, dy).
+Status convolution_backward_filter(Handle* handle,
+                                   const TensorDescriptor& x_desc,
+                                   const double* x,
+                                   const TensorDescriptor& dy_desc,
+                                   const double* dy,
+                                   const FilterDescriptor& dw_desc,
+                                   double* dw);
+
+/// Modeled throughput (Gflop/s, whole chip) for this configuration —
+/// the planning query a framework integration uses for layer timing.
+Status get_convolution_estimate(Handle* handle,
+                                const TensorDescriptor& x_desc,
+                                const FilterDescriptor& w_desc,
+                                double* gflops_chip);
+
+/// Which substrate executed the last convolution call on this handle.
+ExecutionRoute last_execution_route(const Handle* handle);
+
+/// Human-readable message of the last kExecutionFailed on this handle.
+const char* last_error_message(const Handle* handle);
+
+}  // namespace swdnn::api

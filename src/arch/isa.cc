@@ -1,0 +1,76 @@
+#include "src/arch/isa.h"
+
+#include <array>
+
+namespace swdnn::arch {
+
+namespace {
+// Latencies follow the paper's Section VI: loads have a 4-cycle
+// load-to-use latency, vfmad a 7-cycle result latency but is fully
+// pipelined (one issue per cycle). Scalar/control ops resolve next cycle.
+constexpr std::array<OpInfo, 16> kOpTable = {{
+    {"vload", PipelineClass::kP1Only, 4},   // kVload
+    {"vstore", PipelineClass::kP1Only, 1},  // kVstore
+    {"load", PipelineClass::kP1Only, 4},    // kLoad
+    {"store", PipelineClass::kP1Only, 1},   // kStore
+    {"vldde", PipelineClass::kP1Only, 4},   // kVldde
+    {"vfmad", PipelineClass::kP0Only, 7},   // kVfmad
+    {"vadd", PipelineClass::kP0Only, 7},    // kVadd
+    {"vmul", PipelineClass::kP0Only, 7},    // kVmul
+    {"addi", PipelineClass::kEither, 1},    // kAddi
+    {"cmp", PipelineClass::kEither, 1},     // kCmp
+    {"bnw", PipelineClass::kP1Only, 1},     // kBranch
+    {"putr", PipelineClass::kP1Only, 1},    // kPutr
+    {"putc", PipelineClass::kP1Only, 1},    // kPutc
+    {"getr", PipelineClass::kP1Only, 4},    // kGetr
+    {"getc", PipelineClass::kP1Only, 4},    // kGetc
+    {"nop", PipelineClass::kEither, 1},     // kNop
+}};
+}  // namespace
+
+const OpInfo& op_info(Opcode op) {
+  return kOpTable[static_cast<std::size_t>(op)];
+}
+
+std::string Instruction::to_string() const {
+  std::string s = op_info(op).mnemonic;
+  auto reg = [](int r) { return r < 0 ? std::string("-") : "r" + std::to_string(r); };
+  s += " " + reg(dst) + ", " + reg(src0) + ", " + reg(src1);
+  return s;
+}
+
+Instruction make_vload(int dst, int addr_reg) {
+  return Instruction{Opcode::kVload, dst, addr_reg, -1, -1};
+}
+Instruction make_vldde(int dst, int addr_reg) {
+  return Instruction{Opcode::kVldde, dst, addr_reg, -1, -1};
+}
+Instruction make_vstore(int src, int addr_reg) {
+  return Instruction{Opcode::kVstore, -1, src, addr_reg, -1};
+}
+Instruction make_vfmad(int acc, int a, int b) {
+  return Instruction{Opcode::kVfmad, acc, a, b, acc};
+}
+Instruction make_addi(int dst) {
+  return Instruction{Opcode::kAddi, dst, dst, -1, -1};
+}
+Instruction make_cmp(int dst, int src) {
+  return Instruction{Opcode::kCmp, dst, src, -1, -1};
+}
+Instruction make_branch(int src) {
+  return Instruction{Opcode::kBranch, -1, src, -1, -1};
+}
+Instruction make_putr(int src) {
+  return Instruction{Opcode::kPutr, -1, src, -1, -1};
+}
+Instruction make_putc(int src) {
+  return Instruction{Opcode::kPutc, -1, src, -1, -1};
+}
+Instruction make_getr(int dst) {
+  return Instruction{Opcode::kGetr, dst, -1, -1, -1};
+}
+Instruction make_getc(int dst) {
+  return Instruction{Opcode::kGetc, dst, -1, -1, -1};
+}
+
+}  // namespace swdnn::arch

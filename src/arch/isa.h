@@ -1,0 +1,83 @@
+#pragma once
+// The subset of the SW26010 CPE instruction set that the swDNN inner
+// kernels use, with the issue/latency properties the paper's Section VI
+// relies on:
+//
+//   * P0 executes floating-point and vector arithmetic (and scalar int).
+//   * P1 executes loads/stores, control transfer, and register
+//     communication (and scalar int).
+//   * The decoder dual-issues the two front-of-queue instructions when
+//     they target different pipelines and have no RAW/WAW hazards with
+//     each other or with still-executing instructions' result registers.
+//
+// The timing simulator (src/timing) replays instruction streams under
+// these rules to reproduce the paper's 26 -> 17 cycles/iteration result.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace swdnn::arch {
+
+enum class Opcode : std::uint8_t {
+  kVload,   ///< 256-bit vector load from LDM (P1, latency 4)
+  kVstore,  ///< 256-bit vector store to LDM (P1)
+  kLoad,    ///< scalar load from LDM (P1, latency 4)
+  kStore,   ///< scalar store to LDM (P1)
+  kVldde,   ///< load scalar and replicate to 4 lanes (P1, latency 4)
+  kVfmad,   ///< vector fused multiply-add (P0, latency 7)
+  kVadd,    ///< vector add (P0)
+  kVmul,    ///< vector multiply (P0)
+  kAddi,    ///< scalar integer add (address update; either pipeline)
+  kCmp,     ///< scalar compare (either pipeline)
+  kBranch,  ///< conditional branch, e.g. bnw (P1)
+  kPutr,    ///< register-comm put on row bus (P1)
+  kPutc,    ///< register-comm put on column bus (P1)
+  kGetr,    ///< register-comm get from row transfer buffer (P1)
+  kGetc,    ///< register-comm get from column transfer buffer (P1)
+  kNop,     ///< filler
+};
+
+enum class PipelineClass : std::uint8_t {
+  kP0Only,   ///< FP / vector arithmetic
+  kP1Only,   ///< memory, control, register communication
+  kEither,   ///< scalar integer ops
+};
+
+struct OpInfo {
+  const char* mnemonic;
+  PipelineClass pipeline;
+  int latency_cycles;  ///< result-ready latency (1 = next cycle)
+};
+
+/// Static properties of an opcode (pipeline class, latency, mnemonic).
+const OpInfo& op_info(Opcode op);
+
+/// One instruction in a kernel's inner-loop stream. Registers are small
+/// integer ids; -1 means "no register". `dst` is written, `src*` read.
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  int dst = -1;
+  int src0 = -1;
+  int src1 = -1;
+  int src2 = -1;  ///< vfmad accumulates: dst = src0*src1 + src2 (src2==dst)
+
+  std::string to_string() const;
+};
+
+/// Convenience constructors used by the kernel-stream builders.
+Instruction make_vload(int dst, int addr_reg);
+Instruction make_vldde(int dst, int addr_reg);
+Instruction make_vstore(int src, int addr_reg);
+Instruction make_vfmad(int acc, int a, int b);
+Instruction make_addi(int dst);
+Instruction make_cmp(int dst, int src);
+Instruction make_branch(int src);
+Instruction make_putr(int src);
+Instruction make_putc(int src);
+Instruction make_getr(int dst);
+Instruction make_getc(int dst);
+
+using InstructionStream = std::vector<Instruction>;
+
+}  // namespace swdnn::arch

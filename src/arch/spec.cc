@@ -1,0 +1,20 @@
+#include "src/arch/spec.h"
+
+namespace swdnn::arch {
+
+double Sw26010Spec::direct_required_bandwidth_gbs() const {
+  // The paper reports RBW_directMEM = 139.20 GB/s for the gload mapping
+  // (Fig. 2, middle column). 139.2 GB/s equals Eq. (1) evaluated with
+  // bCo*bB = 32 and No = 64 — i.e. the only reuse is what one 256-bit
+  // vector and a minimal 64-channel output tile provide:
+  //   (1/32 + 1/64) * 8 bytes * (peak/2) = (3/64) * 8 * 371.2 = 139.2.
+  const double reuse = 1.0 / 32.0 + 1.0 / 64.0;
+  return reuse * 8.0 * (peak_gflops_per_cg() / 2.0);
+}
+
+const Sw26010Spec& default_spec() {
+  static const Sw26010Spec spec;
+  return spec;
+}
+
+}  // namespace swdnn::arch

@@ -1,0 +1,84 @@
+#pragma once
+// SW26010 machine description.
+//
+// Every number here comes from the swDNN paper (IPDPS'17) or the
+// TaihuLight system paper it cites: clock rate, SIMD width, per-level
+// bandwidths, LDM capacity, and the mesh geometry. The simulator, the
+// performance model, and the kernels all read the machine through this
+// one struct so a what-if study (e.g. "what if LDM were 128 KB?") is a
+// one-line change in a test or bench.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace swdnn::arch {
+
+struct Sw26010Spec {
+  // --- Geometry -----------------------------------------------------
+  int num_core_groups = 4;       ///< CGs per chip, each with its own MC.
+  int mesh_rows = 8;             ///< CPE mesh height.
+  int mesh_cols = 8;             ///< CPE mesh width.
+
+  // --- Clocks and compute -------------------------------------------
+  double cpe_clock_ghz = 1.45;   ///< CPE core clock.
+  int simd_lanes_f64 = 4;        ///< 256-bit vectors = 4 doubles.
+  int fma_flops_per_lane = 2;    ///< fused multiply-add = 2 flops.
+
+  // --- Memory hierarchy ----------------------------------------------
+  std::size_t ldm_bytes = 64 * 1024;       ///< LDM (SPM) per CPE.
+  /// LDM the athread runtime, kernel code spill area, stack, and
+  /// alignment padding occupy; tiles only get what remains. Calibrated
+  /// so the chooser reproduces the paper's Table III blocking choices
+  /// (bCo=16 for Ni=No=128 but bCo=8 for No=256; the batch plan taking
+  /// over at 256+ channels).
+  std::size_t ldm_reserved_bytes = 24 * 1024;
+  std::size_t icache_bytes = 16 * 1024;    ///< CPE L1 instruction cache.
+  double ldm_reg_bandwidth_gbs = 46.4;     ///< LDM -> register, per CPE*.
+  double gload_bandwidth_gbs = 8.0;        ///< direct MEM access (gload).
+  double dma_peak_bandwidth_gbs = 36.0;    ///< best DMA put bandwidth/CG.
+  double ddr_peak_bandwidth_gbs = 36.0;    ///< DDR3 interface per CG.
+  std::size_t dma_alignment_bytes = 128;   ///< alignment for peak DMA.
+  std::size_t dma_good_block_bytes = 256;  ///< >= this -> near-peak DMA.
+
+  // --- Register communication ----------------------------------------
+  int regcomm_payload_bytes = 32;   ///< one 256-bit register per put/get.
+  int regcomm_latency_cycles = 10;  ///< put->get visible latency (bus hop).
+  int transfer_buffer_slots = 4;    ///< receive-side buffer depth.
+
+  // --- Pipeline latencies (Section VI of the paper) -------------------
+  int vload_latency_cycles = 4;     ///< LDM vector load.
+  int vfmad_latency_cycles = 7;     ///< vector fused multiply-add.
+
+  // --- Derived quantities ---------------------------------------------
+  int cpes_per_group() const { return mesh_rows * mesh_cols; }
+  int cpes_per_chip() const { return num_core_groups * cpes_per_group(); }
+
+  /// Flops per cycle per CPE with full SIMD FMA issue (8 for f64).
+  int flops_per_cycle_per_cpe() const {
+    return simd_lanes_f64 * fma_flops_per_lane;
+  }
+
+  /// Peak per-CPE double-precision throughput in Gflop/s (11.6).
+  double peak_gflops_per_cpe() const {
+    return cpe_clock_ghz * flops_per_cycle_per_cpe();
+  }
+
+  /// Peak per-CG throughput in Gflop/s (742.4).
+  double peak_gflops_per_cg() const {
+    return peak_gflops_per_cpe() * cpes_per_group();
+  }
+
+  /// Peak CPE-mesh throughput per chip in Gflop/s (2969.6).
+  double peak_gflops_per_chip() const {
+    return peak_gflops_per_cg() * num_core_groups;
+  }
+
+  /// Required bandwidth for the direct-gload mapping (139.2 GB/s):
+  /// every FMA operand pair fetched from memory with zero reuse.
+  double direct_required_bandwidth_gbs() const;
+};
+
+/// The default machine: numbers exactly as published.
+const Sw26010Spec& default_spec();
+
+}  // namespace swdnn::arch

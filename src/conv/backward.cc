@@ -1,0 +1,117 @@
+#include "src/conv/backward.h"
+
+#include <stdexcept>
+
+namespace swdnn::conv {
+
+tensor::Tensor zero_pad_output_gradient(const tensor::Tensor& d_output,
+                                        const ConvShape& shape) {
+  const std::int64_t pr = shape.kr - 1;
+  const std::int64_t pc = shape.kc - 1;
+  tensor::Tensor padded({shape.ro() + 2 * pr, shape.co() + 2 * pc, shape.no,
+                         shape.batch});
+  for (std::int64_t r = 0; r < shape.ro(); ++r)
+    for (std::int64_t c = 0; c < shape.co(); ++c)
+      for (std::int64_t no = 0; no < shape.no; ++no)
+        for (std::int64_t b = 0; b < shape.batch; ++b)
+          padded.at(r + pr, c + pc, no, b) = d_output.at(r, c, no, b);
+  return padded;
+}
+
+tensor::Tensor rotate_filter(const tensor::Tensor& filter,
+                             const ConvShape& shape) {
+  tensor::Tensor rotated({shape.kr, shape.kc, shape.no, shape.ni});
+  for (std::int64_t kr = 0; kr < shape.kr; ++kr)
+    for (std::int64_t kc = 0; kc < shape.kc; ++kc)
+      for (std::int64_t ni = 0; ni < shape.ni; ++ni)
+        for (std::int64_t no = 0; no < shape.no; ++no)
+          rotated.at(kr, kc, no, ni) =
+              filter.at(shape.kr - 1 - kr, shape.kc - 1 - kc, ni, no);
+  return rotated;
+}
+
+ConvShape backward_data_shape(const ConvShape& shape) {
+  // Output image of the backward pass = the forward input image; the
+  // padded gradient supplies Ri + Kr - 1 input rows.
+  return ConvShape::from_output(shape.batch, shape.no, shape.ni, shape.ri,
+                                shape.ci, shape.kr, shape.kc);
+}
+
+ForwardResult swconv_backward_data(SwConvolution& sw,
+                                   const tensor::Tensor& d_output,
+                                   const tensor::Tensor& filter,
+                                   tensor::Tensor& d_input,
+                                   const ConvShape& shape) {
+  if (shape.stride_r != 1 || shape.stride_c != 1) {
+    throw std::invalid_argument(
+        "swconv_backward_data: the mesh path is stride-1 only (use the "
+        "im2col gradients for strided layers)");
+  }
+  const tensor::Tensor padded = zero_pad_output_gradient(d_output, shape);
+  const tensor::Tensor rotated = rotate_filter(filter, shape);
+  const ConvShape bshape = backward_data_shape(shape);
+  return sw.forward(padded, rotated, d_input, bshape);
+}
+
+sim::LaunchStats mesh_backward_filter(sim::MeshExecutor& exec,
+                                      const tensor::Tensor& input,
+                                      const tensor::Tensor& d_output,
+                                      tensor::Tensor& d_filter,
+                                      const ConvShape& shape) {
+  const std::int64_t s_len = shape.ro() * shape.co() * shape.batch;
+  // dOut as a [S][No] matrix (s = (ro, co, b) row-major). Materialized
+  // once; the same matrix serves every filter tap.
+  std::vector<double> dout_mat(
+      static_cast<std::size_t>(s_len * shape.no));
+  for (std::int64_t ro = 0; ro < shape.ro(); ++ro)
+    for (std::int64_t co = 0; co < shape.co(); ++co)
+      for (std::int64_t b = 0; b < shape.batch; ++b) {
+        const std::int64_t s = (ro * shape.co() + co) * shape.batch + b;
+        for (std::int64_t no = 0; no < shape.no; ++no) {
+          dout_mat[static_cast<std::size_t>(s * shape.no + no)] =
+              d_output.at(ro, co, no, b);
+        }
+      }
+
+  sim::LaunchStats total;
+  std::vector<double> in_mat(static_cast<std::size_t>(s_len * shape.ni));
+  std::vector<double> dw_slice(
+      static_cast<std::size_t>(shape.ni * shape.no));
+  for (std::int64_t kr = 0; kr < shape.kr; ++kr) {
+    for (std::int64_t kc = 0; kc < shape.kc; ++kc) {
+      // In_shift as [S][Ni]: the input pixels this tap touches.
+      for (std::int64_t ro = 0; ro < shape.ro(); ++ro)
+        for (std::int64_t co = 0; co < shape.co(); ++co)
+          for (std::int64_t b = 0; b < shape.batch; ++b) {
+            const std::int64_t s =
+                (ro * shape.co() + co) * shape.batch + b;
+            for (std::int64_t ni = 0; ni < shape.ni; ++ni) {
+              in_mat[static_cast<std::size_t>(s * shape.ni + ni)] =
+                  input.at(ro * shape.stride_r + kr,
+                           co * shape.stride_c + kc, ni, b);
+            }
+          }
+      // dW(kr,kc)[ni][no] = sum_s in_mat[s][ni] * dout_mat[s][no]: the
+      // driver's a=[k][m], b=[k][n] convention with k = S.
+      const sim::LaunchStats stats =
+          mesh_gemm(exec, in_mat, dout_mat, dw_slice, shape.ni, s_len,
+                    shape.no);
+      for (std::int64_t ni = 0; ni < shape.ni; ++ni)
+        for (std::int64_t no = 0; no < shape.no; ++no)
+          d_filter.at(kr, kc, ni, no) =
+              dw_slice[static_cast<std::size_t>(ni * shape.no + no)];
+
+      total.max_compute_cycles += stats.max_compute_cycles;
+      total.total_flops += stats.total_flops;
+      total.regcomm_messages += stats.regcomm_messages;
+      total.dma.get_bytes += stats.dma.get_bytes;
+      total.dma.put_bytes += stats.dma.put_bytes;
+      total.dma.requests += stats.dma.requests;
+      total.dma_seconds += stats.dma_seconds;
+      total.compute_seconds += stats.compute_seconds;
+    }
+  }
+  return total;
+}
+
+}  // namespace swdnn::conv

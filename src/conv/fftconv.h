@@ -1,0 +1,56 @@
+#pragma once
+// Frequency-domain convolution — the alternative the paper REJECTS in
+// Section III-C ("the FFT used in frequency-domain based methods has
+// higher requirements for the memory bandwidth and involves global
+// communication ... the spatial-domain based methods seem a better fit
+// to the SW26010").
+//
+// We implement it anyway, for two reasons: as an independent
+// correctness oracle for the spatial kernels, and to *quantify* the
+// paper's rejection — fft_required_bandwidth() evaluates the roofline
+// of an LDM-staged 2-D FFT pipeline on the SW26010 and shows it sits
+// far above what the DMA interface provides.
+
+#include <complex>
+#include <vector>
+
+#include "src/arch/spec.h"
+#include "src/conv/shape.h"
+#include "src/tensor/tensor.h"
+
+namespace swdnn::conv {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. Size must be a power of
+/// two (checked). `inverse` applies the conjugate transform and the 1/N
+/// scale.
+void fft_inplace(std::vector<std::complex<double>>& data, bool inverse);
+
+/// 2-D FFT over a row-major [n x n] complex grid (rows then columns).
+void fft2d_inplace(std::vector<std::complex<double>>& grid, std::int64_t n,
+                   bool inverse);
+
+/// Smallest power of two >= value.
+std::int64_t next_pow2(std::int64_t value);
+
+/// Full forward convolution in the frequency domain: per (batch, no)
+/// output plane, sum over ni of IFFT2(FFT2(in) * conj(FFT2(w))) — the
+/// cross-correlation theorem, zero-padded so the valid region is exact.
+/// Bit-compatible (to ~1e-9) with reference_forward.
+void fft_conv_forward(const tensor::Tensor& input,
+                      const tensor::Tensor& filter, tensor::Tensor& output,
+                      const ConvShape& shape);
+
+/// The Section III-C argument, quantified: the MEM<->LDM bandwidth an
+/// FFT-based convolution would need to keep one CG at peak. The model
+/// assumes the best realistic staging (rows of a plane FFT'd in LDM,
+/// one full-plane pass per dimension per direction, frequency-domain
+/// accumulation in LDM) and still lands far above the 22 GB/s the DMA
+/// engine can deliver in-kernel.
+double fft_required_bandwidth_gbs(const ConvShape& shape,
+                                  const arch::Sw26010Spec& spec);
+
+/// Flop count of the frequency-domain method for this shape (complex
+/// butterflies + pointwise products), for the roofline comparison.
+double fft_method_flops(const ConvShape& shape);
+
+}  // namespace swdnn::conv

@@ -1,0 +1,52 @@
+#include "src/conv/gemm.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace swdnn::conv {
+
+void gemm_naive(std::int64_t m, std::int64_t n, std::int64_t k,
+                std::span<const double> a, std::span<const double> b,
+                std::span<double> c) {
+  assert(static_cast<std::int64_t>(a.size()) == m * k);
+  assert(static_cast<std::int64_t>(b.size()) == k * n);
+  assert(static_cast<std::int64_t>(c.size()) == m * n);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = c[i * n + j];
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += a[i * k + p] * b[p * n + j];
+      }
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+void gemm_blocked(std::int64_t m, std::int64_t n, std::int64_t k,
+                  std::span<const double> a, std::span<const double> b,
+                  std::span<double> c, std::int64_t tile) {
+  assert(static_cast<std::int64_t>(a.size()) == m * k);
+  assert(static_cast<std::int64_t>(b.size()) == k * n);
+  assert(static_cast<std::int64_t>(c.size()) == m * n);
+  for (std::int64_t i0 = 0; i0 < m; i0 += tile) {
+    const std::int64_t i1 = std::min(i0 + tile, m);
+    for (std::int64_t p0 = 0; p0 < k; p0 += tile) {
+      const std::int64_t p1 = std::min(p0 + tile, k);
+      for (std::int64_t j0 = 0; j0 < n; j0 += tile) {
+        const std::int64_t j1 = std::min(j0 + tile, n);
+        for (std::int64_t i = i0; i < i1; ++i) {
+          for (std::int64_t p = p0; p < p1; ++p) {
+            const double av = a[i * k + p];
+            const double* brow = &b[p * n];
+            double* crow = &c[i * n];
+            for (std::int64_t j = j0; j < j1; ++j) {
+              crow[j] += av * brow[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace swdnn::conv

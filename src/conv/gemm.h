@@ -1,0 +1,22 @@
+#pragma once
+// Host GEMM kernels (the substrate under the im2col baseline and the
+// fully-connected layer). Plain row-major C += A*B, in a naive and a
+// cache-blocked variant; the blocked one is the host analogue of the
+// paper's LDM blocking and is measured by bench_host_kernels.
+
+#include <cstdint>
+#include <span>
+
+namespace swdnn::conv {
+
+/// C[m x n] += A[m x k] * B[k x n], all row-major, naive loop order.
+void gemm_naive(std::int64_t m, std::int64_t n, std::int64_t k,
+                std::span<const double> a, std::span<const double> b,
+                std::span<double> c);
+
+/// Same contract, tiled for cache with an i-k-j loop order.
+void gemm_blocked(std::int64_t m, std::int64_t n, std::int64_t k,
+                  std::span<const double> a, std::span<const double> b,
+                  std::span<double> c, std::int64_t tile = 64);
+
+}  // namespace swdnn::conv

@@ -1,0 +1,130 @@
+#include "src/conv/im2col.h"
+
+#include "src/conv/gemm.h"
+
+namespace swdnn::conv {
+
+tensor::Tensor im2col(const tensor::Tensor& input, const ConvShape& s) {
+  const std::int64_t rows = s.ni * s.kr * s.kc;
+  const std::int64_t cols = s.ro() * s.co() * s.batch;
+  tensor::Tensor out({rows, cols});
+  for (std::int64_t ni = 0; ni < s.ni; ++ni)
+    for (std::int64_t kr = 0; kr < s.kr; ++kr)
+      for (std::int64_t kc = 0; kc < s.kc; ++kc) {
+        const std::int64_t row = (ni * s.kr + kr) * s.kc + kc;
+        for (std::int64_t ro = 0; ro < s.ro(); ++ro)
+          for (std::int64_t co = 0; co < s.co(); ++co)
+            for (std::int64_t b = 0; b < s.batch; ++b) {
+              out.at(row, (ro * s.co() + co) * s.batch + b) =
+                  input.at(ro * s.stride_r + kr, co * s.stride_c + kc, ni, b);
+            }
+      }
+  return out;
+}
+
+void col2im_add(const tensor::Tensor& columns, tensor::Tensor& input,
+                const ConvShape& s) {
+  for (std::int64_t ni = 0; ni < s.ni; ++ni)
+    for (std::int64_t kr = 0; kr < s.kr; ++kr)
+      for (std::int64_t kc = 0; kc < s.kc; ++kc) {
+        const std::int64_t row = (ni * s.kr + kr) * s.kc + kc;
+        for (std::int64_t ro = 0; ro < s.ro(); ++ro)
+          for (std::int64_t co = 0; co < s.co(); ++co)
+            for (std::int64_t b = 0; b < s.batch; ++b) {
+              input.at(ro * s.stride_r + kr, co * s.stride_c + kc, ni, b) +=
+                  columns.at(row, (ro * s.co() + co) * s.batch + b);
+            }
+      }
+}
+
+tensor::Tensor filter_matrix(const tensor::Tensor& filter,
+                             const ConvShape& s) {
+  tensor::Tensor out({s.no, s.ni * s.kr * s.kc});
+  for (std::int64_t kr = 0; kr < s.kr; ++kr)
+    for (std::int64_t kc = 0; kc < s.kc; ++kc)
+      for (std::int64_t ni = 0; ni < s.ni; ++ni)
+        for (std::int64_t no = 0; no < s.no; ++no) {
+          out.at(no, (ni * s.kr + kr) * s.kc + kc) =
+              filter.at(kr, kc, ni, no);
+        }
+  return out;
+}
+
+void im2col_forward(const tensor::Tensor& input, const tensor::Tensor& filter,
+                    tensor::Tensor& output, const ConvShape& s) {
+  const tensor::Tensor cols = im2col(input, s);
+  const tensor::Tensor wmat = filter_matrix(filter, s);
+  const std::int64_t m = s.no;
+  const std::int64_t n = s.ro() * s.co() * s.batch;
+  const std::int64_t k = s.ni * s.kr * s.kc;
+  tensor::Tensor prod({m, n});
+  gemm_blocked(m, n, k, wmat.data(), cols.data(), prod.data());
+  // Scatter [No][(ro*Co+co)*B+b] back to [Ro][Co][No][B].
+  for (std::int64_t no = 0; no < s.no; ++no)
+    for (std::int64_t ro = 0; ro < s.ro(); ++ro)
+      for (std::int64_t co = 0; co < s.co(); ++co)
+        for (std::int64_t b = 0; b < s.batch; ++b) {
+          output.at(ro, co, no, b) =
+              prod.at(no, (ro * s.co() + co) * s.batch + b);
+        }
+}
+
+namespace {
+
+// dOut [Ro][Co][No][B] as the lowered [No][(ro*Co+co)*B+b] matrix.
+tensor::Tensor output_matrix(const tensor::Tensor& d_output,
+                             const ConvShape& s) {
+  tensor::Tensor mat({s.no, s.ro() * s.co() * s.batch});
+  for (std::int64_t no = 0; no < s.no; ++no)
+    for (std::int64_t ro = 0; ro < s.ro(); ++ro)
+      for (std::int64_t co = 0; co < s.co(); ++co)
+        for (std::int64_t b = 0; b < s.batch; ++b)
+          mat.at(no, (ro * s.co() + co) * s.batch + b) =
+              d_output.at(ro, co, no, b);
+  return mat;
+}
+
+}  // namespace
+
+void im2col_backward_data(const tensor::Tensor& d_output,
+                          const tensor::Tensor& filter,
+                          tensor::Tensor& d_input, const ConvShape& s) {
+  const tensor::Tensor wmat = filter_matrix(filter, s);       // [No][K]
+  const tensor::Tensor dout = output_matrix(d_output, s);     // [No][S]
+  const std::int64_t kdim = s.ni * s.kr * s.kc;
+  const std::int64_t sdim = s.ro() * s.co() * s.batch;
+  // dCol[K][S] = Wmat^T [K][No] * dOut [No][S].
+  tensor::Tensor wmat_t({kdim, s.no});
+  for (std::int64_t no = 0; no < s.no; ++no)
+    for (std::int64_t kk = 0; kk < kdim; ++kk)
+      wmat_t.at(kk, no) = wmat.at(no, kk);
+  tensor::Tensor dcol({kdim, sdim});
+  gemm_blocked(kdim, sdim, s.no, wmat_t.data(), dout.data(), dcol.data());
+  d_input.zero();
+  col2im_add(dcol, d_input, s);
+}
+
+void im2col_backward_filter(const tensor::Tensor& input,
+                            const tensor::Tensor& d_output,
+                            tensor::Tensor& d_filter, const ConvShape& s) {
+  const tensor::Tensor cols = im2col(input, s);             // [K][S]
+  const tensor::Tensor dout = output_matrix(d_output, s);   // [No][S]
+  const std::int64_t kdim = s.ni * s.kr * s.kc;
+  const std::int64_t sdim = s.ro() * s.co() * s.batch;
+  // dWmat[No][K] = dOut [No][S] * Col^T [S][K].
+  tensor::Tensor cols_t({sdim, kdim});
+  for (std::int64_t kk = 0; kk < kdim; ++kk)
+    for (std::int64_t ss = 0; ss < sdim; ++ss)
+      cols_t.at(ss, kk) = cols.at(kk, ss);
+  tensor::Tensor dwmat({s.no, kdim});
+  gemm_blocked(s.no, kdim, sdim, dout.data(), cols_t.data(), dwmat.data());
+  // Scatter [No][(ni*Kr+kr)*Kc+kc] back to [Kr][Kc][Ni][No].
+  for (std::int64_t kr = 0; kr < s.kr; ++kr)
+    for (std::int64_t kc = 0; kc < s.kc; ++kc)
+      for (std::int64_t ni = 0; ni < s.ni; ++ni)
+        for (std::int64_t no = 0; no < s.no; ++no)
+          d_filter.at(kr, kc, ni, no) =
+              dwmat.at(no, (ni * s.kr + kr) * s.kc + kc);
+}
+
+}  // namespace swdnn::conv

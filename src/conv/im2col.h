@@ -1,0 +1,47 @@
+#pragma once
+// im2col + GEMM convolution lowering — the baseline algorithm (what
+// cuDNN's default double-precision path did at the time; paper §III-C's
+// "lowering the convolutions into a matrix multiplication").
+//
+// The lowered product is  Out[No x (Ro*Co*B)] =
+//   Wmat[No x (Ni*Kr*Kc)] * Col[(Ni*Kr*Kc) x (Ro*Co*B)].
+// Used for cross-checking the mesh kernels, as the functional stand-in
+// for the cuDNN comparator, and as a host-measured bench subject.
+
+#include "src/conv/shape.h"
+#include "src/tensor/tensor.h"
+
+namespace swdnn::conv {
+
+/// Expands input [Ri][Ci][Ni][B] into the column matrix
+/// [(Ni*Kr*Kc)][(Ro*Co*B)], row index = (ni*Kr + kr)*Kc + kc, column
+/// index = (ro*Co + co)*B + b.
+tensor::Tensor im2col(const tensor::Tensor& input, const ConvShape& shape);
+
+/// Inverse scatter-add of im2col (for the data gradient).
+void col2im_add(const tensor::Tensor& columns, tensor::Tensor& input,
+                const ConvShape& shape);
+
+/// Reshapes filter [Kr][Kc][Ni][No] into Wmat [No][(Ni*Kr*Kc)].
+tensor::Tensor filter_matrix(const tensor::Tensor& filter,
+                             const ConvShape& shape);
+
+/// Full forward convolution via im2col + blocked GEMM. Overwrites out.
+void im2col_forward(const tensor::Tensor& input, const tensor::Tensor& filter,
+                    tensor::Tensor& output, const ConvShape& shape);
+
+/// Data gradient via the lowered GEMM: dCol = Wmat^T * dOutMat, then
+/// col2im. Overwrites d_input. Much faster than the naive loops — the
+/// path the host training backend uses.
+void im2col_backward_data(const tensor::Tensor& d_output,
+                          const tensor::Tensor& filter,
+                          tensor::Tensor& d_input, const ConvShape& shape);
+
+/// Filter gradient via the lowered GEMM: dWmat = dOutMat * Col^T.
+/// Overwrites d_filter.
+void im2col_backward_filter(const tensor::Tensor& input,
+                            const tensor::Tensor& d_output,
+                            tensor::Tensor& d_filter,
+                            const ConvShape& shape);
+
+}  // namespace swdnn::conv

@@ -1,0 +1,307 @@
+#include "src/conv/ldm_blocked.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "src/conv/regcomm_gemm.h"
+
+namespace swdnn::conv {
+
+namespace {
+
+std::int64_t resolve_ro_end(const ConvShape& shape, std::int64_t ro_end) {
+  return ro_end < 0 ? shape.ro() : ro_end;
+}
+
+void require(bool ok, const std::string& what) {
+  if (!ok) throw std::invalid_argument("mesh compatibility: " + what);
+}
+
+}  // namespace
+
+void check_mesh_compatibility(const ConvShape& shape,
+                              const perf::ConvPlan& plan, int mesh_dim) {
+  const std::int64_t p = mesh_dim;
+  require(shape.stride_r == 1 && shape.stride_c == 1,
+          "mesh kernels implement the paper's stride-1 convolutions");
+  require(plan.block_ni == 0 || plan.block_ni == shape.ni,
+          "level-1 kernels contract the full Ni (no block_ni)");
+  require(shape.ni % p == 0, "Ni must divide by the mesh dimension");
+  require(shape.no % p == 0, "No must divide by the mesh dimension");
+  require(shape.co() % plan.block_co == 0, "Co must divide by block_co");
+  if (plan.kind == perf::PlanKind::kImageSizeAware) {
+    require(plan.block_b % p == 0,
+            "block_b must divide by the mesh dimension");
+    require(shape.batch % plan.block_b == 0, "batch must divide by block_b");
+  } else if (plan.kind == perf::PlanKind::kBatchSizeAware) {
+    require(shape.batch % p == 0,
+            "batch must divide by the mesh dimension");
+  } else {
+    throw std::invalid_argument("direct plan has no mesh kernel");
+  }
+}
+
+sim::LaunchStats run_image_size_aware(sim::MeshExecutor& exec,
+                                      const tensor::Tensor& input,
+                                      const tensor::Tensor& filter,
+                                      tensor::Tensor& output,
+                                      const ConvShape& shape,
+                                      const perf::ConvPlan& plan,
+                                      std::int64_t ro_begin,
+                                      std::int64_t ro_end) {
+  const int p = exec.spec().mesh_rows;
+  check_mesh_compatibility(shape, plan, p);
+  ro_end = resolve_ro_end(shape, ro_end);
+
+  const std::int64_t ni_p = shape.ni / p;
+  const std::int64_t no_p = shape.no / p;
+  const std::int64_t bb = plan.block_b;
+  const std::int64_t bb_p = bb / p;
+  const std::int64_t bco = plan.block_co;
+  const std::int64_t s_tile = bco * bb_p;  // pixel-batch extent per CPE
+  const std::int64_t big_b = shape.batch;
+  const std::int64_t big_no = shape.no;
+
+  auto kernel = [&, ro_begin, ro_end](sim::CpeContext& ctx) {
+    const std::int64_t i = ctx.row();  // Di channel block / Do channel block
+    const std::int64_t j = ctx.col();  // W channel block / batch block
+
+    auto w_tile = ctx.ldm().alloc_doubles(
+        static_cast<std::size_t>(ni_p * no_p));
+    auto w_recv = ctx.ldm().alloc_doubles(
+        static_cast<std::size_t>(ni_p * no_p));
+    auto di_tile = ctx.ldm().alloc_doubles(
+        static_cast<std::size_t>(ni_p * s_tile));
+    auto di_recv = ctx.ldm().alloc_doubles(
+        static_cast<std::size_t>(ni_p * s_tile));
+    auto do_tile = ctx.ldm().alloc_doubles(
+        static_cast<std::size_t>(no_p * s_tile));
+
+    for (std::int64_t b0 = 0; b0 < shape.batch; b0 += bb) {
+      for (std::int64_t ro = ro_begin; ro < ro_end; ++ro) {
+        for (std::int64_t c0 = 0; c0 < shape.co(); c0 += bco) {
+          std::fill(do_tile.begin(), do_tile.end(), 0.0);
+          for (std::int64_t kr = 0; kr < shape.kr; ++kr) {
+            for (std::int64_t kc = 0; kc < shape.kc; ++kc) {
+              // Filter slice (kr, kc): this CPE's input-channel block j
+              // and output-channel block i, laid out [ni_local][no_local].
+              ctx.dma_get_strided(
+                  &filter.data()[filter.offset(
+                      {kr, kc, j * ni_p, i * no_p})],
+                  ni_p, no_p, big_no, w_tile);
+              // Input pixels (ro+kr, c0+kc+c_rel): channel block i,
+              // batch block j, laid out [ni_local][c_rel*bb_p + b].
+              for (std::int64_t c_rel = 0; c_rel < bco; ++c_rel) {
+                for (std::int64_t nl = 0; nl < ni_p; ++nl) {
+                  const double* src = &input.data()[input.offset(
+                      {ro + kr, c0 + kc + c_rel, i * ni_p + nl,
+                       j * bb_p + b0})];
+                  std::span<double> dst = di_tile.subspan(
+                      static_cast<std::size_t>(nl * s_tile + c_rel * bb_p),
+                      static_cast<std::size_t>(bb_p));
+                  ctx.dma_get({src, static_cast<std::size_t>(bb_p)}, dst);
+                }
+              }
+              mesh_gemm_accumulate(ctx, w_tile, di_tile, do_tile, w_recv,
+                                   di_recv, static_cast<int>(no_p),
+                                   static_cast<int>(ni_p),
+                                   static_cast<int>(s_tile));
+            }
+          }
+          // Write back: output-channel block i, batch block j.
+          for (std::int64_t c_rel = 0; c_rel < bco; ++c_rel) {
+            for (std::int64_t nl = 0; nl < no_p; ++nl) {
+              double* dst = &output.data()[output.offset(
+                  {ro, c0 + c_rel, i * no_p + nl, j * bb_p + b0})];
+              std::span<const double> src = do_tile.subspan(
+                  static_cast<std::size_t>(nl * s_tile + c_rel * bb_p),
+                  static_cast<std::size_t>(bb_p));
+              ctx.dma_put(src, {dst, static_cast<std::size_t>(bb_p)});
+            }
+          }
+        }
+      }
+    }
+  };
+  (void)big_b;
+  return exec.run(kernel);
+}
+
+sim::LaunchStats run_image_size_aware_vectorized(
+    sim::MeshExecutor& exec, const tensor::Tensor& input_vec,
+    const tensor::Tensor& filter, tensor::Tensor& output_vec,
+    const ConvShape& shape, const perf::ConvPlan& plan,
+    std::int64_t ro_begin, std::int64_t ro_end) {
+  const int p = exec.spec().mesh_rows;
+  check_mesh_compatibility(shape, plan, p);
+  if (plan.block_b % (4 * p) != 0) {
+    throw std::invalid_argument(
+        "vectorized layout: block_b must divide into whole batch quads "
+        "per CPE (multiple of 4*mesh_dim)");
+  }
+  ro_end = resolve_ro_end(shape, ro_end);
+
+  const std::int64_t ni_p = shape.ni / p;
+  const std::int64_t no_p = shape.no / p;
+  const std::int64_t bb = plan.block_b;
+  const std::int64_t bb_p = bb / p;
+  const std::int64_t quads_p = bb_p / 4;  // batch quads per CPE
+  const std::int64_t bco = plan.block_co;
+  const std::int64_t s_tile = bco * bb_p;
+  const std::int64_t big_no = shape.no;
+
+  auto kernel = [&, ro_begin, ro_end](sim::CpeContext& ctx) {
+    const std::int64_t i = ctx.row();
+    const std::int64_t j = ctx.col();
+
+    auto w_tile = ctx.ldm().alloc_doubles(
+        static_cast<std::size_t>(ni_p * no_p));
+    auto w_recv = ctx.ldm().alloc_doubles(
+        static_cast<std::size_t>(ni_p * no_p));
+    auto di_tile = ctx.ldm().alloc_doubles(
+        static_cast<std::size_t>(ni_p * s_tile));
+    auto di_recv = ctx.ldm().alloc_doubles(
+        static_cast<std::size_t>(ni_p * s_tile));
+    auto do_tile = ctx.ldm().alloc_doubles(
+        static_cast<std::size_t>(no_p * s_tile));
+    // One (4, bCo) run of the vectorized layout at a time.
+    auto staging =
+        ctx.ldm().alloc_doubles(static_cast<std::size_t>(bco * 4));
+
+    for (std::int64_t b0 = 0; b0 < shape.batch; b0 += bb) {
+      const std::int64_t q0 = (b0 + j * bb_p) / 4;  // first owned quad
+      for (std::int64_t ro = ro_begin; ro < ro_end; ++ro) {
+        for (std::int64_t c0 = 0; c0 < shape.co(); c0 += bco) {
+          std::fill(do_tile.begin(), do_tile.end(), 0.0);
+          for (std::int64_t kr = 0; kr < shape.kr; ++kr) {
+            for (std::int64_t kc = 0; kc < shape.kc; ++kc) {
+              ctx.dma_get_strided(
+                  &filter.data()[filter.offset(
+                      {kr, kc, j * ni_p, i * no_p})],
+                  ni_p, no_p, big_no, w_tile);
+              // Input: for each (quad, channel) one contiguous bCo*4
+              // run along (C, lane) — the Section V-C layout payoff.
+              for (std::int64_t q = 0; q < quads_p; ++q) {
+                for (std::int64_t nl = 0; nl < ni_p; ++nl) {
+                  const double* src = &input_vec.data()[input_vec.offset(
+                      {q0 + q, i * ni_p + nl, ro + kr, c0 + kc, 0})];
+                  ctx.dma_get({src, static_cast<std::size_t>(bco * 4)},
+                              staging);
+                  for (std::int64_t c_rel = 0; c_rel < bco; ++c_rel) {
+                    for (int lane = 0; lane < 4; ++lane) {
+                      di_tile[static_cast<std::size_t>(
+                          nl * s_tile + c_rel * bb_p + q * 4 + lane)] =
+                          staging[static_cast<std::size_t>(c_rel * 4 +
+                                                           lane)];
+                    }
+                  }
+                }
+              }
+              mesh_gemm_accumulate(ctx, w_tile, di_tile, do_tile, w_recv,
+                                   di_recv, static_cast<int>(no_p),
+                                   static_cast<int>(ni_p),
+                                   static_cast<int>(s_tile));
+            }
+          }
+          // Output write-back, same (4, bCo) run structure.
+          for (std::int64_t q = 0; q < quads_p; ++q) {
+            for (std::int64_t nl = 0; nl < no_p; ++nl) {
+              for (std::int64_t c_rel = 0; c_rel < bco; ++c_rel) {
+                for (int lane = 0; lane < 4; ++lane) {
+                  staging[static_cast<std::size_t>(c_rel * 4 + lane)] =
+                      do_tile[static_cast<std::size_t>(
+                          nl * s_tile + c_rel * bb_p + q * 4 + lane)];
+                }
+              }
+              double* dst = &output_vec.data()[output_vec.offset(
+                  {q0 + q, i * no_p + nl, ro, c0, 0})];
+              ctx.dma_put(staging,
+                          {dst, static_cast<std::size_t>(bco * 4)});
+            }
+          }
+        }
+      }
+    }
+  };
+  return exec.run(kernel);
+}
+
+sim::LaunchStats run_batch_size_aware(sim::MeshExecutor& exec,
+                                      const tensor::Tensor& input,
+                                      const tensor::Tensor& filter,
+                                      tensor::Tensor& output,
+                                      const ConvShape& shape,
+                                      const perf::ConvPlan& plan,
+                                      std::int64_t ro_begin,
+                                      std::int64_t ro_end) {
+  const int p = exec.spec().mesh_rows;
+  check_mesh_compatibility(shape, plan, p);
+  ro_end = resolve_ro_end(shape, ro_end);
+
+  const std::int64_t ni_p = shape.ni / p;
+  const std::int64_t no_p = shape.no / p;
+  const std::int64_t b_p = shape.batch / p;
+  const std::int64_t bco = plan.block_co;
+  const std::int64_t big_no = shape.no;
+
+  auto kernel = [&, ro_begin, ro_end](sim::CpeContext& ctx) {
+    const std::int64_t i = ctx.row();
+    const std::int64_t j = ctx.col();
+
+    auto w_tile = ctx.ldm().alloc_doubles(
+        static_cast<std::size_t>(ni_p * no_p));
+    auto w_recv = ctx.ldm().alloc_doubles(
+        static_cast<std::size_t>(ni_p * no_p));
+    auto di_tile = ctx.ldm().alloc_doubles(
+        static_cast<std::size_t>(ni_p * b_p));
+    auto di_recv = ctx.ldm().alloc_doubles(
+        static_cast<std::size_t>(ni_p * b_p));
+    // Output tile: [c_rel][no_local][b] so each output column's slice is
+    // contiguous for the mesh GEMM.
+    auto do_tile = ctx.ldm().alloc_doubles(
+        static_cast<std::size_t>(bco * no_p * b_p));
+
+    for (std::int64_t c0 = 0; c0 < shape.co(); c0 += bco) {
+      for (std::int64_t ro = ro_begin; ro < ro_end; ++ro) {
+        std::fill(do_tile.begin(), do_tile.end(), 0.0);
+        for (std::int64_t kr = 0; kr < shape.kr; ++kr) {
+          const std::int64_t ri = ro + kr;
+          for (std::int64_t ci = c0; ci < c0 + bco + shape.kc - 1; ++ci) {
+            // One input pixel column: channel block i, batch block j.
+            ctx.dma_get_strided(
+                &input.data()[input.offset({ri, ci, i * ni_p, j * b_p})],
+                ni_p, b_p, shape.batch, di_tile);
+            for (std::int64_t kc = 0; kc < shape.kc; ++kc) {
+              const std::int64_t co = ci - kc;
+              if (co < c0 || co >= c0 + bco) continue;
+              ctx.dma_get_strided(
+                  &filter.data()[filter.offset(
+                      {kr, kc, j * ni_p, i * no_p})],
+                  ni_p, no_p, big_no, w_tile);
+              std::span<double> do_slice = do_tile.subspan(
+                  static_cast<std::size_t>((co - c0) * no_p * b_p),
+                  static_cast<std::size_t>(no_p * b_p));
+              mesh_gemm_accumulate(ctx, w_tile, di_tile, do_slice, w_recv,
+                                   di_recv, static_cast<int>(no_p),
+                                   static_cast<int>(ni_p),
+                                   static_cast<int>(b_p));
+            }
+          }
+        }
+        for (std::int64_t c_rel = 0; c_rel < bco; ++c_rel) {
+          for (std::int64_t nl = 0; nl < no_p; ++nl) {
+            double* dst = &output.data()[output.offset(
+                {ro, c0 + c_rel, i * no_p + nl, j * b_p})];
+            std::span<const double> src = do_tile.subspan(
+                static_cast<std::size_t>((c_rel * no_p + nl) * b_p),
+                static_cast<std::size_t>(b_p));
+            ctx.dma_put(src, {dst, static_cast<std::size_t>(b_p)});
+          }
+        }
+      }
+    }
+  };
+  return exec.run(kernel);
+}
+
+}  // namespace swdnn::conv

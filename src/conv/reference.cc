@@ -1,0 +1,72 @@
+#include "src/conv/reference.h"
+
+namespace swdnn::conv {
+
+tensor::Tensor make_input(const ConvShape& s) {
+  return tensor::Tensor({s.ri, s.ci, s.ni, s.batch});
+}
+
+tensor::Tensor make_filter(const ConvShape& s) {
+  return tensor::Tensor({s.kr, s.kc, s.ni, s.no});
+}
+
+tensor::Tensor make_output(const ConvShape& s) {
+  return tensor::Tensor({s.ro(), s.co(), s.no, s.batch});
+}
+
+void reference_forward(const tensor::Tensor& input,
+                       const tensor::Tensor& filter, tensor::Tensor& output,
+                       const ConvShape& s) {
+  output.zero();
+  for (std::int64_t ro = 0; ro < s.ro(); ++ro)
+    for (std::int64_t co = 0; co < s.co(); ++co)
+      for (std::int64_t kr = 0; kr < s.kr; ++kr)
+        for (std::int64_t kc = 0; kc < s.kc; ++kc)
+          for (std::int64_t ni = 0; ni < s.ni; ++ni)
+            for (std::int64_t no = 0; no < s.no; ++no) {
+              const double w = filter.at(kr, kc, ni, no);
+              for (std::int64_t b = 0; b < s.batch; ++b) {
+                output.at(ro, co, no, b) +=
+                    input.at(ro * s.stride_r + kr, co * s.stride_c + kc, ni, b) * w;
+              }
+            }
+}
+
+void reference_backward_data(const tensor::Tensor& d_output,
+                             const tensor::Tensor& filter,
+                             tensor::Tensor& d_input, const ConvShape& s) {
+  d_input.zero();
+  for (std::int64_t ro = 0; ro < s.ro(); ++ro)
+    for (std::int64_t co = 0; co < s.co(); ++co)
+      for (std::int64_t kr = 0; kr < s.kr; ++kr)
+        for (std::int64_t kc = 0; kc < s.kc; ++kc)
+          for (std::int64_t ni = 0; ni < s.ni; ++ni)
+            for (std::int64_t no = 0; no < s.no; ++no) {
+              const double w = filter.at(kr, kc, ni, no);
+              for (std::int64_t b = 0; b < s.batch; ++b) {
+                d_input.at(ro * s.stride_r + kr, co * s.stride_c + kc, ni, b) +=
+                    d_output.at(ro, co, no, b) * w;
+              }
+            }
+}
+
+void reference_backward_filter(const tensor::Tensor& input,
+                               const tensor::Tensor& d_output,
+                               tensor::Tensor& d_filter, const ConvShape& s) {
+  d_filter.zero();
+  for (std::int64_t ro = 0; ro < s.ro(); ++ro)
+    for (std::int64_t co = 0; co < s.co(); ++co)
+      for (std::int64_t kr = 0; kr < s.kr; ++kr)
+        for (std::int64_t kc = 0; kc < s.kc; ++kc)
+          for (std::int64_t ni = 0; ni < s.ni; ++ni)
+            for (std::int64_t no = 0; no < s.no; ++no) {
+              double acc = 0;
+              for (std::int64_t b = 0; b < s.batch; ++b) {
+                acc += input.at(ro * s.stride_r + kr, co * s.stride_c + kc, ni, b) *
+                       d_output.at(ro, co, no, b);
+              }
+              d_filter.at(kr, kc, ni, no) += acc;
+            }
+}
+
+}  // namespace swdnn::conv

@@ -1,0 +1,37 @@
+#pragma once
+// Naive reference convolution — the ground truth every optimized path
+// is checked against (the 7-loop pseudo code of paper Listing 1), plus
+// the training-side gradients.
+//
+// Layout conventions match src/tensor/layout.h:
+//   input [Ri][Ci][Ni][B], filter [Kr][Kc][Ni][No], output [Ro][Co][No][B].
+
+#include "src/conv/shape.h"
+#include "src/tensor/tensor.h"
+
+namespace swdnn::conv {
+
+/// Allocates tensors of the right shapes for `shape`.
+tensor::Tensor make_input(const ConvShape& shape);
+tensor::Tensor make_filter(const ConvShape& shape);
+tensor::Tensor make_output(const ConvShape& shape);
+
+/// out[ro][co][no][b] = sum_{ni,kr,kc} in[ro+kr][co+kc][ni][b] *
+/// w[kr][kc][ni][no]. Overwrites `out`.
+void reference_forward(const tensor::Tensor& input,
+                       const tensor::Tensor& filter, tensor::Tensor& output,
+                       const ConvShape& shape);
+
+/// Input gradient: din = dout (*) rot180(w), full correlation.
+void reference_backward_data(const tensor::Tensor& d_output,
+                             const tensor::Tensor& filter,
+                             tensor::Tensor& d_input, const ConvShape& shape);
+
+/// Filter gradient: dw[kr][kc][ni][no] = sum_{b,ro,co}
+/// in[ro+kr][co+kc][ni][b] * dout[ro][co][no][b].
+void reference_backward_filter(const tensor::Tensor& input,
+                               const tensor::Tensor& d_output,
+                               tensor::Tensor& d_filter,
+                               const ConvShape& shape);
+
+}  // namespace swdnn::conv

@@ -1,0 +1,104 @@
+#include "src/conv/regcomm_gemm.h"
+
+#include <algorithm>
+
+namespace swdnn::conv {
+
+namespace {
+sim::Vec4 pack(std::span<const double> data, std::size_t offset) {
+  sim::Vec4 v;
+  for (int l = 0; l < 4; ++l) {
+    const std::size_t idx = offset + static_cast<std::size_t>(l);
+    v.lane[l] = idx < data.size() ? data[idx] : 0.0;
+  }
+  return v;
+}
+
+void unpack(const sim::Vec4& v, std::span<double> out, std::size_t offset) {
+  for (int l = 0; l < 4; ++l) {
+    const std::size_t idx = offset + static_cast<std::size_t>(l);
+    if (idx < out.size()) out[idx] = v.lane[l];
+  }
+}
+}  // namespace
+
+void bus_broadcast_row(sim::CpeContext& ctx, std::span<const double> data) {
+  for (std::size_t off = 0; off < data.size(); off += 4) {
+    ctx.bcast_row(pack(data, off));
+  }
+}
+
+void bus_recv_row(sim::CpeContext& ctx, std::span<double> out) {
+  for (std::size_t off = 0; off < out.size(); off += 4) {
+    unpack(ctx.get_row(), out, off);
+  }
+}
+
+void bus_broadcast_col(sim::CpeContext& ctx, std::span<const double> data) {
+  for (std::size_t off = 0; off < data.size(); off += 4) {
+    ctx.bcast_col(pack(data, off));
+  }
+}
+
+void bus_recv_col(sim::CpeContext& ctx, std::span<double> out) {
+  for (std::size_t off = 0; off < out.size(); off += 4) {
+    unpack(ctx.get_col(), out, off);
+  }
+}
+
+void local_gemm_accumulate(sim::CpeContext& ctx, std::span<const double> w,
+                           std::span<const double> di, std::span<double> out,
+                           int m_tile, int k_tile, int n_tile) {
+  // w is [k][m] (channel-major, the filter's natural DMA order), di is
+  // [k][n], out is [m][n]: a rank-k_tile sequence of outer products —
+  // the register-blocked kernel shape of Fig. 5.
+  for (int k = 0; k < k_tile; ++k) {
+    const double* wk = w.data() + static_cast<std::size_t>(k) * m_tile;
+    const double* dik = di.data() + static_cast<std::size_t>(k) * n_tile;
+    for (int m = 0; m < m_tile; ++m) {
+      double* row = out.data() + static_cast<std::size_t>(m) * n_tile;
+      const double wv = wk[m];
+      for (int n = 0; n < n_tile; ++n) row[n] += wv * dik[n];
+    }
+  }
+  ctx.charge_flops(2ull * static_cast<std::uint64_t>(m_tile) *
+                   static_cast<std::uint64_t>(k_tile) *
+                   static_cast<std::uint64_t>(n_tile));
+}
+
+void mesh_gemm_accumulate(sim::CpeContext& ctx,
+                          std::span<const double> w_local,
+                          std::span<const double> di_local,
+                          std::span<double> do_local,
+                          std::span<double> w_recv, std::span<double> di_recv,
+                          int m_tile, int k_tile, int n_tile) {
+  const int p = ctx.mesh_rows();
+  for (int t = 0; t < p; ++t) {
+    // W phase on the row buses: column t fans its tiles out.
+    std::span<const double> w_cur;
+    if (ctx.col() == t) {
+      bus_broadcast_row(ctx, w_local);
+      w_cur = w_local;
+    } else {
+      bus_recv_row(ctx, w_recv);
+      w_cur = w_recv;
+    }
+    // Di phase on the column buses: row t fans its tiles down.
+    std::span<const double> di_cur;
+    if (ctx.row() == t) {
+      bus_broadcast_col(ctx, di_local);
+      di_cur = di_local;
+    } else {
+      bus_recv_col(ctx, di_recv);
+      di_cur = di_recv;
+    }
+    local_gemm_accumulate(ctx, w_cur, di_cur, do_local, m_tile, k_tile,
+                          n_tile);
+    // Keep bus traffic of consecutive steps from interleaving: the
+    // transfer buffers are FIFO per bus, and step t+1 has a different
+    // sender.
+    ctx.sync();
+  }
+}
+
+}  // namespace swdnn::conv

@@ -1,0 +1,57 @@
+#pragma once
+// Mesh-distributed GEMM over register communication (paper Fig. 3).
+//
+// The LDM-GEMM at the heart of both convolution algorithms contracts
+// over the input channels Ni, which the mesh distributes: CPE(i,j) owns
+//   W tile  W(i,j) — output-channel block i  x input-channel block j,
+//   Di tile Di(i,j) — input-channel block i x pixel/batch block j,
+//   Do tile Do(i,j) — output-channel block i x pixel/batch block j,
+// with no element duplicated anywhere on the mesh. The contraction then
+// needs remote data, fetched purely over the buses: at step t, the CPEs
+// of column t broadcast their W tiles along their rows, and the CPEs of
+// row t broadcast their Di tiles down their columns; every CPE
+// accumulates Do(i,j) += W(i,t) * Di(t,j). After P steps each CPE holds
+// its finished Do block — and the input/filter data crossed the memory
+// interface exactly once.
+
+#include <span>
+
+#include "src/sim/executor.h"
+
+namespace swdnn::conv {
+
+/// Broadcasts `data` to every other CPE on the caller's row, as ceil(n/4)
+/// 256-bit bus messages.
+void bus_broadcast_row(sim::CpeContext& ctx, std::span<const double> data);
+
+/// Receives `out.size()` doubles from the caller's row transfer buffer.
+void bus_recv_row(sim::CpeContext& ctx, std::span<double> out);
+
+/// Column-bus variants.
+void bus_broadcast_col(sim::CpeContext& ctx, std::span<const double> data);
+void bus_recv_col(sim::CpeContext& ctx, std::span<double> out);
+
+/// One full mesh contraction: Do(i,j) += sum_t W(i,t)*Di(t,j).
+///
+/// Local tile layouts (row-major):
+///   w_local  [k_tile][m_tile]  — input-channel-major, as the filter
+///                                tensor [..][Ni][No] DMAs in naturally;
+///   di_local [k_tile][n_tile];
+///   do_local [m_tile][n_tile].
+/// w_recv / di_recv are LDM scratch of the same sizes as w_local /
+/// di_local. The call contains mesh-wide barriers: every CPE of the
+/// mesh must call it the same number of times (SPMD lockstep).
+void mesh_gemm_accumulate(sim::CpeContext& ctx,
+                          std::span<const double> w_local,
+                          std::span<const double> di_local,
+                          std::span<double> do_local,
+                          std::span<double> w_recv, std::span<double> di_recv,
+                          int m_tile, int k_tile, int n_tile);
+
+/// Local tile update used by each mesh step: do[m][n] += sum_k
+/// w[k][m]*di[k][n], charging the FMA flops to the context.
+void local_gemm_accumulate(sim::CpeContext& ctx, std::span<const double> w,
+                           std::span<const double> di, std::span<double> out,
+                           int m_tile, int k_tile, int n_tile);
+
+}  // namespace swdnn::conv

@@ -1,0 +1,55 @@
+#include "src/conv/shape.h"
+
+#include <stdexcept>
+
+namespace swdnn::conv {
+
+ConvShape ConvShape::from_output(std::int64_t batch, std::int64_t ni,
+                                 std::int64_t no, std::int64_t ro,
+                                 std::int64_t co, std::int64_t kr,
+                                 std::int64_t kc, std::int64_t stride_r,
+                                 std::int64_t stride_c) {
+  ConvShape s;
+  s.batch = batch;
+  s.ni = ni;
+  s.no = no;
+  s.kr = kr;
+  s.kc = kc;
+  s.stride_r = stride_r;
+  s.stride_c = stride_c;
+  s.ri = (ro - 1) * stride_r + kr;
+  s.ci = (co - 1) * stride_c + kc;
+  s.validate();
+  return s;
+}
+
+std::int64_t ConvShape::flops() const {
+  return 2 * batch * ro() * co() * ni * no * kr * kc;
+}
+
+void ConvShape::validate() const {
+  if (batch <= 0 || ni <= 0 || no <= 0 || ri <= 0 || ci <= 0 || kr <= 0 ||
+      kc <= 0) {
+    throw std::invalid_argument("ConvShape: dimensions must be positive");
+  }
+  if (kr > ri || kc > ci) {
+    throw std::invalid_argument("ConvShape: filter larger than input image");
+  }
+  if (stride_r <= 0 || stride_c <= 0) {
+    throw std::invalid_argument("ConvShape: strides must be positive");
+  }
+}
+
+std::string ConvShape::to_string() const {
+  std::string s = "Conv(B=" + std::to_string(batch) +
+                  ", Ni=" + std::to_string(ni) + ", No=" + std::to_string(no) +
+                  ", in=" + std::to_string(ri) + "x" + std::to_string(ci) +
+                  ", k=" + std::to_string(kr) + "x" + std::to_string(kc);
+  if (stride_r != 1 || stride_c != 1) {
+    s += ", stride=" + std::to_string(stride_r) + "x" +
+         std::to_string(stride_c);
+  }
+  return s + ")";
+}
+
+}  // namespace swdnn::conv

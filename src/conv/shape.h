@@ -1,0 +1,54 @@
+#pragma once
+// Convolution problem description (paper Table I).
+//
+// swDNN's convolutions are valid (no padding), stride-1, multi-channel,
+// batched — the configuration the paper's kernels and all its
+// experiments use. Ri = Ro + Kr - 1 and Ci = Co + Kc - 1.
+
+#include <cstdint>
+#include <string>
+
+namespace swdnn::conv {
+
+struct ConvShape {
+  std::int64_t batch = 1;  ///< B
+  std::int64_t ni = 1;     ///< input feature maps
+  std::int64_t no = 1;     ///< output feature maps
+  std::int64_t ri = 1;     ///< input image height
+  std::int64_t ci = 1;     ///< input image width
+  std::int64_t kr = 1;     ///< filter height
+  std::int64_t kc = 1;     ///< filter width
+  // Strides extend the paper's stride-1 space for the host layer stack;
+  // the mesh kernels and the performance model accept stride 1 only
+  // (enforced at their entry points).
+  std::int64_t stride_r = 1;
+  std::int64_t stride_c = 1;
+
+  std::int64_t ro() const { return (ri - kr) / stride_r + 1; }
+  std::int64_t co() const { return (ci - kc) / stride_c + 1; }
+
+  /// Builds a shape from output-side dimensions (how the paper states
+  /// its configurations: "B=128, output image 64x64, filter 3x3").
+  static ConvShape from_output(std::int64_t batch, std::int64_t ni,
+                               std::int64_t no, std::int64_t ro,
+                               std::int64_t co, std::int64_t kr,
+                               std::int64_t kc, std::int64_t stride_r = 1,
+                               std::int64_t stride_c = 1);
+
+  /// 2*B*Ro*Co*Ni*No*Kr*Kc multiply-add flops.
+  std::int64_t flops() const;
+
+  std::int64_t input_elements() const { return ri * ci * ni * batch; }
+  std::int64_t filter_elements() const { return kr * kc * ni * no; }
+  std::int64_t output_elements() const { return ro() * co() * no * batch; }
+
+  /// Throws std::invalid_argument when any dimension is non-positive or
+  /// the filter exceeds the image.
+  void validate() const;
+
+  std::string to_string() const;
+
+  bool operator==(const ConvShape&) const = default;
+};
+
+}  // namespace swdnn::conv

@@ -1,0 +1,75 @@
+#pragma once
+// swDNN's public convolution entry point.
+//
+// Three fidelity levels (DESIGN.md §5):
+//   * forward()            — functional execution on the simulated mesh,
+//                            plan picked by the performance model;
+//                            bit-checked against the naive reference.
+//   * cycle_accounted_*()  — level-2 timing: walks the chosen plan's
+//                            loop nest charging Table II DMA costs,
+//                            pipeline-simulated compute, bus traffic and
+//                            barrier overheads. This is the library's
+//                            stand-in for "measured" silicon numbers
+//                            (Table III's `meas` column).
+//   * estimate()           — level-3 closed-form model (Table III `mdl`).
+
+#include <optional>
+
+#include "src/conv/ldm_blocked.h"
+#include "src/conv/shape.h"
+#include "src/perf/chooser.h"
+#include "src/sim/noc.h"
+
+namespace swdnn::conv {
+
+struct ForwardResult {
+  perf::PlanChoice choice;
+  sim::LaunchStats stats;
+};
+
+class SwConvolution {
+ public:
+  explicit SwConvolution(
+      const arch::Sw26010Spec& spec = arch::default_spec());
+
+  /// Functional forward on one simulated core group. Overwrites
+  /// `output`. Uses `plan` if given, else the model's choice (adjusted
+  /// to mesh-divisibility if needed).
+  ForwardResult forward(const tensor::Tensor& input,
+                        const tensor::Tensor& filter, tensor::Tensor& output,
+                        const ConvShape& shape,
+                        std::optional<perf::ConvPlan> plan = std::nullopt);
+
+  /// Functional forward with output rows partitioned across `num_cgs`
+  /// core groups (the paper's §III-D scaling scheme).
+  sim::MultiCgStats forward_multi_cg(
+      const tensor::Tensor& input, const tensor::Tensor& filter,
+      tensor::Tensor& output, const ConvShape& shape, int num_cgs,
+      std::optional<perf::ConvPlan> plan = std::nullopt);
+
+  /// Best plan per the performance model, constrained to plans the mesh
+  /// kernels can execute for this shape.
+  perf::PlanChoice plan_for(const ConvShape& shape,
+                            bool require_executable = false) const;
+
+  /// Level-3 closed-form estimate for the best plan.
+  perf::PerfEstimate estimate(const ConvShape& shape) const;
+
+  /// Level-2 cycle-accounted throughput for one core group (Gflop/s).
+  double cycle_accounted_gflops_per_cg(const ConvShape& shape,
+                                       const perf::ConvPlan& plan) const;
+
+  /// Level-2 chip throughput: 4 core groups on row partitions plus the
+  /// launch overhead.
+  double cycle_accounted_gflops_chip(const ConvShape& shape,
+                                     const perf::ConvPlan& plan) const;
+
+  const perf::PlanChooser& chooser() const { return chooser_; }
+  const arch::Sw26010Spec& spec() const { return spec_; }
+
+ private:
+  arch::Sw26010Spec spec_;  // by value: callers may pass temporaries
+  perf::PlanChooser chooser_;
+};
+
+}  // namespace swdnn::conv

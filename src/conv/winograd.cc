@@ -1,0 +1,179 @@
+#include "src/conv/winograd.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace swdnn::conv {
+
+namespace {
+
+// F(2x2, 3x3) transform matrices (Lavin 2015):
+//   G   = [1 0 0; .5 .5 .5; .5 -.5 .5; 0 0 1]         (4x3)
+//   B^T = [1 0 -1 0; 0 1 1 0; 0 -1 1 0; 0 1 0 -1]     (4x4)
+//   A^T = [1 1 1 0; 0 1 -1 -1]                         (2x4)
+
+void mat_g_g_gt(const double g[3][3], double out[4][4]) {
+  // tmp = G * g  (4x3)
+  double tmp[4][3];
+  for (int c = 0; c < 3; ++c) {
+    tmp[0][c] = g[0][c];
+    tmp[1][c] = 0.5 * (g[0][c] + g[1][c] + g[2][c]);
+    tmp[2][c] = 0.5 * (g[0][c] - g[1][c] + g[2][c]);
+    tmp[3][c] = g[2][c];
+  }
+  // out = tmp * G^T  (4x4)
+  for (int r = 0; r < 4; ++r) {
+    out[r][0] = tmp[r][0];
+    out[r][1] = 0.5 * (tmp[r][0] + tmp[r][1] + tmp[r][2]);
+    out[r][2] = 0.5 * (tmp[r][0] - tmp[r][1] + tmp[r][2]);
+    out[r][3] = tmp[r][2];
+  }
+}
+
+void mat_bt_d_b(const double d[4][4], double out[4][4]) {
+  // tmp = B^T * d (4x4)
+  double tmp[4][4];
+  for (int c = 0; c < 4; ++c) {
+    tmp[0][c] = d[0][c] - d[2][c];
+    tmp[1][c] = d[1][c] + d[2][c];
+    tmp[2][c] = d[2][c] - d[1][c];
+    tmp[3][c] = d[1][c] - d[3][c];
+  }
+  // out = tmp * B (4x4); B = (B^T)^T
+  for (int r = 0; r < 4; ++r) {
+    out[r][0] = tmp[r][0] - tmp[r][2];
+    out[r][1] = tmp[r][1] + tmp[r][2];
+    out[r][2] = tmp[r][2] - tmp[r][1];
+    out[r][3] = tmp[r][1] - tmp[r][3];
+  }
+}
+
+void mat_at_m_a(const double m[4][4], double out[2][2]) {
+  // tmp = A^T * m (2x4)
+  double tmp[2][4];
+  for (int c = 0; c < 4; ++c) {
+    tmp[0][c] = m[0][c] + m[1][c] + m[2][c];
+    tmp[1][c] = m[1][c] - m[2][c] - m[3][c];
+  }
+  // out = tmp * A (2x2)
+  for (int r = 0; r < 2; ++r) {
+    out[r][0] = tmp[r][0] + tmp[r][1] + tmp[r][2];
+    out[r][1] = tmp[r][1] - tmp[r][2] - tmp[r][3];
+  }
+}
+
+}  // namespace
+
+void winograd_filter_transform(const double g[3][3], double u[4][4]) {
+  mat_g_g_gt(g, u);
+}
+
+void winograd_input_transform(const double d[4][4], double v[4][4]) {
+  mat_bt_d_b(d, v);
+}
+
+void winograd_output_transform(const double m[4][4], double y[2][2]) {
+  mat_at_m_a(m, y);
+}
+
+void winograd_forward(const tensor::Tensor& input,
+                      const tensor::Tensor& filter, tensor::Tensor& output,
+                      const ConvShape& s) {
+  if (s.kr != 3 || s.kc != 3) {
+    throw std::invalid_argument("winograd_forward: F(2x2,3x3) needs a 3x3 "
+                                "filter");
+  }
+  if (s.stride_r != 1 || s.stride_c != 1) {
+    throw std::invalid_argument("winograd_forward: stride-1 only");
+  }
+  if (s.ro() % 2 != 0 || s.co() % 2 != 0) {
+    throw std::invalid_argument(
+        "winograd_forward: output extents must be even (whole 2x2 tiles)");
+  }
+
+  // Transformed filters: U[ni][no] as flat 16-double blocks.
+  std::vector<double> u_all(
+      static_cast<std::size_t>(s.ni * s.no * 16));
+  for (std::int64_t ni = 0; ni < s.ni; ++ni) {
+    for (std::int64_t no = 0; no < s.no; ++no) {
+      double g[3][3];
+      for (int r = 0; r < 3; ++r)
+        for (int c = 0; c < 3; ++c) g[r][c] = filter.at(r, c, ni, no);
+      double u[4][4];
+      mat_g_g_gt(g, u);
+      double* dst = &u_all[static_cast<std::size_t>((ni * s.no + no) * 16)];
+      for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c) dst[r * 4 + c] = u[r][c];
+    }
+  }
+
+  output.zero();
+  const std::int64_t tiles_r = s.ro() / 2;
+  const std::int64_t tiles_c = s.co() / 2;
+  std::vector<double> v_all(static_cast<std::size_t>(s.ni * 16));
+  for (std::int64_t b = 0; b < s.batch; ++b) {
+    for (std::int64_t tr = 0; tr < tiles_r; ++tr) {
+      for (std::int64_t tc = 0; tc < tiles_c; ++tc) {
+        // Input transforms for every channel of this tile.
+        for (std::int64_t ni = 0; ni < s.ni; ++ni) {
+          double d[4][4];
+          for (int r = 0; r < 4; ++r)
+            for (int c = 0; c < 4; ++c)
+              d[r][c] = input.at(2 * tr + r, 2 * tc + c, ni, b);
+          double v[4][4];
+          mat_bt_d_b(d, v);
+          double* dst = &v_all[static_cast<std::size_t>(ni * 16)];
+          for (int r = 0; r < 4; ++r)
+            for (int c = 0; c < 4; ++c) dst[r * 4 + c] = v[r][c];
+        }
+        // Pointwise accumulate and inverse-transform per output channel.
+        for (std::int64_t no = 0; no < s.no; ++no) {
+          double m[4][4] = {};
+          for (std::int64_t ni = 0; ni < s.ni; ++ni) {
+            const double* u =
+                &u_all[static_cast<std::size_t>((ni * s.no + no) * 16)];
+            const double* v = &v_all[static_cast<std::size_t>(ni * 16)];
+            for (int idx = 0; idx < 16; ++idx) {
+              m[idx / 4][idx % 4] += u[idx] * v[idx];
+            }
+          }
+          double y[2][2];
+          mat_at_m_a(m, y);
+          for (int r = 0; r < 2; ++r)
+            for (int c = 0; c < 2; ++c)
+              output.at(2 * tr + r, 2 * tc + c, no, b) = y[r][c];
+        }
+      }
+    }
+  }
+}
+
+WinogradAnalysis winograd_analysis(const ConvShape& s) {
+  WinogradAnalysis a;
+  const double tiles = static_cast<double>(s.batch) *
+                       static_cast<double>(s.ro() / 2) *
+                       static_cast<double>(s.co() / 2);
+  const double ni = static_cast<double>(s.ni);
+  const double no = static_cast<double>(s.no);
+  // Direct: 9 multiplies per output element per input channel.
+  a.direct_multiplies =
+      static_cast<double>(s.batch * s.ro() * s.co()) * ni * no * 9.0;
+  // Winograd: 16 multiplies per tile (4 outputs) per (ni, no).
+  a.winograd_multiplies = tiles * ni * no * 16.0;
+  // Transforms: input B^T d B = 32 adds per (tile, ni); output A^T m A
+  // = 24 adds per (tile, no); filter G g G^T = 28 ops per (ni, no),
+  // amortized over all tiles (negligible but counted).
+  a.transform_flops =
+      tiles * ni * 32.0 + tiles * no * 24.0 + ni * no * 28.0;
+  a.multiply_reduction = a.direct_multiplies / a.winograd_multiplies;
+  // On SW26010 every transform add occupies the same P0 pipeline as a
+  // saved multiply would; adds cannot fuse into FMAs here. Effective
+  // speedup = direct work over (pointwise + transform) work.
+  a.effective_speedup =
+      a.direct_multiplies /
+      (a.winograd_multiplies + a.transform_flops);
+  a.filter_bytes_ratio = 16.0 / 9.0;
+  return a;
+}
+
+}  // namespace swdnn::conv

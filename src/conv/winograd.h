@@ -1,0 +1,53 @@
+#pragma once
+// Winograd minimal-filtering convolution, F(2x2, 3x3) — the other
+// "fast convolution" family the paper cites among GPU-side related work
+// (Lavin's algorithms). Like the FFT path it is implemented as a
+// correctness oracle and as an analysis subject: Winograd cuts the
+// multiply count 2.25x for 3x3 filters, but on SW26010 the transform
+// arithmetic shares the single FP pipeline with the saved multiplies
+// and the transformed filters are 16/9 the bytes — winograd_analysis()
+// quantifies how much of the nominal 2.25x survives.
+//
+// Transforms (Lavin 2015): Y = A^T [ (G g G^T) .* (B^T d B) ] A per
+// 4x4 input tile / 2x2 output tile, accumulated over input channels.
+
+#include "src/arch/spec.h"
+#include "src/conv/shape.h"
+#include "src/tensor/tensor.h"
+
+namespace swdnn::conv {
+
+/// Full forward convolution via Winograd F(2x2, 3x3). Requires
+/// kr == kc == 3 and even Ro, Co (whole output tiles); throws
+/// std::invalid_argument otherwise. Matches reference_forward to
+/// ~1e-10 (the transforms are exact in rationals; f64 rounding only).
+void winograd_forward(const tensor::Tensor& input,
+                      const tensor::Tensor& filter, tensor::Tensor& output,
+                      const ConvShape& shape);
+
+/// Transforms one 3x3 filter tap into the 4x4 Winograd domain:
+/// U = G g G^T (exposed for tests).
+void winograd_filter_transform(const double g[3][3], double u[4][4]);
+
+/// Transforms one 4x4 input tile: V = B^T d B (exposed for tests).
+void winograd_input_transform(const double d[4][4], double v[4][4]);
+
+/// Inverse transform of an accumulated 4x4 tile to the 2x2 output:
+/// Y = A^T m A (exposed for tests).
+void winograd_output_transform(const double m[4][4], double y[2][2]);
+
+struct WinogradAnalysis {
+  double direct_multiplies = 0;     ///< the spatial method's multiplies
+  double winograd_multiplies = 0;   ///< pointwise products
+  double transform_flops = 0;       ///< input + filter + output transforms
+  double multiply_reduction = 0;    ///< direct / winograd (2.25 nominal)
+  double effective_speedup = 0;     ///< with transforms on the same pipe
+  double filter_bytes_ratio = 0;    ///< transformed / canonical (16/9)
+};
+
+/// The SW26010 trade: how much of the 2.25x survives once the
+/// transform flops execute on the same P0 pipeline and the transformed
+/// filters inflate the Eq. (1) filter traffic.
+WinogradAnalysis winograd_analysis(const ConvShape& shape);
+
+}  // namespace swdnn::conv

@@ -1,0 +1,54 @@
+#include "src/dnn/activations.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace swdnn::dnn {
+
+tensor::Tensor Tanh::forward(const tensor::Tensor& input) {
+  cached_output_ = tensor::Tensor(input.dims());
+  auto in = input.data();
+  auto out = cached_output_.data();
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = std::tanh(in[i]);
+  return cached_output_;
+}
+
+tensor::Tensor Tanh::backward(const tensor::Tensor& d_output) {
+  if (d_output.dims() != cached_output_.dims()) {
+    throw std::invalid_argument("Tanh::backward before forward");
+  }
+  tensor::Tensor d_input(d_output.dims());
+  auto g = d_output.data();
+  auto y = cached_output_.data();
+  auto out = d_input.data();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    out[i] = g[i] * (1.0 - y[i] * y[i]);
+  }
+  return d_input;
+}
+
+tensor::Tensor Sigmoid::forward(const tensor::Tensor& input) {
+  cached_output_ = tensor::Tensor(input.dims());
+  auto in = input.data();
+  auto out = cached_output_.data();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = 1.0 / (1.0 + std::exp(-in[i]));
+  }
+  return cached_output_;
+}
+
+tensor::Tensor Sigmoid::backward(const tensor::Tensor& d_output) {
+  if (d_output.dims() != cached_output_.dims()) {
+    throw std::invalid_argument("Sigmoid::backward before forward");
+  }
+  tensor::Tensor d_input(d_output.dims());
+  auto g = d_output.data();
+  auto y = cached_output_.data();
+  auto out = d_input.data();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    out[i] = g[i] * y[i] * (1.0 - y[i]);
+  }
+  return d_input;
+}
+
+}  // namespace swdnn::dnn

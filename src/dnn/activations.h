@@ -1,0 +1,30 @@
+#pragma once
+// Elementwise activations beyond ReLU: tanh and the logistic sigmoid —
+// the classic CNN-era nonlinearities (LeNet used tanh; sigmoid heads
+// predate softmax classifiers).
+
+#include "src/dnn/layer.h"
+
+namespace swdnn::dnn {
+
+class Tanh : public Layer {
+ public:
+  std::string name() const override { return "tanh"; }
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& d_output) override;
+
+ private:
+  tensor::Tensor cached_output_;
+};
+
+class Sigmoid : public Layer {
+ public:
+  std::string name() const override { return "sigmoid"; }
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& d_output) override;
+
+ private:
+  tensor::Tensor cached_output_;
+};
+
+}  // namespace swdnn::dnn

@@ -1,0 +1,84 @@
+#include "src/dnn/convolution.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/conv/backward.h"
+#include "src/conv/im2col.h"
+#include "src/conv/reference.h"
+
+namespace swdnn::dnn {
+
+Convolution::Convolution(const conv::ConvShape& shape, util::Rng& rng,
+                         ConvBackend backend, bool with_bias)
+    : shape_(shape),
+      backend_(backend),
+      with_bias_(with_bias),
+      filter_(conv::make_filter(shape)),
+      d_filter_(conv::make_filter(shape)),
+      bias_({shape.no}),
+      d_bias_({shape.no}),
+      sw_() {
+  shape_.validate();
+  const double fan_in =
+      static_cast<double>(shape.ni * shape.kr * shape.kc);
+  rng.fill_normal(filter_.data(), 0.0, std::sqrt(2.0 / fan_in));
+}
+
+tensor::Tensor Convolution::forward(const tensor::Tensor& input) {
+  if (input.dims() !=
+      std::vector<std::int64_t>{shape_.ri, shape_.ci, shape_.ni,
+                                shape_.batch}) {
+    throw std::invalid_argument("Convolution::forward: input shape mismatch");
+  }
+  cached_input_ = input;
+  tensor::Tensor output = conv::make_output(shape_);
+  if (backend_ == ConvBackend::kHostIm2col) {
+    conv::im2col_forward(input, filter_, output, shape_);
+  } else {
+    sw_.forward(input, filter_, output, shape_);
+  }
+  if (with_bias_) {
+    for (std::int64_t ro = 0; ro < shape_.ro(); ++ro)
+      for (std::int64_t co = 0; co < shape_.co(); ++co)
+        for (std::int64_t no = 0; no < shape_.no; ++no)
+          for (std::int64_t b = 0; b < shape_.batch; ++b)
+            output.at(ro, co, no, b) += bias_.at(no);
+  }
+  return output;
+}
+
+tensor::Tensor Convolution::backward(const tensor::Tensor& d_output) {
+  if (with_bias_) {
+    d_bias_.zero();
+    for (std::int64_t ro = 0; ro < shape_.ro(); ++ro)
+      for (std::int64_t co = 0; co < shape_.co(); ++co)
+        for (std::int64_t no = 0; no < shape_.no; ++no)
+          for (std::int64_t b = 0; b < shape_.batch; ++b)
+            d_bias_.at(no) += d_output.at(ro, co, no, b);
+  }
+  tensor::Tensor d_input = conv::make_input(shape_);
+  if (backend_ == ConvBackend::kSimulatedMesh) {
+    // Training on the simulated machine end to end: backward-data runs
+    // as a forward convolution on transformed tensors, backward-filter
+    // as per-tap distributed GEMMs.
+    conv::swconv_backward_data(sw_, d_output, filter_, d_input, shape_);
+    sim::MeshExecutor exec(sw_.spec());
+    conv::mesh_backward_filter(exec, cached_input_, d_output, d_filter_,
+                               shape_);
+  } else {
+    // GEMM-lowered gradients: same results as the reference loops (see
+    // conv_im2col_test), much faster on the host.
+    conv::im2col_backward_filter(cached_input_, d_output, d_filter_, shape_);
+    conv::im2col_backward_data(d_output, filter_, d_input, shape_);
+  }
+  return d_input;
+}
+
+std::vector<ParamGrad> Convolution::params() {
+  std::vector<ParamGrad> out = {ParamGrad{&filter_, &d_filter_}};
+  if (with_bias_) out.push_back(ParamGrad{&bias_, &d_bias_});
+  return out;
+}
+
+}  // namespace swdnn::dnn

@@ -1,0 +1,58 @@
+#pragma once
+// Convolution layer (valid, stride 1) over [R][C][N][B] activations.
+//
+// Forward runs the im2col+GEMM host path by default — the functional
+// route that is practical at training sizes on the host — and can be
+// switched to the simulated-mesh path (SwConvolution) to exercise the
+// full SW26010 pipeline on mesh-compatible shapes. Both are checked
+// against the naive reference in tests. Backward uses the reference
+// gradient kernels.
+
+#include <optional>
+
+#include "src/conv/shape.h"
+#include "src/conv/swconv.h"
+#include "src/dnn/layer.h"
+#include "src/util/rng.h"
+
+namespace swdnn::dnn {
+
+enum class ConvBackend {
+  kHostIm2col,    ///< im2col + blocked GEMM on the host
+  kSimulatedMesh, ///< Algorithms 1/2 on the SW26010 simulator
+};
+
+class Convolution : public Layer {
+ public:
+  /// Initializes the filter with He-scaled normal weights. With
+  /// `with_bias` a zero-initialized per-output-channel bias is added
+  /// after the convolution (and its gradient accumulated in backward).
+  Convolution(const conv::ConvShape& shape, util::Rng& rng,
+              ConvBackend backend = ConvBackend::kHostIm2col,
+              bool with_bias = false);
+
+  std::string name() const override { return "conv"; }
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& d_output) override;
+  std::vector<ParamGrad> params() override;
+
+  const tensor::Tensor& filter() const { return filter_; }
+  tensor::Tensor& mutable_filter() { return filter_; }
+  const conv::ConvShape& shape() const { return shape_; }
+
+  const tensor::Tensor& bias() const { return bias_; }
+  bool has_bias() const { return with_bias_; }
+
+ private:
+  conv::ConvShape shape_;
+  ConvBackend backend_;
+  bool with_bias_;
+  tensor::Tensor filter_;
+  tensor::Tensor d_filter_;
+  tensor::Tensor bias_;    ///< [No]; unused when !with_bias_
+  tensor::Tensor d_bias_;
+  tensor::Tensor cached_input_;
+  conv::SwConvolution sw_;
+};
+
+}  // namespace swdnn::dnn

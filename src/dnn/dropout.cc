@@ -1,0 +1,46 @@
+#include "src/dnn/dropout.h"
+
+#include <stdexcept>
+
+namespace swdnn::dnn {
+
+Dropout::Dropout(double drop_probability, std::uint64_t seed)
+    : drop_probability_(drop_probability), rng_(seed) {
+  if (drop_probability < 0.0 || drop_probability >= 1.0) {
+    throw std::invalid_argument("Dropout: probability must be in [0, 1)");
+  }
+}
+
+tensor::Tensor Dropout::forward(const tensor::Tensor& input) {
+  tensor::Tensor out(input.dims());
+  mask_ = tensor::Tensor(input.dims());
+  auto in = input.data();
+  auto m = mask_.data();
+  auto o = out.data();
+  if (!training_ || drop_probability_ == 0.0) {
+    mask_.fill(1.0);
+    std::copy(in.begin(), in.end(), o.begin());
+    return out;
+  }
+  const double keep_scale = 1.0 / (1.0 - drop_probability_);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const bool keep = rng_.uniform(0.0, 1.0) >= drop_probability_;
+    m[i] = keep ? keep_scale : 0.0;
+    o[i] = in[i] * m[i];
+  }
+  return out;
+}
+
+tensor::Tensor Dropout::backward(const tensor::Tensor& d_output) {
+  if (d_output.dims() != mask_.dims()) {
+    throw std::invalid_argument("Dropout::backward before forward");
+  }
+  tensor::Tensor d_input(d_output.dims());
+  auto g = d_output.data();
+  auto m = mask_.data();
+  auto o = d_input.data();
+  for (std::size_t i = 0; i < g.size(); ++i) o[i] = g[i] * m[i];
+  return d_input;
+}
+
+}  // namespace swdnn::dnn

@@ -1,0 +1,30 @@
+#pragma once
+// Inverted dropout with an explicit, owned RNG so training runs are
+// reproducible. In train mode each element is zeroed with probability p
+// and survivors are scaled by 1/(1-p); in eval mode it is the identity.
+
+#include "src/dnn/layer.h"
+#include "src/util/rng.h"
+
+namespace swdnn::dnn {
+
+class Dropout : public Layer {
+ public:
+  Dropout(double drop_probability, std::uint64_t seed);
+
+  std::string name() const override { return "dropout"; }
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& d_output) override;
+
+  void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+  void set_mode(bool training) override { training_ = training; }
+
+ private:
+  double drop_probability_;
+  bool training_ = true;
+  util::Rng rng_;
+  tensor::Tensor mask_;  ///< 0 or 1/(1-p) per element of the last forward
+};
+
+}  // namespace swdnn::dnn

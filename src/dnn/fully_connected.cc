@@ -1,0 +1,107 @@
+#include "src/dnn/fully_connected.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/conv/gemm.h"
+#include "src/conv/mesh_gemm_driver.h"
+
+namespace swdnn::dnn {
+
+namespace {
+tensor::Tensor flatten_to_2d(const tensor::Tensor& t) {
+  std::int64_t features = 1;
+  for (std::int64_t i = 0; i + 1 < t.rank(); ++i) features *= t.dim(i);
+  tensor::Tensor out({features, t.dim(t.rank() - 1)});
+  std::copy(t.data().begin(), t.data().end(), out.data().begin());
+  return out;
+}
+}  // namespace
+
+FullyConnected::FullyConnected(std::int64_t in_features,
+                               std::int64_t out_features, util::Rng& rng,
+                               FcBackend backend)
+    : in_features_(in_features),
+      out_features_(out_features),
+      backend_(backend),
+      weights_({out_features, in_features}),
+      bias_({out_features}),
+      d_weights_({out_features, in_features}),
+      d_bias_({out_features}) {
+  rng.fill_normal(weights_.data(), 0.0,
+                  std::sqrt(2.0 / static_cast<double>(in_features)));
+}
+
+tensor::Tensor FullyConnected::forward(const tensor::Tensor& input) {
+  in_dims_ = input.dims();
+  cached_input_ = flatten_to_2d(input);
+  if (cached_input_.dim(0) != in_features_) {
+    throw std::invalid_argument("FullyConnected: expected " +
+                                std::to_string(in_features_) +
+                                " input features, got " +
+                                std::to_string(cached_input_.dim(0)));
+  }
+  const std::int64_t batch = cached_input_.dim(1);
+  tensor::Tensor out({out_features_, batch});
+  if (backend_ == FcBackend::kSimulatedMesh) {
+    // The classifier stage is a GEMM — run it on the distributed mesh
+    // GEMM. The driver consumes the weight contraction-major ([in][out]),
+    // i.e. transposed from storage.
+    std::vector<double> w_t(
+        static_cast<std::size_t>(in_features_ * out_features_));
+    for (std::int64_t o = 0; o < out_features_; ++o) {
+      for (std::int64_t i = 0; i < in_features_; ++i) {
+        w_t[static_cast<std::size_t>(i * out_features_ + o)] =
+            weights_.at(o, i);
+      }
+    }
+    sim::MeshExecutor exec;
+    conv::mesh_gemm(exec, w_t, cached_input_.data(), out.data(),
+                    out_features_, in_features_, batch);
+  } else {
+    conv::gemm_blocked(out_features_, batch, in_features_, weights_.data(),
+                       cached_input_.data(), out.data());
+  }
+  for (std::int64_t o = 0; o < out_features_; ++o) {
+    for (std::int64_t b = 0; b < batch; ++b) out.at(o, b) += bias_.at(o);
+  }
+  return out;
+}
+
+tensor::Tensor FullyConnected::backward(const tensor::Tensor& d_output) {
+  const std::int64_t batch = cached_input_.dim(1);
+  // dW[o][i] = sum_b dOut[o][b] * x[i][b];  db[o] = sum_b dOut[o][b].
+  d_weights_.zero();
+  d_bias_.zero();
+  for (std::int64_t o = 0; o < out_features_; ++o) {
+    for (std::int64_t b = 0; b < batch; ++b) {
+      const double g = d_output.at(o, b);
+      d_bias_.at(o) += g;
+      for (std::int64_t i = 0; i < in_features_; ++i) {
+        d_weights_.at(o, i) += g * cached_input_.at(i, b);
+      }
+    }
+  }
+  // dx[i][b] = sum_o W[o][i] * dOut[o][b].
+  tensor::Tensor d_flat({in_features_, batch});
+  for (std::int64_t o = 0; o < out_features_; ++o) {
+    for (std::int64_t i = 0; i < in_features_; ++i) {
+      const double w = weights_.at(o, i);
+      for (std::int64_t b = 0; b < batch; ++b) {
+        d_flat.at(i, b) += w * d_output.at(o, b);
+      }
+    }
+  }
+  // Reshape back to the caller's input dims.
+  tensor::Tensor d_input(in_dims_);
+  std::copy(d_flat.data().begin(), d_flat.data().end(),
+            d_input.data().begin());
+  return d_input;
+}
+
+std::vector<ParamGrad> FullyConnected::params() {
+  return {ParamGrad{&weights_, &d_weights_}, ParamGrad{&bias_, &d_bias_}};
+}
+
+}  // namespace swdnn::dnn

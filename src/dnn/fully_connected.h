@@ -1,0 +1,41 @@
+#pragma once
+// Fully-connected layer over [features][B] activations (the paper's
+// classifier stage). A rank-4 [R][C][N][B] input is accepted and viewed
+// as [R*C*N][B] — row-major flattening is exactly that reshape.
+
+#include "src/dnn/layer.h"
+#include "src/util/rng.h"
+
+namespace swdnn::dnn {
+
+enum class FcBackend {
+  kHostGemm,       ///< blocked GEMM on the host
+  kSimulatedMesh,  ///< the distributed LDM-GEMM on the SW26010 simulator
+};
+
+class FullyConnected : public Layer {
+ public:
+  FullyConnected(std::int64_t in_features, std::int64_t out_features,
+                 util::Rng& rng, FcBackend backend = FcBackend::kHostGemm);
+
+  std::string name() const override { return "fc"; }
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& d_output) override;
+  std::vector<ParamGrad> params() override;
+
+  const tensor::Tensor& weights() const { return weights_; }
+  const tensor::Tensor& bias() const { return bias_; }
+
+ private:
+  std::int64_t in_features_;
+  std::int64_t out_features_;
+  FcBackend backend_;
+  tensor::Tensor weights_;  ///< [out][in]
+  tensor::Tensor bias_;     ///< [out]
+  tensor::Tensor d_weights_;
+  tensor::Tensor d_bias_;
+  tensor::Tensor cached_input_;        ///< flattened [in][B]
+  std::vector<std::int64_t> in_dims_;  ///< original input dims
+};
+
+}  // namespace swdnn::dnn

@@ -1,0 +1,47 @@
+#pragma once
+// Layer interface for the swDNN training stack.
+//
+// The paper positions swDNN as a library "to accelerate deep learning
+// applications (especially focused on the training part)", so layers
+// implement forward AND backward. Data layout between image layers is
+// the canonical [R][C][N][B]; classifier layers view activations as
+// [features][B] (the row-major flatten of the first three dims).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace swdnn::dnn {
+
+/// A trainable parameter with its gradient, as exposed to optimizers.
+struct ParamGrad {
+  tensor::Tensor* param = nullptr;
+  tensor::Tensor* grad = nullptr;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Computes the layer output; caches whatever backward() needs.
+  virtual tensor::Tensor forward(const tensor::Tensor& input) = 0;
+
+  /// Given dLoss/dOutput, accumulates parameter gradients (zeroed at
+  /// the start of each call) and returns dLoss/dInput.
+  virtual tensor::Tensor backward(const tensor::Tensor& d_output) = 0;
+
+  /// Trainable parameters (empty for activation/pooling layers).
+  virtual std::vector<ParamGrad> params() { return {}; }
+
+  /// Train/eval mode switch. Most layers ignore it; stochastic layers
+  /// (Dropout) change behaviour. Network::set_training fans it out.
+  virtual void set_mode(bool training) { (void)training; }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace swdnn::dnn

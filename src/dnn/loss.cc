@@ -1,0 +1,63 @@
+#include "src/dnn/loss.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/dnn/softmax.h"
+
+namespace swdnn::dnn {
+
+LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                 const std::vector<int>& labels) {
+  if (logits.rank() != 2 ||
+      logits.dim(1) != static_cast<std::int64_t>(labels.size())) {
+    throw std::invalid_argument(
+        "softmax_cross_entropy: logits [classes][B] with B labels");
+  }
+  const std::int64_t classes = logits.dim(0);
+  const std::int64_t batch = logits.dim(1);
+  tensor::Tensor probs = softmax_columns(logits);
+
+  LossResult result;
+  result.d_logits = tensor::Tensor({classes, batch});
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const int label = labels[static_cast<std::size_t>(b)];
+    if (label < 0 || label >= classes) {
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+    }
+    result.loss += -std::log(std::max(probs.at(label, b), 1e-300));
+    std::int64_t argmax = 0;
+    for (std::int64_t c = 1; c < classes; ++c) {
+      if (probs.at(c, b) > probs.at(argmax, b)) argmax = c;
+    }
+    if (argmax == label) ++result.correct;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      const double onehot = (c == label) ? 1.0 : 0.0;
+      result.d_logits.at(c, b) =
+          (probs.at(c, b) - onehot) / static_cast<double>(batch);
+    }
+  }
+  result.loss /= static_cast<double>(batch);
+  return result;
+}
+
+LossResult mean_squared_error(const tensor::Tensor& prediction,
+                              const tensor::Tensor& target) {
+  if (prediction.dims() != target.dims()) {
+    throw std::invalid_argument("mean_squared_error: shape mismatch");
+  }
+  LossResult result;
+  result.d_logits = tensor::Tensor(prediction.dims());
+  const auto p = prediction.data();
+  const auto t = target.data();
+  auto g = result.d_logits.data();
+  const double n = static_cast<double>(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double diff = p[i] - t[i];
+    result.loss += diff * diff / n;
+    g[i] = 2.0 * diff / n;
+  }
+  return result;
+}
+
+}  // namespace swdnn::dnn

@@ -1,0 +1,25 @@
+#pragma once
+// Losses for the training stack.
+
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace swdnn::dnn {
+
+struct LossResult {
+  double loss = 0;              ///< mean over the batch
+  tensor::Tensor d_logits;      ///< gradient w.r.t. the logits
+  std::int64_t correct = 0;     ///< argmax == label count (for accuracy)
+};
+
+/// Fused softmax + cross-entropy over [classes][B] logits. The fused
+/// gradient (p - onehot)/B avoids the softmax Jacobian.
+LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                 const std::vector<int>& labels);
+
+/// Mean squared error against a target tensor of the same shape.
+LossResult mean_squared_error(const tensor::Tensor& prediction,
+                              const tensor::Tensor& target);
+
+}  // namespace swdnn::dnn

@@ -1,0 +1,83 @@
+#include "src/dnn/lrn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace swdnn::dnn {
+
+Lrn::Lrn(std::int64_t size, double alpha, double beta, double k)
+    : size_(size), alpha_(alpha), beta_(beta), k_(k) {
+  if (size <= 0 || size % 2 == 0) {
+    throw std::invalid_argument("Lrn: window size must be odd and positive");
+  }
+}
+
+tensor::Tensor Lrn::forward(const tensor::Tensor& input) {
+  if (input.rank() != 4) {
+    throw std::invalid_argument("Lrn: expects [R][C][N][B]");
+  }
+  cached_input_ = input;
+  cached_scale_ = tensor::Tensor(input.dims());
+  tensor::Tensor out(input.dims());
+  const std::int64_t rows = input.dim(0), cols = input.dim(1),
+                     channels = input.dim(2), batch = input.dim(3);
+  const std::int64_t half = size_ / 2;
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t c = 0; c < cols; ++c)
+      for (std::int64_t b = 0; b < batch; ++b)
+        for (std::int64_t ch = 0; ch < channels; ++ch) {
+          double sum = 0;
+          const std::int64_t lo = std::max<std::int64_t>(0, ch - half);
+          const std::int64_t hi =
+              std::min<std::int64_t>(channels - 1, ch + half);
+          for (std::int64_t m = lo; m <= hi; ++m) {
+            const double v = input.at(r, c, m, b);
+            sum += v * v;
+          }
+          const double scale =
+              k_ + alpha_ / static_cast<double>(size_) * sum;
+          cached_scale_.at(r, c, ch, b) = scale;
+          out.at(r, c, ch, b) =
+              input.at(r, c, ch, b) * std::pow(scale, -beta_);
+        }
+  return out;
+}
+
+tensor::Tensor Lrn::backward(const tensor::Tensor& d_output) {
+  if (cached_input_.dims() != d_output.dims()) {
+    throw std::invalid_argument("Lrn::backward before forward");
+  }
+  // dy[n]/dx[m] = delta(n,m)*scale[n]^-beta
+  //             - 2*beta*alpha/size * x[n]*x[m]*scale[n]^{-beta-1}
+  //               (for m in window(n)).
+  tensor::Tensor d_input(d_output.dims());
+  const std::int64_t rows = d_output.dim(0), cols = d_output.dim(1),
+                     channels = d_output.dim(2), batch = d_output.dim(3);
+  const std::int64_t half = size_ / 2;
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t c = 0; c < cols; ++c)
+      for (std::int64_t b = 0; b < batch; ++b)
+        for (std::int64_t m = 0; m < channels; ++m) {
+          double grad = 0;
+          const std::int64_t lo = std::max<std::int64_t>(0, m - half);
+          const std::int64_t hi =
+              std::min<std::int64_t>(channels - 1, m + half);
+          for (std::int64_t nn = lo; nn <= hi; ++nn) {
+            const double scale = cached_scale_.at(r, c, nn, b);
+            const double g = d_output.at(r, c, nn, b);
+            if (nn == m) {
+              grad += g * std::pow(scale, -beta_);
+            }
+            grad -= g * 2.0 * beta_ * alpha_ /
+                    static_cast<double>(size_) *
+                    cached_input_.at(r, c, nn, b) *
+                    cached_input_.at(r, c, m, b) *
+                    std::pow(scale, -beta_ - 1.0);
+          }
+          d_input.at(r, c, m, b) = grad;
+        }
+  return d_input;
+}
+
+}  // namespace swdnn::dnn

@@ -1,0 +1,26 @@
+#pragma once
+// Local Response Normalization across channels (AlexNet-era):
+//   y[n] = x[n] / (k + alpha/size * sum_{m in window(n)} x[m]^2)^beta
+// over [R][C][N][B] activations, window centered on the channel axis.
+
+#include "src/dnn/layer.h"
+
+namespace swdnn::dnn {
+
+class Lrn : public Layer {
+ public:
+  explicit Lrn(std::int64_t size = 5, double alpha = 1e-4,
+               double beta = 0.75, double k = 2.0);
+
+  std::string name() const override { return "lrn"; }
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& d_output) override;
+
+ private:
+  std::int64_t size_;
+  double alpha_, beta_, k_;
+  tensor::Tensor cached_input_;
+  tensor::Tensor cached_scale_;  ///< k + alpha/size * window sum of squares
+};
+
+}  // namespace swdnn::dnn

@@ -1,0 +1,38 @@
+#include "src/dnn/network.h"
+
+namespace swdnn::dnn {
+
+Layer& Network::add(LayerPtr layer) {
+  layers_.push_back(std::move(layer));
+  return *layers_.back();
+}
+
+tensor::Tensor Network::forward(const tensor::Tensor& input) {
+  tensor::Tensor activation = input;
+  for (auto& layer : layers_) {
+    activation = layer->forward(activation);
+  }
+  return activation;
+}
+
+tensor::Tensor Network::backward(const tensor::Tensor& d_output) {
+  tensor::Tensor grad = d_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    grad = (*it)->backward(grad);
+  }
+  return grad;
+}
+
+void Network::set_training(bool training) {
+  for (auto& layer : layers_) layer->set_mode(training);
+}
+
+std::vector<ParamGrad> Network::params() {
+  std::vector<ParamGrad> all;
+  for (auto& layer : layers_) {
+    for (auto& p : layer->params()) all.push_back(p);
+  }
+  return all;
+}
+
+}  // namespace swdnn::dnn

@@ -1,0 +1,45 @@
+#pragma once
+// Sequential layer container.
+
+#include <memory>
+#include <vector>
+
+#include "src/dnn/layer.h"
+
+namespace swdnn::dnn {
+
+class Network {
+ public:
+  /// Appends a layer; returns a reference for inline configuration.
+  Layer& add(LayerPtr layer);
+
+  /// Convenience: constructs the layer in place.
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  tensor::Tensor forward(const tensor::Tensor& input);
+
+  /// Backpropagates dLoss/dOutput through every layer; parameter
+  /// gradients are left in the layers for the optimizer.
+  tensor::Tensor backward(const tensor::Tensor& d_output);
+
+  /// All trainable parameters across layers.
+  std::vector<ParamGrad> params();
+
+  /// Switches every layer between train and eval behaviour (dropout
+  /// masks on/off etc.).
+  void set_training(bool training);
+
+  std::size_t num_layers() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace swdnn::dnn

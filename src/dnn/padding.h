@@ -1,0 +1,30 @@
+#pragma once
+// Zero padding for [R][C][N][B] activations. swDNN's convolutions are
+// valid-only (the paper's configuration space); real networks keep
+// spatial size with 'same' padding — composed here as an explicit layer
+// in front of the convolution, so the kernels stay exactly the paper's.
+
+#include "src/dnn/layer.h"
+
+namespace swdnn::dnn {
+
+class ZeroPad2d : public Layer {
+ public:
+  /// Pads `top/bottom` rows and `left/right` columns of zeros.
+  ZeroPad2d(std::int64_t top, std::int64_t bottom, std::int64_t left,
+            std::int64_t right);
+
+  /// Symmetric padding on both axes ("same" for odd filters: k/2).
+  explicit ZeroPad2d(std::int64_t all)
+      : ZeroPad2d(all, all, all, all) {}
+
+  std::string name() const override { return "zeropad"; }
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& d_output) override;
+
+ private:
+  std::int64_t top_, bottom_, left_, right_;
+  std::vector<std::int64_t> input_dims_;
+};
+
+}  // namespace swdnn::dnn

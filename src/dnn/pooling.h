@@ -1,0 +1,40 @@
+#pragma once
+// Max pooling over [R][C][N][B] activations (the paper's "subsampling
+// layer"). Window = stride (non-overlapping); R and C must divide by
+// the window.
+
+#include "src/dnn/layer.h"
+
+namespace swdnn::dnn {
+
+class MaxPooling : public Layer {
+ public:
+  explicit MaxPooling(std::int64_t window = 2);
+
+  std::string name() const override { return "maxpool"; }
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& d_output) override;
+
+ private:
+  std::int64_t window_;
+  tensor::Tensor argmax_r_;  ///< winning row offset per output element
+  tensor::Tensor argmax_c_;
+  std::vector<std::int64_t> input_dims_;
+};
+
+/// Average pooling (the classic LeNet "subsampling"): same window =
+/// stride convention as MaxPooling, gradient spread uniformly.
+class AvgPooling : public Layer {
+ public:
+  explicit AvgPooling(std::int64_t window = 2);
+
+  std::string name() const override { return "avgpool"; }
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& d_output) override;
+
+ private:
+  std::int64_t window_;
+  std::vector<std::int64_t> input_dims_;
+};
+
+}  // namespace swdnn::dnn

@@ -1,0 +1,33 @@
+#include "src/dnn/relu.h"
+
+#include <stdexcept>
+
+namespace swdnn::dnn {
+
+tensor::Tensor Relu::forward(const tensor::Tensor& input) {
+  mask_ = tensor::Tensor(input.dims());
+  tensor::Tensor out(input.dims());
+  auto in = input.data();
+  auto m = mask_.data();
+  auto o = out.data();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const bool on = in[i] > 0.0;
+    m[i] = on ? 1.0 : 0.0;
+    o[i] = on ? in[i] : 0.0;
+  }
+  return out;
+}
+
+tensor::Tensor Relu::backward(const tensor::Tensor& d_output) {
+  if (d_output.dims() != mask_.dims()) {
+    throw std::invalid_argument("Relu::backward before forward");
+  }
+  tensor::Tensor d_input(d_output.dims());
+  auto d = d_output.data();
+  auto m = mask_.data();
+  auto o = d_input.data();
+  for (std::size_t i = 0; i < d.size(); ++i) o[i] = d[i] * m[i];
+  return d_input;
+}
+
+}  // namespace swdnn::dnn

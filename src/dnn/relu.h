@@ -1,0 +1,18 @@
+#pragma once
+// ReLU activation (elementwise, any tensor rank).
+
+#include "src/dnn/layer.h"
+
+namespace swdnn::dnn {
+
+class Relu : public Layer {
+ public:
+  std::string name() const override { return "relu"; }
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  tensor::Tensor backward(const tensor::Tensor& d_output) override;
+
+ private:
+  tensor::Tensor mask_;  ///< 1 where input > 0
+};
+
+}  // namespace swdnn::dnn

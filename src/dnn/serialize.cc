@@ -1,0 +1,92 @@
+#include "src/dnn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace swdnn::dnn {
+
+namespace {
+constexpr char kMagic[4] = {'S', 'W', 'D', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+void write_i64(std::ostream& out, std::int64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::int64_t read_i64(std::istream& in) {
+  std::int64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+}  // namespace
+
+void save_parameters(Network& network, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_parameters: cannot open " + path);
+
+  const auto params = network.params();
+  out.write(kMagic, sizeof(kMagic));
+  write_u32(out, kVersion);
+  write_u32(out, static_cast<std::uint32_t>(params.size()));
+  for (const auto& pg : params) {
+    write_u32(out, static_cast<std::uint32_t>(pg.param->rank()));
+    for (std::int64_t d : pg.param->dims()) write_i64(out, d);
+    const auto data = pg.param->data();
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size_bytes()));
+  }
+  if (!out) throw std::runtime_error("save_parameters: write failed");
+}
+
+void load_parameters(Network& network, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_parameters: cannot open " + path);
+
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_parameters: bad magic in " + path);
+  }
+  const std::uint32_t version = read_u32(in);
+  if (version != kVersion) {
+    throw std::runtime_error("load_parameters: unsupported version " +
+                             std::to_string(version));
+  }
+  auto params = network.params();
+  const std::uint32_t count = read_u32(in);
+  if (count != params.size()) {
+    throw std::runtime_error(
+        "load_parameters: parameter count mismatch (file " +
+        std::to_string(count) + ", network " +
+        std::to_string(params.size()) + ")");
+  }
+  for (auto& pg : params) {
+    const std::uint32_t rank = read_u32(in);
+    if (rank != static_cast<std::uint32_t>(pg.param->rank())) {
+      throw std::runtime_error("load_parameters: rank mismatch");
+    }
+    for (std::int64_t expected : pg.param->dims()) {
+      if (read_i64(in) != expected) {
+        throw std::runtime_error("load_parameters: shape mismatch");
+      }
+    }
+    auto data = pg.param->data();
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size_bytes()));
+  }
+  if (!in) throw std::runtime_error("load_parameters: truncated file");
+}
+
+}  // namespace swdnn::dnn

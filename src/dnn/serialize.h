@@ -1,0 +1,27 @@
+#pragma once
+// Parameter checkpointing: save/load every trainable tensor of a
+// network to a single binary file, so training can resume and trained
+// models ship. The format is deliberately simple and self-describing:
+//
+//   magic "SWDN" | version u32 | param count u32 |
+//   per param: rank u32, dims i64[rank], data f64[numel]
+//
+// Loading verifies the header and every shape against the live network
+// (architectures must match — this is a weight file, not a model file).
+
+#include <string>
+
+#include "src/dnn/network.h"
+
+namespace swdnn::dnn {
+
+/// Writes all parameters of the network. Throws std::runtime_error on
+/// I/O failure.
+void save_parameters(Network& network, const std::string& path);
+
+/// Reads parameters back into an identically-structured network.
+/// Throws std::runtime_error on I/O failure, bad magic/version, count
+/// mismatch, or any shape mismatch.
+void load_parameters(Network& network, const std::string& path);
+
+}  // namespace swdnn::dnn

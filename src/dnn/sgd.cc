@@ -1,0 +1,34 @@
+#include "src/dnn/sgd.h"
+
+namespace swdnn::dnn {
+
+Sgd::Sgd(double learning_rate, double momentum)
+    : learning_rate_(learning_rate), momentum_(momentum) {}
+
+tensor::Tensor& Sgd::velocity_for(tensor::Tensor* param) {
+  for (auto& [key, vel] : velocity_) {
+    if (key == param) return vel;
+  }
+  velocity_.emplace_back(param, tensor::Tensor(param->dims()));
+  return velocity_.back().second;
+}
+
+void Sgd::step(const std::vector<ParamGrad>& params) {
+  for (const auto& pg : params) {
+    auto p = pg.param->data();
+    auto g = pg.grad->data();
+    if (momentum_ == 0.0) {
+      for (std::size_t i = 0; i < p.size(); ++i) {
+        p[i] -= learning_rate_ * g[i];
+      }
+    } else {
+      auto v = velocity_for(pg.param).data();
+      for (std::size_t i = 0; i < p.size(); ++i) {
+        v[i] = momentum_ * v[i] - learning_rate_ * g[i];
+        p[i] += v[i];
+      }
+    }
+  }
+}
+
+}  // namespace swdnn::dnn

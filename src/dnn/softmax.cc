@@ -1,0 +1,55 @@
+#include "src/dnn/softmax.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace swdnn::dnn {
+
+tensor::Tensor softmax_columns(const tensor::Tensor& logits) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("softmax expects [classes][B]");
+  }
+  const std::int64_t classes = logits.dim(0);
+  const std::int64_t batch = logits.dim(1);
+  tensor::Tensor out({classes, batch});
+  for (std::int64_t b = 0; b < batch; ++b) {
+    double max_v = logits.at(0, b);
+    for (std::int64_t c = 1; c < classes; ++c) {
+      max_v = std::max(max_v, logits.at(c, b));
+    }
+    double denom = 0;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      denom += std::exp(logits.at(c, b) - max_v);
+    }
+    for (std::int64_t c = 0; c < classes; ++c) {
+      out.at(c, b) = std::exp(logits.at(c, b) - max_v) / denom;
+    }
+  }
+  return out;
+}
+
+tensor::Tensor Softmax::forward(const tensor::Tensor& logits) {
+  cached_output_ = softmax_columns(logits);
+  return cached_output_;
+}
+
+tensor::Tensor Softmax::backward(const tensor::Tensor& d_output) {
+  // dL/dz_c = y_c * (dL/dy_c - sum_k dL/dy_k * y_k), per column.
+  const std::int64_t classes = cached_output_.dim(0);
+  const std::int64_t batch = cached_output_.dim(1);
+  tensor::Tensor d_input({classes, batch});
+  for (std::int64_t b = 0; b < batch; ++b) {
+    double dot = 0;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      dot += d_output.at(c, b) * cached_output_.at(c, b);
+    }
+    for (std::int64_t c = 0; c < classes; ++c) {
+      d_input.at(c, b) =
+          cached_output_.at(c, b) * (d_output.at(c, b) - dot);
+    }
+  }
+  return d_input;
+}
+
+}  // namespace swdnn::dnn

@@ -1,0 +1,23 @@
+#pragma once
+// Column-wise softmax over [classes][B] logits.
+
+#include "src/dnn/layer.h"
+
+namespace swdnn::dnn {
+
+/// Numerically-stable softmax; usable standalone or through the fused
+/// SoftmaxCrossEntropy loss (which bypasses this layer's backward).
+class Softmax : public Layer {
+ public:
+  std::string name() const override { return "softmax"; }
+  tensor::Tensor forward(const tensor::Tensor& logits) override;
+  tensor::Tensor backward(const tensor::Tensor& d_output) override;
+
+ private:
+  tensor::Tensor cached_output_;
+};
+
+/// Free-function softmax used by the loss.
+tensor::Tensor softmax_columns(const tensor::Tensor& logits);
+
+}  // namespace swdnn::dnn

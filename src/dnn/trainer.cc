@@ -1,0 +1,80 @@
+#include "src/dnn/trainer.h"
+
+#include <cmath>
+
+#include "src/util/stopwatch.h"
+
+namespace swdnn::dnn {
+
+SyntheticBars::SyntheticBars(std::int64_t image_size, int num_classes,
+                             double noise, std::uint64_t seed)
+    : image_size_(image_size),
+      num_classes_(num_classes),
+      noise_(noise),
+      rng_(seed) {}
+
+Batch SyntheticBars::sample(std::int64_t batch) {
+  Batch out;
+  out.images = tensor::Tensor({image_size_, image_size_, 1, batch});
+  out.labels.resize(static_cast<std::size_t>(batch));
+  const double mid = static_cast<double>(image_size_ - 1) / 2.0;
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const int label =
+        static_cast<int>(rng_.uniform_int(0, num_classes_ - 1));
+    out.labels[static_cast<std::size_t>(b)] = label;
+    const double angle =
+        M_PI * static_cast<double>(label) / static_cast<double>(num_classes_);
+    const double nx = -std::sin(angle), ny = std::cos(angle);
+    for (std::int64_t r = 0; r < image_size_; ++r) {
+      for (std::int64_t c = 0; c < image_size_; ++c) {
+        // Distance of the pixel from the bar's center line.
+        const double d = std::abs((static_cast<double>(r) - mid) * nx +
+                                  (static_cast<double>(c) - mid) * ny);
+        const double value = std::exp(-d * d) + rng_.normal(0.0, noise_);
+        out.images.at(r, c, 0, b) = value;
+      }
+    }
+  }
+  return out;
+}
+
+LossResult Trainer::train_step(const Batch& batch) {
+  tensor::Tensor logits = net_.forward(batch.images);
+  LossResult loss = softmax_cross_entropy(logits, batch.labels);
+  net_.backward(loss.d_logits);
+  opt_.step(net_.params());
+  return loss;
+}
+
+EpochStats Trainer::train_epoch(SyntheticBars& data, std::int64_t batch_size,
+                                int steps) {
+  util::Stopwatch watch;
+  EpochStats stats;
+  std::int64_t correct = 0;
+  for (int s = 0; s < steps; ++s) {
+    const Batch batch = data.sample(batch_size);
+    const LossResult loss = train_step(batch);
+    stats.mean_loss += loss.loss;
+    correct += loss.correct;
+  }
+  stats.mean_loss /= static_cast<double>(steps);
+  stats.accuracy = static_cast<double>(correct) /
+                   static_cast<double>(steps * batch_size);
+  stats.seconds = watch.elapsed_seconds();
+  return stats;
+}
+
+double Trainer::evaluate(SyntheticBars& data, std::int64_t batch_size,
+                         int batches) {
+  std::int64_t correct = 0;
+  for (int s = 0; s < batches; ++s) {
+    const Batch batch = data.sample(batch_size);
+    tensor::Tensor logits = net_.forward(batch.images);
+    const LossResult loss = softmax_cross_entropy(logits, batch.labels);
+    correct += loss.correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(batches * batch_size);
+}
+
+}  // namespace swdnn::dnn

@@ -1,0 +1,48 @@
+#pragma once
+// Ring all-reduce across simulated nodes.
+//
+// The paper's introduction frames swDNN inside large-scale parallel
+// DNN training ("the increasing adoption of large-scale GPU clusters
+// ... there are still algorithmic difficulties for scaling the training
+// process"); a TaihuLight deployment shards the batch across nodes and
+// averages gradients every step. This module provides that substrate:
+// a functional ring all-reduce over in-memory buffers plus the standard
+// cost model (2(N-1)/N * bytes at link bandwidth + per-step latency) so
+// the examples can report communication budgets alongside compute.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace swdnn::parallel {
+
+enum class ReduceOp { kSum, kAverage };
+
+/// Reduces `buffers` (all the same length) element-wise in place: after
+/// the call every buffer holds the reduction. Implemented as the
+/// standard two-phase ring (reduce-scatter, then all-gather) over
+/// N = buffers.size() ranks so the data movement matches what the cost
+/// model charges; the result is identical to a tree reduction up to
+/// f64 rounding (the ring fixes the summation order, so the call is
+/// deterministic).
+void ring_allreduce(std::vector<std::span<double>> buffers,
+                    ReduceOp op = ReduceOp::kSum);
+
+struct InterconnectSpec {
+  double link_bandwidth_gbs = 8.0;  ///< per-direction node link (TaihuLight
+                                    ///< network: ~8 GB/s injection per node)
+  double hop_latency_us = 1.0;      ///< per ring step software+switch latency
+};
+
+/// Seconds one ring all-reduce of `bytes` takes across `nodes`:
+/// 2*(N-1) steps moving bytes/N each.
+double ring_allreduce_seconds(std::int64_t bytes, int nodes,
+                              const InterconnectSpec& spec = {});
+
+/// Parallel efficiency of data-parallel training: compute time per step
+/// vs compute + all-reduce of the gradient bytes.
+double data_parallel_efficiency(double compute_seconds,
+                                std::int64_t gradient_bytes, int nodes,
+                                const InterconnectSpec& spec = {});
+
+}  // namespace swdnn::parallel

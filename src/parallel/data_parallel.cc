@@ -1,0 +1,88 @@
+#include "src/parallel/data_parallel.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace swdnn::parallel {
+
+DataParallelTrainer::DataParallelTrainer(
+    int nodes,
+    const std::function<std::unique_ptr<dnn::Network>()>& make_replica,
+    double learning_rate, double momentum, InterconnectSpec interconnect)
+    : interconnect_(interconnect) {
+  if (nodes <= 0) {
+    throw std::invalid_argument("DataParallelTrainer: nodes must be >= 1");
+  }
+  for (int node = 0; node < nodes; ++node) {
+    replicas_.push_back(make_replica());
+    optimizers_.emplace_back(learning_rate, momentum);
+  }
+}
+
+DataParallelTrainer::StepResult DataParallelTrainer::train_step(
+    const std::vector<dnn::Batch>& shards) {
+  if (shards.size() != replicas_.size()) {
+    throw std::invalid_argument(
+        "DataParallelTrainer: one shard per node required");
+  }
+  StepResult result;
+  std::int64_t total_samples = 0;
+
+  // Local forward/backward per node.
+  for (std::size_t node = 0; node < replicas_.size(); ++node) {
+    const dnn::Batch& shard = shards[node];
+    const tensor::Tensor logits = replicas_[node]->forward(shard.images);
+    const dnn::LossResult loss =
+        dnn::softmax_cross_entropy(logits, shard.labels);
+    replicas_[node]->backward(loss.d_logits);
+    const auto samples = static_cast<std::int64_t>(shard.labels.size());
+    result.loss += loss.loss * static_cast<double>(samples);
+    result.correct += loss.correct;
+    total_samples += samples;
+  }
+  result.loss /= static_cast<double>(total_samples);
+
+  // Gradient all-reduce (average), parameter by parameter.
+  std::int64_t bytes = 0;
+  const std::size_t num_params = replicas_[0]->params().size();
+  for (std::size_t p = 0; p < num_params; ++p) {
+    std::vector<std::span<double>> grads;
+    grads.reserve(replicas_.size());
+    for (auto& replica : replicas_) {
+      grads.push_back(replica->params()[p].grad->data());
+    }
+    bytes += static_cast<std::int64_t>(grads[0].size_bytes());
+    ring_allreduce(grads, ReduceOp::kAverage);
+  }
+  result.comm_seconds = ring_allreduce_seconds(
+      bytes, static_cast<int>(replicas_.size()), interconnect_);
+
+  // Identical update everywhere.
+  for (std::size_t node = 0; node < replicas_.size(); ++node) {
+    optimizers_[node].step(replicas_[node]->params());
+  }
+  return result;
+}
+
+double DataParallelTrainer::max_replica_divergence() {
+  double worst = 0;
+  const auto reference = replicas_[0]->params();
+  for (std::size_t node = 1; node < replicas_.size(); ++node) {
+    const auto params = replicas_[node]->params();
+    for (std::size_t p = 0; p < params.size(); ++p) {
+      worst = std::max(worst,
+                       reference[p].param->max_abs_diff(*params[p].param));
+    }
+  }
+  return worst;
+}
+
+std::int64_t DataParallelTrainer::gradient_bytes() {
+  std::int64_t bytes = 0;
+  for (const auto& pg : replicas_[0]->params()) {
+    bytes += pg.grad->size() * 8;
+  }
+  return bytes;
+}
+
+}  // namespace swdnn::parallel

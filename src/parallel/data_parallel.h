@@ -1,0 +1,64 @@
+#pragma once
+// Data-parallel training across simulated nodes.
+//
+// Each node holds a full replica of the network and computes gradients
+// on its shard of the batch; a ring all-reduce averages the gradients;
+// every replica applies the same update and stays bit-identical — the
+// standard synchronous-SGD scheme a TaihuLight-scale deployment of
+// swDNN would run, with the communication budget reported through the
+// interconnect cost model.
+//
+// Replicas must be constructed identically (same architecture, same
+// seed); synchronize() can assert and repair drift.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/dnn/loss.h"
+#include "src/dnn/network.h"
+#include "src/dnn/sgd.h"
+#include "src/dnn/trainer.h"
+#include "src/parallel/allreduce.h"
+
+namespace swdnn::parallel {
+
+class DataParallelTrainer {
+ public:
+  /// `make_replica` is called once per node and must produce identical
+  /// networks (construct with the same seed).
+  DataParallelTrainer(int nodes,
+                      const std::function<std::unique_ptr<dnn::Network>()>&
+                          make_replica,
+                      double learning_rate, double momentum = 0.0,
+                      InterconnectSpec interconnect = {});
+
+  int nodes() const { return static_cast<int>(replicas_.size()); }
+  dnn::Network& replica(int node) { return *replicas_.at(
+      static_cast<std::size_t>(node)); }
+
+  /// One synchronous step: per-node forward/backward on its shard,
+  /// gradient all-reduce (average), identical optimizer step on every
+  /// replica. `shards` must have one batch per node. Returns the
+  /// sample-weighted mean loss plus this step's modeled communication
+  /// time.
+  struct StepResult {
+    double loss = 0;
+    std::int64_t correct = 0;
+    double comm_seconds = 0;
+  };
+  StepResult train_step(const std::vector<dnn::Batch>& shards);
+
+  /// Largest parameter divergence across replicas (0 when in sync).
+  double max_replica_divergence();
+
+  /// Bytes all-reduced per step (all parameters).
+  std::int64_t gradient_bytes();
+
+ private:
+  std::vector<std::unique_ptr<dnn::Network>> replicas_;
+  std::vector<dnn::Sgd> optimizers_;
+  InterconnectSpec interconnect_;
+};
+
+}  // namespace swdnn::parallel

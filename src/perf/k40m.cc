@@ -1,0 +1,69 @@
+#include "src/perf/k40m.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace swdnn::perf {
+
+namespace {
+
+// Base efficiency at cuDNN's DP sweet spot (3x3 filters, channel counts
+// matching its GEMM tiles): the paper's "best efficiency on K40m is
+// around 40%".
+constexpr double kBaseEfficiency = 0.40;
+
+// Penalty for channel counts off cuDNN's DP GEMM tile multiples. The
+// lowered matrix dimensions are products of Ni/No with the filter area;
+// counts that are not multiples of the 128/64/32 tile edges leave tail
+// tiles underfilled.
+double channel_alignment(std::int64_t channels) {
+  if (channels % 128 == 0) return 1.00;
+  if (channels % 64 == 0) return 0.80;
+  if (channels % 32 == 0) return 0.80;
+  if (channels % 16 == 0) return 0.65;
+  return 0.50;
+}
+
+// Large filters blow up the im2col working set (Kr*Kc columns per
+// pixel) and push cuDNN's DP path off its tuned kernels; in double
+// precision there is no Winograd/FFT escape hatch. Linear-denominator
+// decay fitted so speedup reaches ~9.75x at 21x21 (Fig. 9).
+double filter_size_factor(std::int64_t kr, std::int64_t kc) {
+  const double k = static_cast<double>(kr + kc) / 2.0;
+  if (k <= 3.0) return 1.0;
+  return 1.0 / (1.0 + 0.105 * (k - 3.0));
+}
+
+// cuDNN's heuristic kernel selection makes throughput jumpy between
+// adjacent configurations ("not like cuDNN, our program is stable under
+// different parameter configurations"). Deterministic per-shape jitter
+// in [0.85, 1.0].
+double selection_jitter(const conv::ConvShape& s) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (std::int64_t v : {s.batch, s.ni, s.no, s.ri, s.ci, s.kr, s.kc}) {
+    h ^= static_cast<std::uint64_t>(v) + 0x9e3779b97f4a7c15ull + (h << 6) +
+         (h >> 2);
+  }
+  const double unit =
+      static_cast<double>(h % 10000) / 10000.0;  // [0, 1)
+  return 0.85 + 0.15 * unit;
+}
+
+}  // namespace
+
+K40mCudnnModel::K40mCudnnModel(const K40mSpec& spec) : spec_(spec) {}
+
+double K40mCudnnModel::efficiency(const conv::ConvShape& shape) const {
+  double eff = kBaseEfficiency;
+  eff *= channel_alignment(shape.ni);
+  eff *= channel_alignment(shape.no);
+  eff *= filter_size_factor(shape.kr, shape.kc);
+  eff *= selection_jitter(shape);
+  return std::clamp(eff, 0.04, 0.42);
+}
+
+double K40mCudnnModel::conv_gflops(const conv::ConvShape& shape) const {
+  return efficiency(shape) * spec_.dp_boost_gflops;
+}
+
+}  // namespace swdnn::perf

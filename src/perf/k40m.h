@@ -1,0 +1,48 @@
+#pragma once
+// Baseline envelope model: cuDNNv5 double-precision convolution on a
+// Tesla K40m.
+//
+// The paper's Figures 7 and 9 plot measured cuDNNv5.1 throughput on a
+// K40m against swDNN. We have no K40m; the paper reports only the
+// envelope of the baseline, so this model is calibrated to exactly the
+// published envelope facts:
+//   * best efficiency ~40% of peak, reached "only for a small set of
+//     parameter configurations" (Section VII / VIII);
+//   * throughput is unstable across configurations (unlike swDNN);
+//   * large filters degrade sharply (Fig. 9's widening gap: speedups
+//     grow toward 9.75x at 21x21);
+//   * channel counts off cuDNN's tile sizes degrade (the jagged Fig. 7
+//     series; overall speedup range 1.91x - 9.75x).
+//
+// K40m: GK110B, 1.43 Tflops DP at base clock, 1.66 with GPU Boost,
+// 240 GB/s (the paper quotes the K40's bandwidth when comparing).
+// Every constant is documented at its definition; the Fig. 7/9 benches
+// print this model as the "cuDNNv5 (K40m, modeled)" series.
+
+#include "src/conv/shape.h"
+
+namespace swdnn::perf {
+
+struct K40mSpec {
+  double dp_peak_gflops = 1430.0;   ///< base clock
+  double dp_boost_gflops = 1660.0;  ///< GPU Boost ceiling
+  double mem_bandwidth_gbs = 240.0;
+};
+
+class K40mCudnnModel {
+ public:
+  explicit K40mCudnnModel(const K40mSpec& spec = K40mSpec{});
+
+  /// Modeled fraction of boost peak cuDNNv5 reaches for this shape.
+  double efficiency(const conv::ConvShape& shape) const;
+
+  /// Modeled throughput in Gflop/s.
+  double conv_gflops(const conv::ConvShape& shape) const;
+
+  const K40mSpec& spec() const { return spec_; }
+
+ private:
+  K40mSpec spec_;
+};
+
+}  // namespace swdnn::perf

@@ -1,0 +1,109 @@
+#include "src/perf/plan.h"
+
+#include <algorithm>
+
+namespace swdnn::perf {
+
+const char* plan_kind_name(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kDirect:
+      return "direct";
+    case PlanKind::kImageSizeAware:
+      return "img";
+    case PlanKind::kBatchSizeAware:
+      return "batch";
+  }
+  return "?";
+}
+
+std::string ConvPlan::to_string() const {
+  std::string s = plan_kind_name(kind);
+  if (kind == PlanKind::kImageSizeAware) {
+    s += "(bB=" + std::to_string(block_b) + ",bCo=" + std::to_string(block_co) +
+         ")";
+  } else if (kind == PlanKind::kBatchSizeAware) {
+    s += "(bCo=" + std::to_string(block_co) + ")";
+  }
+  if (block_ni > 0) s += "-bNi" + std::to_string(block_ni);
+  if (!use_register_comm) s += "-noregcomm";
+  if (!double_buffer) s += "-nodb";
+  if (!reordered_pipeline) s += "-noreorder";
+  return s;
+}
+
+std::int64_t ldm_bytes_required(const conv::ConvShape& shape,
+                                const ConvPlan& plan,
+                                const arch::Sw26010Spec& spec) {
+  const std::int64_t ds = 8;
+  const std::int64_t rows = spec.mesh_rows;
+  const std::int64_t cols = spec.mesh_cols;
+  const std::int64_t cpes = rows * cols;
+
+  auto ceil_div = [](std::int64_t a, std::int64_t b) {
+    return (a + b - 1) / b;
+  };
+
+  if (plan.kind == PlanKind::kDirect) {
+    // gload keeps nothing resident beyond registers.
+    return 0;
+  }
+
+  // Per-CPE channel shares: bNi/8 input channels per mesh column, No/8
+  // output channels per column of the filter distribution.
+  const std::int64_t bni =
+      plan.block_ni > 0 ? std::min(plan.block_ni, shape.ni) : shape.ni;
+  const std::int64_t ni_share = ceil_div(bni, rows);
+  const std::int64_t no_share = ceil_div(shape.no, cols);
+
+  std::int64_t in_tile = 0, w_tile = 0, out_tile = 0;
+  if (plan.kind == PlanKind::kImageSizeAware) {
+    const std::int64_t b_share = ceil_div(plan.block_b, rows);
+    // The input tile always carries the Kc-1 column halo: the sliding
+    // window of line 6 of Algorithm 1 touches bCo+Kc-1 columns.
+    const std::int64_t co_tile = plan.block_co + shape.kc - 1;
+    in_tile = co_tile * ni_share * b_share;
+    w_tile = ni_share * no_share;  // one (kc, kr) slice
+    out_tile = plan.block_co * no_share * b_share;
+  } else {  // batch-size-aware
+    const std::int64_t b_share = ceil_div(shape.batch, rows);
+    // One input pixel column of all channels/batches at a time.
+    in_tile = ni_share * b_share;
+    const std::int64_t w_slices = plan.promote_filter_dma ? shape.kc : 1;
+    w_tile = ni_share * no_share * w_slices;
+    out_tile = plan.block_co * no_share * b_share;
+  }
+
+  // Double buffering applies to the streamed operand tiles (input and
+  // filter); the output tile is an accumulator, written back once per
+  // step, so it has no second buffer.
+  const std::int64_t buffers = plan.double_buffer ? 2 : 1;
+  (void)cpes;
+  return ds * (buffers * (in_tile + w_tile) + out_tile);
+}
+
+bool plan_feasible(const conv::ConvShape& shape, const ConvPlan& plan,
+                   const arch::Sw26010Spec& spec) {
+  if (plan.kind == PlanKind::kDirect) return true;
+  if (plan.block_co <= 0 || plan.block_co > shape.co()) return false;
+  if (plan.kind == PlanKind::kImageSizeAware) {
+    if (plan.block_b <= 0 || plan.block_b > shape.batch) return false;
+    if (shape.batch % plan.block_b != 0) return false;
+  }
+  if (plan.block_ni != 0) {
+    if (plan.block_ni <= 0 || plan.block_ni > shape.ni ||
+        shape.ni % plan.block_ni != 0) {
+      return false;
+    }
+  }
+  if (plan.rb_b <= 0 || plan.rb_no <= 0) return false;
+  if (plan.rb_b % 4 != 0) return false;  // rb_b/4 vectors of 4 lanes
+  // Register budget: rb_b/4 image vectors + rb_no filter vectors +
+  // (rb_b/4)*rb_no accumulators must fit the 32-entry vector file.
+  const std::int64_t vregs =
+      plan.rb_b / 4 + plan.rb_no + (plan.rb_b / 4) * plan.rb_no;
+  if (vregs > 32) return false;
+  return ldm_bytes_required(shape, plan, spec) <=
+         static_cast<std::int64_t>(spec.ldm_bytes - spec.ldm_reserved_bytes);
+}
+
+}  // namespace swdnn::perf

@@ -1,0 +1,73 @@
+#pragma once
+// Convolution execution plans (the knobs Sections IV-VI expose).
+//
+// A plan fixes: the loop transformation (image-size-aware Algorithm 1 or
+// batch-size-aware Algorithm 2, or the direct-gload strawman), the LDM
+// blocking sizes, the register blocking, and the optimization toggles
+// (register communication, double buffering, reordered pipeline, DMA
+// promotion). The performance model scores plans; the chooser picks the
+// best feasible one; the functional kernels execute them.
+
+#include <cstdint>
+#include <string>
+
+#include "src/arch/spec.h"
+#include "src/conv/shape.h"
+
+namespace swdnn::perf {
+
+enum class PlanKind {
+  kDirect,          ///< gload straight from memory (Fig. 2 middle column)
+  kImageSizeAware,  ///< Algorithm 1: block on Co and B
+  kBatchSizeAware,  ///< Algorithm 2: stream pixels, amortize over B
+};
+
+const char* plan_kind_name(PlanKind kind);
+
+struct ConvPlan {
+  PlanKind kind = PlanKind::kImageSizeAware;
+
+  // LDM blocking (Section IV). block_b is bB (image plan only; the
+  // batch plan streams the full batch). block_co is bCo for both plans
+  // (the batch plan also tiles its output columns to fit LDM).
+  std::int64_t block_b = 32;
+  std::int64_t block_co = 16;
+
+  // Input-channel blocking bNi (0 = the full Ni). "If LDM space is not
+  // enough for large Ni or No, we still need to apply loop blocking on
+  // these dimensions" (§IV) — without it no plan fits Ni=No=384. The
+  // level-1 mesh kernels execute only unblocked-Ni plans; the model
+  // handles both.
+  std::int64_t block_ni = 0;
+
+  // Register blocking (Section V-B / Eq. 5). rb_b batch elements
+  // (rb_b/4 vectors) by rb_no output channels are held in registers.
+  std::int64_t rb_b = 16;
+  std::int64_t rb_no = 4;
+
+  // Optimization toggles (each is an ablation axis).
+  bool use_register_comm = true;   ///< Section V-A mesh data sharing
+  bool double_buffer = true;       ///< overlap DMA with compute
+  bool reordered_pipeline = true;  ///< Section VI instruction schedule
+  bool promote_input_dma = false;  ///< Alg 1: hoist input get over Kc
+  bool promote_filter_dma = false; ///< Alg 2: hoist filter get over cCi
+
+  std::string to_string() const;
+};
+
+/// Per-CPE LDM footprint in bytes for running `plan` on `shape` with the
+/// paper's mesh data distribution (each CPE holds 1/64 of every tile:
+/// Ni/8 input channels on its column, No/8 output channels, B/8 or bB/8
+/// of the batch on its row). Double buffering doubles the streamed
+/// tiles. Promotion enlarges the hoisted tile.
+std::int64_t ldm_bytes_required(const conv::ConvShape& shape,
+                                const ConvPlan& plan,
+                                const arch::Sw26010Spec& spec);
+
+/// True when the plan's tiles fit in the 64 KB LDM and its blocking
+/// divides cleanly enough to execute (see implementation for the exact
+/// divisibility rules).
+bool plan_feasible(const conv::ConvShape& shape, const ConvPlan& plan,
+                   const arch::Sw26010Spec& spec);
+
+}  // namespace swdnn::perf

@@ -1,0 +1,43 @@
+#include "src/sim/dma.h"
+
+#include <cmath>
+
+namespace swdnn::sim {
+
+std::uint64_t DmaEngine::record(std::uint64_t bytes, std::int64_t block_bytes,
+                                perf::DmaDirection dir, bool aligned) {
+  const double bw_gbs = perf::dma_table().bandwidth_gbs(block_bytes, dir,
+                                                        aligned);
+  // bytes / (GB/s) = ns; cycles = ns * GHz. The Table II bandwidth is a
+  // per-core-group aggregate, so the cycles computed here represent the
+  // engine-occupancy share of this request.
+  const double ns = static_cast<double>(bytes) / bw_gbs;
+  const auto cycles =
+      static_cast<std::uint64_t>(std::ceil(ns * spec_.cpe_clock_ghz));
+
+  if (dir == perf::DmaDirection::kGet) {
+    get_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  } else {
+    put_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (!aligned) misaligned_.fetch_add(1, std::memory_order_relaxed);
+  total_cycles_.fetch_add(cycles, std::memory_order_relaxed);
+  return cycles;
+}
+
+DmaTotals DmaEngine::totals() const {
+  DmaTotals t;
+  t.get_bytes = get_bytes_.load();
+  t.put_bytes = put_bytes_.load();
+  t.requests = requests_.load();
+  t.misaligned_requests = misaligned_.load();
+  return t;
+}
+
+double DmaEngine::modeled_seconds() const {
+  return static_cast<double>(total_cycles_.load()) /
+         (spec_.cpe_clock_ghz * 1e9);
+}
+
+}  // namespace swdnn::sim

@@ -1,0 +1,55 @@
+#pragma once
+// DMA engine model shared by one simulated core group.
+//
+// Functionally a DMA request is a (possibly strided) copy between a
+// host-side "global memory" span and a CPE's LDM buffer. For timing, each
+// request is charged cycles from the Table II effective-bandwidth curve
+// based on its contiguous block size, alignment, and direction — this is
+// the quantity the paper's performance model calls MBW(MEM->LDM).
+//
+// The engine itself only accounts; the data movement is performed by the
+// caller (CpeContext) so the functional path stays a plain memcpy. All
+// counters are atomics: 64 CPE threads record concurrently.
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/arch/spec.h"
+#include "src/perf/dma_table.h"
+
+namespace swdnn::sim {
+
+struct DmaTotals {
+  std::uint64_t get_bytes = 0;
+  std::uint64_t put_bytes = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t misaligned_requests = 0;
+};
+
+class DmaEngine {
+ public:
+  explicit DmaEngine(const arch::Sw26010Spec& spec) : spec_(spec) {}
+
+  /// Records one request and returns its cost in CPE cycles. The block
+  /// size determines effective bandwidth; the whole `bytes` payload is
+  /// charged at that bandwidth. `aligned` reflects the 128 B rule.
+  std::uint64_t record(std::uint64_t bytes, std::int64_t block_bytes,
+                       perf::DmaDirection dir, bool aligned);
+
+  DmaTotals totals() const;
+
+  /// Seconds the recorded traffic needs on one core group, assuming the
+  /// per-CG DMA engine serializes across CPEs at the effective
+  /// bandwidth (the Table II numbers are already per-CG aggregates).
+  double modeled_seconds() const;
+
+ private:
+  arch::Sw26010Spec spec_;  // by value: callers may pass temporaries
+  std::atomic<std::uint64_t> get_bytes_{0};
+  std::atomic<std::uint64_t> put_bytes_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> misaligned_{0};
+  std::atomic<std::uint64_t> total_cycles_{0};
+};
+
+}  // namespace swdnn::sim

@@ -1,0 +1,195 @@
+#include "src/sim/executor.h"
+
+#include "src/arch/isa.h"
+
+#include <barrier>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace swdnn::sim {
+
+CpeContext::CpeContext(MeshExecutor& exec, CpeMesh& mesh, DmaEngine& dma,
+                       int row, int col)
+    : exec_(exec), mesh_(mesh), dma_(dma), row_(row), col_(col) {}
+
+namespace {
+// Trace helper: logical timeline = the CPE's compute-cycle counter.
+void trace_event(MeshExecutor& exec, CpeCell& cell, int cpe,
+                 const char* category, std::string name,
+                 std::uint64_t duration_cycles) {
+  if (EventTracer* tracer = exec.tracer()) {
+    const std::uint64_t now = cell.compute_cycles.load();
+    tracer->record(cpe, category, std::move(name), now,
+                   now + duration_cycles);
+  }
+}
+}  // namespace
+
+void CpeContext::dma_get(std::span<const double> src, std::span<double> dst) {
+  const std::int64_t bytes = static_cast<std::int64_t>(src.size_bytes());
+  const std::uint64_t cost =
+      dma_.record(src.size_bytes(), bytes, perf::DmaDirection::kGet,
+                  block_aligned(bytes));
+  trace_event(exec_, cell(), id(), "dma",
+              "get " + std::to_string(bytes) + "B", cost);
+  std::copy(src.begin(), src.end(), dst.begin());
+}
+
+void CpeContext::dma_put(std::span<const double> src, std::span<double> dst) {
+  const std::int64_t bytes = static_cast<std::int64_t>(src.size_bytes());
+  const std::uint64_t cost =
+      dma_.record(src.size_bytes(), bytes, perf::DmaDirection::kPut,
+                  block_aligned(bytes));
+  trace_event(exec_, cell(), id(), "dma",
+              "put " + std::to_string(bytes) + "B", cost);
+  std::copy(src.begin(), src.end(), dst.begin());
+}
+
+void CpeContext::dma_get_strided(const double* src_base, std::int64_t nblocks,
+                                 std::int64_t block_elems,
+                                 std::int64_t stride_elems,
+                                 std::span<double> dst) {
+  const std::int64_t block_bytes = block_elems * 8;
+  const std::uint64_t cost = dma_.record(
+      static_cast<std::uint64_t>(nblocks * block_bytes), block_bytes,
+      perf::DmaDirection::kGet, block_aligned(block_bytes));
+  trace_event(exec_, cell(), id(), "dma",
+              "get-strided " + std::to_string(nblocks) + "x" +
+                  std::to_string(block_bytes) + "B",
+              cost);
+  for (std::int64_t b = 0; b < nblocks; ++b) {
+    const double* src = src_base + b * stride_elems;
+    std::copy(src, src + block_elems, dst.begin() + b * block_elems);
+  }
+}
+
+void CpeContext::dma_put_strided(std::span<const double> src, double* dst_base,
+                                 std::int64_t nblocks,
+                                 std::int64_t block_elems,
+                                 std::int64_t stride_elems) {
+  const std::int64_t block_bytes = block_elems * 8;
+  const std::uint64_t cost = dma_.record(
+      static_cast<std::uint64_t>(nblocks * block_bytes), block_bytes,
+      perf::DmaDirection::kPut, block_aligned(block_bytes));
+  trace_event(exec_, cell(), id(), "dma",
+              "put-strided " + std::to_string(nblocks) + "x" +
+                  std::to_string(block_bytes) + "B",
+              cost);
+  for (std::int64_t b = 0; b < nblocks; ++b) {
+    std::copy(src.begin() + b * block_elems,
+              src.begin() + (b + 1) * block_elems, dst_base + b * stride_elems);
+  }
+}
+
+void CpeContext::put_row(int dst_col, const Vec4& value) {
+  mesh_.cell(row_, dst_col).row_buffer.put(value);
+  cell().regcomm_messages.fetch_add(1, std::memory_order_relaxed);
+  charge_cycles(1);  // a put issues in one cycle on P1
+}
+
+void CpeContext::put_col(int dst_row, const Vec4& value) {
+  mesh_.cell(dst_row, col_).col_buffer.put(value);
+  cell().regcomm_messages.fetch_add(1, std::memory_order_relaxed);
+  charge_cycles(1);
+}
+
+void CpeContext::bcast_row(const Vec4& value) {
+  trace_event(exec_, cell(), id(), "bus", "bcast-row", 1);
+  for (int c = 0; c < mesh_.cols(); ++c) {
+    if (c == col_) continue;
+    mesh_.cell(row_, c).row_buffer.put(value);
+  }
+  // Hardware multicast: one bus transaction regardless of fan-out.
+  cell().regcomm_messages.fetch_add(
+      static_cast<std::uint64_t>(mesh_.cols() - 1),
+      std::memory_order_relaxed);
+  charge_cycles(1);
+}
+
+void CpeContext::bcast_col(const Vec4& value) {
+  trace_event(exec_, cell(), id(), "bus", "bcast-col", 1);
+  for (int r = 0; r < mesh_.rows(); ++r) {
+    if (r == row_) continue;
+    mesh_.cell(r, col_).col_buffer.put(value);
+  }
+  cell().regcomm_messages.fetch_add(
+      static_cast<std::uint64_t>(mesh_.rows() - 1),
+      std::memory_order_relaxed);
+  charge_cycles(1);
+}
+
+Vec4 CpeContext::get_row() {
+  charge_cycles(static_cast<std::uint64_t>(
+      arch::op_info(arch::Opcode::kGetr).latency_cycles));
+  return cell().row_buffer.get();
+}
+
+Vec4 CpeContext::get_col() {
+  charge_cycles(static_cast<std::uint64_t>(
+      arch::op_info(arch::Opcode::kGetc).latency_cycles));
+  return cell().col_buffer.get();
+}
+
+void CpeContext::sync() {
+  trace_event(exec_, cell(), id(), "sync", "barrier", 1);
+  auto* barrier = static_cast<std::barrier<>*>(exec_.barrier_);
+  barrier->arrive_and_wait();
+}
+
+void CpeContext::charge_flops(std::uint64_t flops) {
+  cell().flops.fetch_add(flops, std::memory_order_relaxed);
+  const auto per_cycle =
+      static_cast<std::uint64_t>(spec().flops_per_cycle_per_cpe());
+  cell().compute_cycles.fetch_add((flops + per_cycle - 1) / per_cycle,
+                                  std::memory_order_relaxed);
+}
+
+void CpeContext::charge_cycles(std::uint64_t cycles) {
+  cell().compute_cycles.fetch_add(cycles, std::memory_order_relaxed);
+}
+
+MeshExecutor::MeshExecutor(const arch::Sw26010Spec& spec) : spec_(spec) {}
+
+LaunchStats MeshExecutor::run(const Kernel& kernel) {
+  CpeMesh mesh(spec_);
+  DmaEngine dma(spec_);
+  std::barrier<> barrier(mesh.num_cpes());
+  barrier_ = &barrier;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(mesh.num_cpes()));
+  for (int r = 0; r < mesh.rows(); ++r) {
+    for (int c = 0; c < mesh.cols(); ++c) {
+      threads.emplace_back([this, &mesh, &dma, &kernel, r, c] {
+        CpeContext ctx(*this, mesh, dma, r, c);
+        try {
+          kernel(ctx);
+        } catch (const std::exception& e) {
+          // A throwing CPE kernel cannot be unwound safely: peers may be
+          // blocked on the barrier or on transfer buffers this CPE feeds.
+          std::fprintf(stderr,
+                       "fatal: CPE(%d,%d) kernel threw: %s\n", r, c, e.what());
+          std::abort();
+        }
+      });
+    }
+  }
+  for (auto& t : threads) t.join();
+  barrier_ = nullptr;
+
+  LaunchStats stats;
+  stats.max_compute_cycles = mesh.max_compute_cycles();
+  stats.total_flops = mesh.total_flops();
+  stats.regcomm_messages = mesh.total_regcomm_messages();
+  stats.dma = dma.totals();
+  stats.dma_seconds = dma.modeled_seconds();
+  stats.compute_seconds = static_cast<double>(stats.max_compute_cycles) /
+                          (spec_.cpe_clock_ghz * 1e9);
+  return stats;
+}
+
+}  // namespace swdnn::sim

@@ -1,0 +1,168 @@
+#pragma once
+// SPMD kernel launcher for the simulated CPE mesh.
+//
+// A "kernel" is a callable executed once per CPE, each on its own host
+// thread — the same single-program-multiple-data shape as real athread
+// kernels on SW26010. The CpeContext a kernel receives exposes exactly
+// the machine resources the paper's kernels use:
+//
+//   * its mesh coordinates,
+//   * its private LDM (capacity-enforced),
+//   * DMA get/put between "global memory" (host spans) and LDM,
+//   * register communication over the row/column buses,
+//   * a mesh-wide barrier (the athread sync),
+//   * cycle-accounting hooks for compute work.
+//
+// Functional correctness never depends on the accounting; timing
+// counters only feed the statistics block returned by run().
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "src/arch/spec.h"
+#include "src/sim/dma.h"
+#include "src/sim/mesh.h"
+#include "src/sim/trace.h"
+
+namespace swdnn::sim {
+
+class MeshExecutor;
+
+class CpeContext {
+ public:
+  CpeContext(MeshExecutor& exec, CpeMesh& mesh, DmaEngine& dma, int row,
+             int col);
+
+  // --- Identity ------------------------------------------------------
+  int row() const { return row_; }
+  int col() const { return col_; }
+  int id() const { return row_ * mesh_.cols() + col_; }
+  int mesh_rows() const { return mesh_.rows(); }
+  int mesh_cols() const { return mesh_.cols(); }
+  const arch::Sw26010Spec& spec() const { return mesh_.spec(); }
+
+  // --- LDM -------------------------------------------------------------
+  LdmAllocator& ldm() { return cell().ldm; }
+
+  // --- DMA (functional copy + Table II cost accounting) ----------------
+  /// Contiguous MEM -> LDM transfer. dst.size() must equal src.size().
+  void dma_get(std::span<const double> src, std::span<double> dst);
+
+  /// Contiguous LDM -> MEM transfer.
+  void dma_put(std::span<const double> src, std::span<double> dst);
+
+  /// Strided gather: copies `nblocks` runs of `block_elems` doubles,
+  /// source runs separated by `stride_elems`, packed densely into dst.
+  /// The DMA cost uses `block_elems` as the per-block size — exactly why
+  /// the paper's layouts fight for large leading dimensions.
+  void dma_get_strided(const double* src_base, std::int64_t nblocks,
+                       std::int64_t block_elems, std::int64_t stride_elems,
+                       std::span<double> dst);
+
+  /// Strided scatter (inverse of dma_get_strided).
+  void dma_put_strided(std::span<const double> src, double* dst_base,
+                       std::int64_t nblocks, std::int64_t block_elems,
+                       std::int64_t stride_elems);
+
+  // --- Register communication ------------------------------------------
+  /// Sends one 256-bit register to CPE(row(), dst_col) over the row bus.
+  void put_row(int dst_col, const Vec4& value);
+
+  /// Sends one 256-bit register to CPE(dst_row, col()) over the column
+  /// bus.
+  void put_col(int dst_row, const Vec4& value);
+
+  /// Broadcasts to every other CPE on this row / column (the hardware
+  /// multicast the vldr/vldc-based kernels rely on).
+  void bcast_row(const Vec4& value);
+  void bcast_col(const Vec4& value);
+
+  /// Receives the next message from this CPE's row/column transfer
+  /// buffer (blocking).
+  Vec4 get_row();
+  Vec4 get_col();
+
+  // --- Synchronization ---------------------------------------------------
+  /// Mesh-wide barrier.
+  void sync();
+
+  // --- Timing hooks -------------------------------------------------------
+  /// Charges `flops` of fully-vectorized FMA work (8 flop/cycle).
+  void charge_flops(std::uint64_t flops);
+
+  /// Charges raw cycles (for non-vector or bookkeeping work).
+  void charge_cycles(std::uint64_t cycles);
+
+  std::uint64_t compute_cycles() const { return cell().compute_cycles; }
+
+ private:
+  CpeCell& cell() { return mesh_.cell(row_, col_); }
+  const CpeCell& cell() const { return mesh_.cell(row_, col_); }
+  bool block_aligned(std::int64_t bytes) const {
+    return bytes % static_cast<std::int64_t>(spec().dma_alignment_bytes) == 0;
+  }
+
+  MeshExecutor& exec_;
+  CpeMesh& mesh_;
+  DmaEngine& dma_;
+  int row_;
+  int col_;
+};
+
+/// Aggregate results of one kernel launch.
+struct LaunchStats {
+  std::uint64_t max_compute_cycles = 0;  ///< slowest CPE's compute cycles
+  std::uint64_t total_flops = 0;
+  std::uint64_t regcomm_messages = 0;    ///< 256-bit bus messages
+  DmaTotals dma;
+  double dma_seconds = 0;      ///< Table II-costed DMA engine occupancy
+  double compute_seconds = 0;  ///< max_compute_cycles / clock
+
+  /// End-to-end model. With double buffering DMA overlaps compute, so
+  /// the launch takes max(compute, dma); without, they serialize.
+  double modeled_seconds(bool overlap = true) const {
+    return overlap ? std::max(compute_seconds, dma_seconds)
+                   : compute_seconds + dma_seconds;
+  }
+
+  /// Modeled throughput in Gflop/s for this launch.
+  double modeled_gflops(bool overlap = true) const {
+    const double s = modeled_seconds(overlap);
+    return s > 0 ? static_cast<double>(total_flops) / s / 1e9 : 0.0;
+  }
+
+  /// Bytes that travelled over register-communication buses instead of
+  /// memory (the §V-A "order of magnitude" saving shows up here).
+  std::uint64_t regcomm_bytes() const { return regcomm_messages * 32; }
+};
+
+class MeshExecutor {
+ public:
+  using Kernel = std::function<void(CpeContext&)>;
+
+  explicit MeshExecutor(const arch::Sw26010Spec& spec = arch::default_spec());
+
+  /// Launches `kernel` once per CPE (one host thread each), waits for
+  /// all to finish, and returns the aggregated statistics. Any exception
+  /// escaping a kernel aborts the process with a diagnostic: a throwing
+  /// kernel is a programming error, and unwinding one thread of a mesh
+  /// that others are blocked on cannot be done safely.
+  LaunchStats run(const Kernel& kernel);
+
+  const arch::Sw26010Spec& spec() const { return spec_; }
+
+  /// Attaches an event tracer; every subsequent launch records its DMA,
+  /// bus, and barrier events into it. Pass nullptr to detach. The
+  /// tracer must outlive the launches it observes.
+  void set_tracer(EventTracer* tracer) { tracer_ = tracer; }
+  EventTracer* tracer() const { return tracer_; }
+
+ private:
+  friend class CpeContext;
+  arch::Sw26010Spec spec_;  // by value: callers may pass temporaries
+  void* barrier_ = nullptr;  // set during run(); see executor.cc
+  EventTracer* tracer_ = nullptr;
+};
+
+}  // namespace swdnn::sim

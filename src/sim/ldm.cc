@@ -1,0 +1,30 @@
+#include "src/sim/ldm.h"
+
+#include <string>
+
+namespace swdnn::sim {
+
+LdmOverflow::LdmOverflow(std::size_t requested, std::size_t used,
+                         std::size_t capacity)
+    : std::runtime_error("LDM overflow: request of " +
+                         std::to_string(requested) + " bytes with " +
+                         std::to_string(used) + "/" +
+                         std::to_string(capacity) + " bytes in use") {}
+
+LdmAllocator::LdmAllocator(std::size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes),
+      arena_(new double[capacity_bytes / sizeof(double) + 1]) {}
+
+std::span<double> LdmAllocator::alloc_doubles(std::size_t count) {
+  const std::size_t bytes = count * sizeof(double);
+  if (used_bytes_ + bytes > capacity_bytes_) {
+    throw LdmOverflow(bytes, used_bytes_, capacity_bytes_);
+  }
+  double* base = arena_.get() + used_bytes_ / sizeof(double);
+  used_bytes_ += bytes;
+  return {base, count};
+}
+
+void LdmAllocator::reset() { used_bytes_ = 0; }
+
+}  // namespace swdnn::sim

@@ -1,0 +1,47 @@
+#pragma once
+// Per-CPE Local Directive Memory (LDM / scratch-pad) model.
+//
+// Each CPE owns 64 KB of software-managed fast memory. Kernels must
+// explicitly place every buffer they use into LDM; this allocator
+// enforces the capacity so that a blocking plan that would not fit on
+// real silicon also fails in simulation (the LDM footprint check is a
+// load-bearing part of the paper's Section IV blocking analysis).
+//
+// The allocator is a bump allocator: kernels allocate at launch and
+// reset between invocations, mirroring how the real library lays out
+// its double-buffered tiles once per layer call.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <stdexcept>
+
+namespace swdnn::sim {
+
+class LdmOverflow : public std::runtime_error {
+ public:
+  LdmOverflow(std::size_t requested, std::size_t used, std::size_t capacity);
+};
+
+class LdmAllocator {
+ public:
+  explicit LdmAllocator(std::size_t capacity_bytes);
+
+  /// Allocates `count` doubles (8-byte aligned by construction). Throws
+  /// LdmOverflow when the arena would exceed its capacity.
+  std::span<double> alloc_doubles(std::size_t count);
+
+  /// Releases everything allocated so far.
+  void reset();
+
+  std::size_t bytes_used() const { return used_bytes_; }
+  std::size_t bytes_capacity() const { return capacity_bytes_; }
+  std::size_t bytes_free() const { return capacity_bytes_ - used_bytes_; }
+
+ private:
+  std::size_t capacity_bytes_;
+  std::size_t used_bytes_ = 0;
+  std::unique_ptr<double[]> arena_;
+};
+
+}  // namespace swdnn::sim

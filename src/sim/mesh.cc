@@ -1,0 +1,33 @@
+#include "src/sim/mesh.h"
+
+namespace swdnn::sim {
+
+CpeMesh::CpeMesh(const arch::Sw26010Spec& spec)
+    : spec_(spec), rows_(spec.mesh_rows), cols_(spec.mesh_cols) {
+  cells_.reserve(static_cast<std::size_t>(rows_) * cols_);
+  for (int i = 0; i < rows_ * cols_; ++i) {
+    cells_.push_back(std::make_unique<CpeCell>(spec));
+  }
+}
+
+std::uint64_t CpeMesh::max_compute_cycles() const {
+  std::uint64_t best = 0;
+  for (const auto& c : cells_) {
+    best = std::max(best, c->compute_cycles.load());
+  }
+  return best;
+}
+
+std::uint64_t CpeMesh::total_flops() const {
+  std::uint64_t total = 0;
+  for (const auto& c : cells_) total += c->flops.load();
+  return total;
+}
+
+std::uint64_t CpeMesh::total_regcomm_messages() const {
+  std::uint64_t total = 0;
+  for (const auto& c : cells_) total += c->regcomm_messages.load();
+  return total;
+}
+
+}  // namespace swdnn::sim

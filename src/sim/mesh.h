@@ -1,0 +1,71 @@
+#pragma once
+// The 8x8 CPE mesh state for one simulated core group.
+//
+// Each cell owns its LDM arena, its two receive-side transfer buffers
+// (row bus and column bus), and its timing counters. The mesh is built
+// fresh for every kernel launch; geometry comes from the machine spec so
+// tests can run reduced meshes (e.g. 2x2 or 4x4, as the paper itself
+// does when illustrating Fig. 3).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/arch/spec.h"
+#include "src/sim/ldm.h"
+#include "src/sim/regcomm.h"
+
+namespace swdnn::sim {
+
+struct CpeCell {
+  explicit CpeCell(const arch::Sw26010Spec& spec)
+      : ldm(spec.ldm_bytes),
+        row_buffer(spec.transfer_buffer_slots),
+        col_buffer(spec.transfer_buffer_slots) {}
+
+  LdmAllocator ldm;
+  TransferBuffer row_buffer;  ///< messages arriving over the row bus
+  TransferBuffer col_buffer;  ///< messages arriving over the column bus
+
+  std::atomic<std::uint64_t> compute_cycles{0};
+  std::atomic<std::uint64_t> flops{0};
+  std::atomic<std::uint64_t> regcomm_messages{0};
+};
+
+class CpeMesh {
+ public:
+  explicit CpeMesh(const arch::Sw26010Spec& spec);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int num_cpes() const { return rows_ * cols_; }
+
+  CpeCell& cell(int row, int col) { return *cells_[index(row, col)]; }
+  const CpeCell& cell(int row, int col) const {
+    return *cells_[index(row, col)];
+  }
+  CpeCell& cell_by_id(int id) { return *cells_[id]; }
+
+  const arch::Sw26010Spec& spec() const { return spec_; }
+
+  /// Largest per-CPE compute cycle count (the mesh finishes when its
+  /// slowest CPE does).
+  std::uint64_t max_compute_cycles() const;
+
+  /// Sum of flops executed by all CPEs.
+  std::uint64_t total_flops() const;
+
+  /// Total register-communication messages (256-bit each).
+  std::uint64_t total_regcomm_messages() const;
+
+ private:
+  int index(int row, int col) const { return row * cols_ + col; }
+
+  arch::Sw26010Spec spec_;  // by value: callers may pass temporaries
+  int rows_;
+  int cols_;
+  std::vector<std::unique_ptr<CpeCell>> cells_;
+};
+
+}  // namespace swdnn::sim

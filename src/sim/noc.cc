@@ -1,0 +1,68 @@
+#include "src/sim/noc.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace swdnn::sim {
+
+std::vector<RowPartition> partition_output_rows(std::int64_t total_rows,
+                                                int num_parts) {
+  if (num_parts <= 0 || total_rows <= 0) {
+    throw std::invalid_argument("partition_output_rows: bad arguments");
+  }
+  std::vector<RowPartition> parts;
+  parts.reserve(static_cast<std::size_t>(num_parts));
+  const std::int64_t base = total_rows / num_parts;
+  const std::int64_t rem = total_rows % num_parts;
+  std::int64_t cursor = 0;
+  for (int p = 0; p < num_parts; ++p) {
+    const std::int64_t len = base + (p < rem ? 1 : 0);
+    parts.push_back(RowPartition{cursor, cursor + len});
+    cursor += len;
+  }
+  return parts;
+}
+
+double MultiCgStats::modeled_seconds(bool overlap) const {
+  double slowest = 0;
+  for (const auto& s : per_cg) {
+    slowest = std::max(slowest, s.modeled_seconds(overlap));
+  }
+  return slowest + launch_overhead_seconds;
+}
+
+std::uint64_t MultiCgStats::total_flops() const {
+  std::uint64_t total = 0;
+  for (const auto& s : per_cg) total += s.total_flops;
+  return total;
+}
+
+double MultiCgStats::scaling_speedup(bool overlap) const {
+  double serial = 0;
+  for (const auto& s : per_cg) serial += s.modeled_seconds(overlap);
+  const double parallel = modeled_seconds(overlap);
+  return parallel > 0 ? serial / parallel : 0.0;
+}
+
+NocSystem::NocSystem(const arch::Sw26010Spec& spec,
+                     double launch_overhead_seconds)
+    : spec_(spec), launch_overhead_seconds_(launch_overhead_seconds) {}
+
+MultiCgStats NocSystem::run_partitioned(
+    std::int64_t total_output_rows, int num_cgs,
+    const std::function<MeshExecutor::Kernel(int, RowPartition)>&
+        make_kernel) {
+  if (num_cgs < 1 || num_cgs > spec_.num_core_groups) {
+    throw std::invalid_argument("run_partitioned: bad core-group count");
+  }
+  const auto parts = partition_output_rows(total_output_rows, num_cgs);
+  MultiCgStats stats;
+  stats.launch_overhead_seconds = launch_overhead_seconds_;
+  MeshExecutor exec(spec_);
+  for (int cg = 0; cg < num_cgs; ++cg) {
+    stats.per_cg.push_back(exec.run(make_kernel(cg, parts[cg])));
+  }
+  return stats;
+}
+
+}  // namespace swdnn::sim

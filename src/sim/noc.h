@@ -1,0 +1,70 @@
+#pragma once
+// Multi-core-group (NoC) scaling support.
+//
+// An SW26010 chip has four core groups joined by a network-on-chip. The
+// paper's scaling scheme (Section III-D) partitions the output images
+// into four parts along the row dimension, one per CG; each CG owns its
+// memory controller so partitions stream independently, and filters live
+// in the shared memory space. We reproduce that: the partition math, a
+// functional runner that executes one mesh launch per partition, and the
+// scaling model (per-CG time + a fixed launch overhead).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/sim/executor.h"
+
+namespace swdnn::sim {
+
+struct RowPartition {
+  std::int64_t begin = 0;  ///< first output row owned by this CG
+  std::int64_t end = 0;    ///< one past the last output row
+  std::int64_t rows() const { return end - begin; }
+};
+
+/// Splits `total_rows` into `num_parts` near-equal contiguous ranges
+/// (earlier parts take the remainder, matching the paper's row split).
+std::vector<RowPartition> partition_output_rows(std::int64_t total_rows,
+                                                int num_parts);
+
+struct MultiCgStats {
+  std::vector<LaunchStats> per_cg;
+  double launch_overhead_seconds = 0;
+
+  /// CGs run concurrently: chip time = slowest CG + launch overhead.
+  double modeled_seconds(bool overlap = true) const;
+
+  /// Aggregate flops across CGs.
+  std::uint64_t total_flops() const;
+
+  double modeled_gflops(bool overlap = true) const {
+    const double s = modeled_seconds(overlap);
+    return s > 0 ? static_cast<double>(total_flops()) / s / 1e9 : 0.0;
+  }
+
+  /// Speedup over running everything on one CG serially.
+  double scaling_speedup(bool overlap = true) const;
+};
+
+class NocSystem {
+ public:
+  explicit NocSystem(const arch::Sw26010Spec& spec = arch::default_spec(),
+                     double launch_overhead_seconds = 2e-6);
+
+  /// Runs `make_kernel(cg, partition)` on each core group's mesh. The
+  /// simulation executes CGs sequentially (the host is one machine) but
+  /// the stats model them as concurrent.
+  MultiCgStats run_partitioned(
+      std::int64_t total_output_rows, int num_cgs,
+      const std::function<MeshExecutor::Kernel(int, RowPartition)>&
+          make_kernel);
+
+  const arch::Sw26010Spec& spec() const { return spec_; }
+
+ private:
+  arch::Sw26010Spec spec_;  // by value: callers may pass temporaries
+  double launch_overhead_seconds_;
+};
+
+}  // namespace swdnn::sim

@@ -1,0 +1,28 @@
+#include "src/sim/regcomm.h"
+
+namespace swdnn::sim {
+
+void TransferBuffer::put(const Vec4& value) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_full_.wait(lock, [this] { return queue_.size() < capacity_; });
+  queue_.push_back(value);
+  lock.unlock();
+  not_empty_.notify_one();
+}
+
+Vec4 TransferBuffer::get() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [this] { return !queue_.empty(); });
+  Vec4 value = queue_.front();
+  queue_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return value;
+}
+
+std::size_t TransferBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace swdnn::sim

@@ -1,0 +1,69 @@
+#pragma once
+// Register communication: 256-bit messages over row/column buses.
+//
+// SW26010's CPE mesh has 8 row buses and 8 column buses. A sender Puts a
+// 256-bit register into the Transfer Buffer of a receiver on its own
+// row/column; the receiver Gets it into its register file. Put blocks
+// when the receiver's buffer is full, Get blocks when it is empty —
+// exactly the producer-consumer discipline the paper describes. The
+// hardware also offers row/column broadcast, which the vldr/vldc-based
+// kernels use (Section V-C).
+//
+// The simulator implements a TransferBuffer as a bounded MPSC queue. A
+// CPE owns two receive buffers: one fed by its row bus, one by its
+// column bus. Message order on one bus is FIFO per sender and, because a
+// bus serializes, FIFO globally per buffer.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+namespace swdnn::sim {
+
+/// One 256-bit vector register: 4 doubles.
+struct Vec4 {
+  double lane[4] = {0, 0, 0, 0};
+
+  static Vec4 splat(double v) { return Vec4{{v, v, v, v}}; }
+
+  Vec4& fma(const Vec4& a, const Vec4& b) {
+    for (int i = 0; i < 4; ++i) lane[i] += a.lane[i] * b.lane[i];
+    return *this;
+  }
+  Vec4 operator+(const Vec4& o) const {
+    Vec4 r;
+    for (int i = 0; i < 4; ++i) r.lane[i] = lane[i] + o.lane[i];
+    return r;
+  }
+  Vec4 operator*(const Vec4& o) const {
+    Vec4 r;
+    for (int i = 0; i < 4; ++i) r.lane[i] = lane[i] * o.lane[i];
+    return r;
+  }
+};
+
+class TransferBuffer {
+ public:
+  explicit TransferBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Blocking bounded push (sender side of a bus Put).
+  void put(const Vec4& value);
+
+  /// Blocking pop (receiver's Get into its register file).
+  Vec4 get();
+
+  /// Number of messages currently buffered (for tests).
+  std::size_t size() const;
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Vec4> queue_;
+};
+
+}  // namespace swdnn::sim

@@ -1,0 +1,62 @@
+#include "src/sim/trace.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace swdnn::sim {
+
+void EventTracer::record(int cpe, std::string category, std::string name,
+                         std::uint64_t begin_cycle,
+                         std::uint64_t end_cycle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(TraceEvent{cpe, std::move(category), std::move(name),
+                               begin_cycle, end_cycle});
+}
+
+std::vector<TraceEvent> EventTracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t EventTracer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void EventTracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+std::string EventTracer::to_chrome_json(double clock_ghz) const {
+  const double cycles_to_us = 1.0 / (clock_ghz * 1e3);
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const TraceEvent& e : events_) {
+    if (!first) out << ",";
+    first = false;
+    const double ts = static_cast<double>(e.begin_cycle) * cycles_to_us;
+    const double dur =
+        static_cast<double>(e.end_cycle - e.begin_cycle) * cycles_to_us;
+    out << "{\"name\":\"" << e.name << "\",\"cat\":\"" << e.category
+        << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << e.cpe << ",\"ts\":" << ts
+        << ",\"dur\":" << dur << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+void EventTracer::write_chrome_json(const std::string& path,
+                                    double clock_ghz) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("EventTracer: cannot open " + path);
+  }
+  out << to_chrome_json(clock_ghz);
+  if (!out) throw std::runtime_error("EventTracer: write failed");
+}
+
+}  // namespace swdnn::sim

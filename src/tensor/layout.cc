@@ -1,0 +1,92 @@
+#include "src/tensor/layout.h"
+
+#include <stdexcept>
+
+namespace swdnn::tensor {
+
+namespace {
+void require_rank4_b_mod4(const Tensor& t) {
+  if (t.rank() != 4) {
+    throw std::invalid_argument("layout transform expects rank-4 tensor");
+  }
+  if (t.dim(3) % 4 != 0) {
+    throw std::invalid_argument("batch dimension must be divisible by 4");
+  }
+}
+}  // namespace
+
+Tensor to_image_size_aware(const Tensor& canonical) {
+  require_rank4_b_mod4(canonical);
+  const std::int64_t R = canonical.dim(0), C = canonical.dim(1),
+                     N = canonical.dim(2), B = canonical.dim(3);
+  Tensor out({B / 4, N, R, C, 4});
+  for (std::int64_t r = 0; r < R; ++r)
+    for (std::int64_t c = 0; c < C; ++c)
+      for (std::int64_t n = 0; n < N; ++n)
+        for (std::int64_t b = 0; b < B; ++b)
+          out.at(b / 4, n, r, c, b % 4) = canonical.at(r, c, n, b);
+  return out;
+}
+
+Tensor to_batch_size_aware(const Tensor& canonical) {
+  require_rank4_b_mod4(canonical);
+  const std::int64_t R = canonical.dim(0), C = canonical.dim(1),
+                     N = canonical.dim(2), B = canonical.dim(3);
+  Tensor out({N, R, C, B / 4, 4});
+  for (std::int64_t r = 0; r < R; ++r)
+    for (std::int64_t c = 0; c < C; ++c)
+      for (std::int64_t n = 0; n < N; ++n)
+        for (std::int64_t b = 0; b < B; ++b)
+          out.at(n, r, c, b / 4, b % 4) = canonical.at(r, c, n, b);
+  return out;
+}
+
+Tensor from_image_size_aware(const Tensor& v) {
+  if (v.rank() != 5 || v.dim(4) != 4) {
+    throw std::invalid_argument("expected [B/4][N][R][C][4] tensor");
+  }
+  const std::int64_t Bq = v.dim(0), N = v.dim(1), R = v.dim(2), C = v.dim(3);
+  Tensor out({R, C, N, Bq * 4});
+  for (std::int64_t bq = 0; bq < Bq; ++bq)
+    for (std::int64_t n = 0; n < N; ++n)
+      for (std::int64_t r = 0; r < R; ++r)
+        for (std::int64_t c = 0; c < C; ++c)
+          for (std::int64_t l = 0; l < 4; ++l)
+            out.at(r, c, n, bq * 4 + l) = v.at(bq, n, r, c, l);
+  return out;
+}
+
+Tensor from_batch_size_aware(const Tensor& v) {
+  if (v.rank() != 5 || v.dim(4) != 4) {
+    throw std::invalid_argument("expected [N][R][C][B/4][4] tensor");
+  }
+  const std::int64_t N = v.dim(0), R = v.dim(1), C = v.dim(2), Bq = v.dim(3);
+  Tensor out({R, C, N, Bq * 4});
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t r = 0; r < R; ++r)
+      for (std::int64_t c = 0; c < C; ++c)
+        for (std::int64_t bq = 0; bq < Bq; ++bq)
+          for (std::int64_t l = 0; l < 4; ++l)
+            out.at(r, c, n, bq * 4 + l) = v.at(n, r, c, bq, l);
+  return out;
+}
+
+std::int64_t leading_block_bytes(ConvLayout layout, std::int64_t batch,
+                                 std::int64_t block_co,
+                                 std::int64_t elem_bytes) {
+  switch (layout) {
+    case ConvLayout::kCanonicalRCNB:
+      // One (channel, pixel) slice: B contiguous elements.
+      return batch * elem_bytes;
+    case ConvLayout::kImageSizeAware:
+      // Each CPE fetches bCo columns x one vector row: bCo*4 elements,
+      // and consecutive batch-quads extend the run to bCo*batch.
+      return block_co * batch * elem_bytes;
+    case ConvLayout::kBatchSizeAware:
+      // One pixel of all batches: B contiguous elements.
+      return batch * elem_bytes;
+  }
+  return batch * elem_bytes;
+}
+
+}  // namespace swdnn::tensor

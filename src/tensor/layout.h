@@ -1,0 +1,50 @@
+#pragma once
+// Convolution tensor layouts.
+//
+// Canonical layouts (what the reference kernels index):
+//   input  : [Ri][Ci][Ni][B]   (row, column, channel, batch)
+//   filter : [Kr][Kc][Ni][No]
+//   output : [Ro][Co][No][B]
+// Batch is innermost so that 4 consecutive batch elements form one
+// 256-bit vector — the vectorization axis chosen in Section V-C.
+//
+// Vectorization-oriented layouts (paper Section V-C, leading dimension
+// written first as in the paper, i.e. fastest-varying first):
+//   image-size-aware : (4, C, R, N, B/4)  -> row-major [B/4][N][R][C][4]
+//   batch-size-aware : (4, B/4, C, R, N)  -> row-major [N][R][C][B/4][4]
+// The "4" is a batch sub-vector: element (r,c,n,b) lives in lane b%4 of
+// vector b/4. These transforms are what the DMA descriptors of
+// Algorithms 1 and 2 assume: they make the blocks each CPE fetches
+// contiguous and >= 256 B so the DMA engine runs near peak (Table II).
+
+#include "src/tensor/tensor.h"
+
+namespace swdnn::tensor {
+
+enum class ConvLayout {
+  kCanonicalRCNB,    ///< [R][C][N][B]
+  kImageSizeAware,   ///< (4, C, R, N, B/4)
+  kBatchSizeAware,   ///< (4, B/4, C, R, N)
+};
+
+/// Converts a canonical [R][C][N][B] tensor to the image-size-aware
+/// layout. B must be divisible by 4.
+Tensor to_image_size_aware(const Tensor& canonical);
+
+/// Converts a canonical [R][C][N][B] tensor to the batch-size-aware
+/// layout. B must be divisible by 4.
+Tensor to_batch_size_aware(const Tensor& canonical);
+
+/// Inverse transforms (exact round-trips).
+Tensor from_image_size_aware(const Tensor& vectorized);
+Tensor from_batch_size_aware(const Tensor& vectorized);
+
+/// The contiguous-block size in bytes that a single CPE's DMA request
+/// covers under each layout, given the blocking parameters. Used by the
+/// performance model to look up effective bandwidth in the Table II
+/// curve.
+std::int64_t leading_block_bytes(ConvLayout layout, std::int64_t batch,
+                                 std::int64_t block_co,
+                                 std::int64_t elem_bytes = 8);
+
+}  // namespace swdnn::tensor

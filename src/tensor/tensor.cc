@@ -1,0 +1,80 @@
+#include "src/tensor/tensor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace swdnn::tensor {
+
+Tensor::Tensor(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+  if (dims_.empty() || dims_.size() > 5) {
+    throw std::invalid_argument("Tensor rank must be 1..5");
+  }
+  for (std::int64_t d : dims_) {
+    if (d <= 0) throw std::invalid_argument("Tensor dims must be positive");
+  }
+  init_strides();
+  const std::int64_t total = std::accumulate(
+      dims_.begin(), dims_.end(), std::int64_t{1}, std::multiplies<>());
+  data_.assign(static_cast<std::size_t>(total), 0.0);
+}
+
+Tensor::Tensor(std::initializer_list<std::int64_t> dims)
+    : Tensor(std::vector<std::int64_t>(dims)) {}
+
+void Tensor::init_strides() {
+  strides_.assign(dims_.size(), 1);
+  for (std::int64_t i = static_cast<std::int64_t>(dims_.size()) - 2; i >= 0;
+       --i) {
+    strides_[i] = strides_[i + 1] * dims_[i + 1];
+  }
+}
+
+std::int64_t Tensor::offset(std::initializer_list<std::int64_t> idx) const {
+  assert(idx.size() == dims_.size());
+  std::int64_t off = 0;
+  std::int64_t axis = 0;
+  for (std::int64_t i : idx) {
+    assert(i >= 0 && i < dims_[axis]);
+    off += i * strides_[axis];
+    ++axis;
+  }
+  return off;
+}
+
+void Tensor::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+bool Tensor::allclose(const Tensor& other, double rtol, double atol) const {
+  if (dims_ != other.dims_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const double diff = std::abs(data_[i] - other.data_[i]);
+    if (diff > atol + rtol * std::abs(other.data_[i])) return false;
+  }
+  return true;
+}
+
+double Tensor::max_abs_diff(const Tensor& other) const {
+  if (dims_ != other.dims_) {
+    throw std::invalid_argument("max_abs_diff: dims mismatch");
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+std::string Tensor::shape_string() const {
+  std::string s = "Tensor[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) s += "x";
+    s += std::to_string(dims_[i]);
+  }
+  return s + "]";
+}
+
+}  // namespace swdnn::tensor

@@ -1,0 +1,92 @@
+#pragma once
+// Dense row-major double tensors.
+//
+// swDNN evaluates everything in double precision (the SW26010 FP units do
+// not gain from narrower types — Section VII), so the tensor type is a
+// concrete f64 container rather than a template. Dimensions are dynamic
+// (rank 1..5) because the library moves between 4-D canonical layouts and
+// the 5-D vectorization-oriented layouts of Section V-C.
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace swdnn::tensor {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a zero-initialized tensor with the given dimensions.
+  explicit Tensor(std::vector<std::int64_t> dims);
+  Tensor(std::initializer_list<std::int64_t> dims);
+
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+  std::int64_t rank() const { return static_cast<std::int64_t>(dims_.size()); }
+  std::int64_t dim(std::int64_t i) const { return dims_.at(i); }
+  std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
+
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+
+  /// Row-major strides (elements, not bytes).
+  const std::vector<std::int64_t>& strides() const { return strides_; }
+
+  // Bounds-checked in debug builds only; the variadic forms are the hot
+  // accessors used by the reference kernels.
+  double& at(std::int64_t i0) { return data_[offset({i0})]; }
+  double& at(std::int64_t i0, std::int64_t i1) { return data_[offset({i0, i1})]; }
+  double& at(std::int64_t i0, std::int64_t i1, std::int64_t i2) {
+    return data_[offset({i0, i1, i2})];
+  }
+  double& at(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+             std::int64_t i3) {
+    return data_[offset({i0, i1, i2, i3})];
+  }
+  double& at(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+             std::int64_t i3, std::int64_t i4) {
+    return data_[offset({i0, i1, i2, i3, i4})];
+  }
+  double at(std::int64_t i0) const { return data_[offset({i0})]; }
+  double at(std::int64_t i0, std::int64_t i1) const {
+    return data_[offset({i0, i1})];
+  }
+  double at(std::int64_t i0, std::int64_t i1, std::int64_t i2) const {
+    return data_[offset({i0, i1, i2})];
+  }
+  double at(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+            std::int64_t i3) const {
+    return data_[offset({i0, i1, i2, i3})];
+  }
+  double at(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+            std::int64_t i3, std::int64_t i4) const {
+    return data_[offset({i0, i1, i2, i3, i4})];
+  }
+
+  /// Flat offset of a multi-index (row-major).
+  std::int64_t offset(std::initializer_list<std::int64_t> idx) const;
+
+  void fill(double value);
+  void zero() { fill(0.0); }
+
+  /// True if dims match and every element differs by <= atol + rtol*|b|.
+  bool allclose(const Tensor& other, double rtol = 1e-10,
+                double atol = 1e-12) const;
+
+  /// Largest absolute elementwise difference (dims must match).
+  double max_abs_diff(const Tensor& other) const;
+
+  /// "Tensor[4x8x8x2]"-style debug string.
+  std::string shape_string() const;
+
+ private:
+  std::vector<std::int64_t> dims_;
+  std::vector<std::int64_t> strides_;
+  std::vector<double> data_;
+
+  void init_strides();
+};
+
+}  // namespace swdnn::tensor

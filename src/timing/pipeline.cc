@@ -1,0 +1,126 @@
+#include "src/timing/pipeline.h"
+
+#include <algorithm>
+#include <array>
+
+namespace swdnn::timing {
+
+namespace {
+
+constexpr int kMaxRegisters = 256;
+
+bool is_branch(const arch::Instruction& inst) {
+  return inst.op == arch::Opcode::kBranch;
+}
+
+bool can_fill_p0(const arch::Instruction& inst) {
+  const auto cls = arch::op_info(inst.op).pipeline;
+  return cls == arch::PipelineClass::kP0Only ||
+         cls == arch::PipelineClass::kEither;
+}
+
+bool can_fill_p1(const arch::Instruction& inst) {
+  const auto cls = arch::op_info(inst.op).pipeline;
+  return cls == arch::PipelineClass::kP1Only ||
+         cls == arch::PipelineClass::kEither;
+}
+
+/// True when `younger` has a RAW or WAW hazard on `older`.
+bool pair_hazard(const arch::Instruction& older,
+                 const arch::Instruction& younger) {
+  if (older.dst >= 0) {
+    if (younger.src0 == older.dst || younger.src1 == older.dst ||
+        younger.src2 == older.dst) {
+      return true;  // RAW
+    }
+    if (younger.dst == older.dst) return true;  // WAW
+  }
+  return false;
+}
+
+struct Scoreboard {
+  std::array<std::uint64_t, kMaxRegisters> ready_at{};  // zero = ready
+
+  bool operands_ready(const arch::Instruction& inst,
+                      std::uint64_t cycle) const {
+    for (int r : {inst.src0, inst.src1, inst.src2}) {
+      if (r >= 0 && ready_at[static_cast<std::size_t>(r)] > cycle) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void retire(const arch::Instruction& inst, std::uint64_t issue_cycle) {
+    if (inst.dst >= 0) {
+      ready_at[static_cast<std::size_t>(inst.dst)] =
+          issue_cycle +
+          static_cast<std::uint64_t>(arch::op_info(inst.op).latency_cycles);
+    }
+  }
+};
+
+}  // namespace
+
+DualPipelineSimulator::DualPipelineSimulator(const arch::Sw26010Spec& spec)
+    : spec_(spec) {}
+
+SimResult DualPipelineSimulator::simulate(
+    const arch::InstructionStream& stream, IssueTrace* trace) const {
+  SimResult result;
+  Scoreboard board;
+  std::size_t next = 0;
+  std::uint64_t cycle = 0;
+
+  while (next < stream.size()) {
+    ++cycle;
+    const arch::Instruction& older = stream[next];
+    if (!board.operands_ready(older, cycle)) {
+      ++result.stall_cycles;
+      continue;
+    }
+
+    board.retire(older, cycle);
+    if (older.op == arch::Opcode::kVfmad) ++result.vfmad_count;
+    result.cycles = cycle;
+    const std::size_t older_index = next;
+    ++next;
+
+    // Try to dual-issue the next instruction into the P1 slot (older
+    // fills P0). Control transfers always issue alone.
+    bool paired = false;
+    if (!is_branch(older) && can_fill_p0(older) && next < stream.size()) {
+      const arch::Instruction& younger = stream[next];
+      if (!is_branch(younger) && can_fill_p1(younger) &&
+          !pair_hazard(older, younger) &&
+          board.operands_ready(younger, cycle)) {
+        board.retire(younger, cycle);
+        if (younger.op == arch::Opcode::kVfmad) ++result.vfmad_count;
+        ++result.issued_p0;  // older took the P0 slot
+        ++result.issued_p1;  // younger took the P1 slot
+        ++result.dual_issue_cycles;
+        if (trace) {
+          trace->push_back({cycle, older_index, '0'});
+          trace->push_back({cycle, next, '1'});
+        }
+        ++next;
+        paired = true;
+      }
+    }
+    if (!paired) {
+      // Issued alone: a P0-only op occupies P0; anything else (memory,
+      // control, scalar) occupies P1 so P0 stays free for FP work.
+      const bool on_p0 =
+          arch::op_info(older.op).pipeline == arch::PipelineClass::kP0Only;
+      if (on_p0) {
+        ++result.issued_p0;
+      } else {
+        ++result.issued_p1;
+      }
+      if (trace) trace->push_back({cycle, older_index, on_p0 ? '0' : '1'});
+    }
+  }
+  return result;
+}
+
+}  // namespace swdnn::timing

@@ -1,0 +1,45 @@
+#include "src/util/cli.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace swdnn::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!arg.starts_with("--")) continue;
+    arg.remove_prefix(2);
+    auto eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      options_[std::string(arg)] = "1";
+    } else {
+      options_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const {
+  return options_.count(key) > 0;
+}
+
+std::string CliArgs::get(const std::string& key,
+                         const std::string& fallback) const {
+  auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& key,
+                              std::int64_t fallback) const {
+  auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+}  // namespace swdnn::util

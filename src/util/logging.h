@@ -1,0 +1,48 @@
+#pragma once
+// Minimal leveled logging for swdnn.
+//
+// Logging is intentionally tiny: the library is a numerical kernel library
+// plus a simulator, and the only consumers of log output are the example
+// binaries and the benchmark harnesses. We avoid iostream-heavy designs in
+// hot paths; logging is never called from simulated CPE kernels.
+
+#include <sstream>
+#include <string>
+
+namespace swdnn::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one formatted line to stderr ("[level] message").
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace swdnn::util
+
+#define SWDNN_LOG(level) \
+  ::swdnn::util::detail::LogMessage(::swdnn::util::LogLevel::level)

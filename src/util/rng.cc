@@ -1,0 +1,30 @@
+#include "src/util/rng.h"
+
+namespace swdnn::util {
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+void Rng::fill_uniform(std::span<double> out, double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  for (double& v : out) v = dist(engine_);
+}
+
+void Rng::fill_normal(std::span<double> out, double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  for (double& v : out) v = dist(engine_);
+}
+
+}  // namespace swdnn::util

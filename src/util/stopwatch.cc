@@ -1,0 +1,5 @@
+#include "src/util/stopwatch.h"
+
+// Header-only in practice; this TU exists so the build exercises the
+// header under the library's warning flags.
+namespace swdnn::util {}

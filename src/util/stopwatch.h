@@ -1,0 +1,26 @@
+#pragma once
+// Wall-clock stopwatch used by host-measured benchmarks and the trainer.
+
+#include <chrono>
+
+namespace swdnn::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() { reset(); }
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace swdnn::util

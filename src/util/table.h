@@ -1,0 +1,39 @@
+#pragma once
+// Plain-text table formatting for benchmark harnesses.
+//
+// Every bench binary prints paper-style tables (Table II, Table III, the
+// Figure 7/9 series). TextTable collects rows of strings and renders them
+// with aligned columns so the output diffs cleanly against
+// EXPERIMENTS.md.
+
+#include <string>
+#include <vector>
+
+namespace swdnn::util {
+
+class TextTable {
+ public:
+  /// Sets the header row. Column count is inferred from it.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header's column count (checked).
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with single-space-padded, left-aligned columns and a
+  /// separator line under the header.
+  std::string render() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with a fixed number of decimals (printf "%.*f").
+std::string fmt_double(double value, int decimals = 2);
+
+/// Formats "1.93x"-style speedups.
+std::string fmt_speedup(double ratio, int decimals = 2);
+
+}  // namespace swdnn::util

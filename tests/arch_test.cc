@@ -1,0 +1,69 @@
+// The machine description must reproduce the paper's published numbers.
+
+#include <gtest/gtest.h>
+
+#include "src/arch/isa.h"
+#include "src/arch/spec.h"
+
+namespace swdnn::arch {
+namespace {
+
+TEST(Spec, PeakThroughputMatchesPaper) {
+  const Sw26010Spec& s = default_spec();
+  EXPECT_NEAR(s.peak_gflops_per_cpe(), 11.6, 1e-9);
+  EXPECT_NEAR(s.peak_gflops_per_cg(), 742.4, 1e-9);
+  EXPECT_NEAR(s.peak_gflops_per_chip(), 2969.6, 1e-9);
+}
+
+TEST(Spec, Geometry) {
+  const Sw26010Spec& s = default_spec();
+  EXPECT_EQ(s.cpes_per_group(), 64);
+  EXPECT_EQ(s.cpes_per_chip(), 256);
+  EXPECT_EQ(s.num_core_groups, 4);
+}
+
+TEST(Spec, MemoryHierarchyNumbers) {
+  const Sw26010Spec& s = default_spec();
+  EXPECT_EQ(s.ldm_bytes, 64u * 1024u);
+  EXPECT_DOUBLE_EQ(s.ldm_reg_bandwidth_gbs, 46.4);
+  EXPECT_DOUBLE_EQ(s.gload_bandwidth_gbs, 8.0);
+  EXPECT_EQ(s.dma_alignment_bytes, 128u);
+}
+
+TEST(Spec, DirectRequiredBandwidthIs139GBs) {
+  EXPECT_NEAR(default_spec().direct_required_bandwidth_gbs(), 139.2, 1e-9);
+}
+
+TEST(Spec, FlopsPerCycleIsVectorFma) {
+  EXPECT_EQ(default_spec().flops_per_cycle_per_cpe(), 8);
+}
+
+TEST(Spec, WhatIfScaling) {
+  // The spec is a value type: a hypothetical machine scales derived
+  // numbers consistently.
+  Sw26010Spec s = default_spec();
+  s.cpe_clock_ghz = 2.9;
+  EXPECT_NEAR(s.peak_gflops_per_cg(), 2 * 742.4, 1e-9);
+}
+
+TEST(Isa, InstructionToString) {
+  const Instruction i = make_vfmad(3, 1, 2);
+  EXPECT_EQ(i.to_string(), "vfmad r3, r1, r2");
+}
+
+TEST(Isa, FmaAccumulatorReadsItsDestination) {
+  const Instruction i = make_vfmad(5, 1, 2);
+  EXPECT_EQ(i.dst, 5);
+  EXPECT_EQ(i.src2, 5);
+}
+
+TEST(Isa, EveryOpcodeHasInfo) {
+  for (int op = 0; op <= static_cast<int>(Opcode::kNop); ++op) {
+    const OpInfo& info = op_info(static_cast<Opcode>(op));
+    EXPECT_NE(info.mnemonic, nullptr);
+    EXPECT_GE(info.latency_cycles, 1);
+  }
+}
+
+}  // namespace
+}  // namespace swdnn::arch

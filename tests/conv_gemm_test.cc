@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/conv/gemm.h"
+#include "src/util/rng.h"
+
+namespace swdnn::conv {
+namespace {
+
+TEST(Gemm, HandComputed2x2) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50].
+  std::vector<double> a = {1, 2, 3, 4}, b = {5, 6, 7, 8}, c(4, 0.0);
+  gemm_naive(2, 2, 2, a, b, c);
+  EXPECT_EQ(c, (std::vector<double>{19, 22, 43, 50}));
+}
+
+TEST(Gemm, Accumulates) {
+  std::vector<double> a = {1, 0, 0, 1}, b = {1, 2, 3, 4}, c = {10, 0, 0, 10};
+  gemm_naive(2, 2, 2, a, b, c);
+  EXPECT_EQ(c, (std::vector<double>{11, 2, 3, 14}));
+}
+
+struct GemmDims {
+  std::int64_t m, n, k;
+};
+
+class BlockedVsNaive : public ::testing::TestWithParam<GemmDims> {};
+
+TEST_P(BlockedVsNaive, Match) {
+  const auto [m, n, k] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(m * 1000 + n * 10 + k));
+  std::vector<double> a(static_cast<std::size_t>(m * k));
+  std::vector<double> b(static_cast<std::size_t>(k * n));
+  rng.fill_uniform(a, -1, 1);
+  rng.fill_uniform(b, -1, 1);
+  std::vector<double> c1(static_cast<std::size_t>(m * n), 0.5);
+  std::vector<double> c2 = c1;
+  gemm_naive(m, n, k, a, b, c1);
+  gemm_blocked(m, n, k, a, b, c2, 16);
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_NEAR(c1[i], c2[i], 1e-11);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlockedVsNaive,
+    ::testing::Values(GemmDims{1, 1, 1}, GemmDims{3, 5, 7},
+                      GemmDims{16, 16, 16}, GemmDims{17, 33, 9},
+                      GemmDims{64, 8, 40}, GemmDims{20, 100, 3}),
+    [](const ::testing::TestParamInfo<GemmDims>& info) {
+      return "m" + std::to_string(info.param.m) + "n" +
+             std::to_string(info.param.n) + "k" + std::to_string(info.param.k);
+    });
+
+TEST(Gemm, TileSizeDoesNotChangeResult) {
+  util::Rng rng(9);
+  const std::int64_t m = 24, n = 31, k = 18;
+  std::vector<double> a(static_cast<std::size_t>(m * k));
+  std::vector<double> b(static_cast<std::size_t>(k * n));
+  rng.fill_uniform(a, -1, 1);
+  rng.fill_uniform(b, -1, 1);
+  std::vector<double> ref(static_cast<std::size_t>(m * n), 0.0);
+  gemm_naive(m, n, k, a, b, ref);
+  for (std::int64_t tile : {1, 2, 7, 64, 1000}) {
+    std::vector<double> c(static_cast<std::size_t>(m * n), 0.0);
+    gemm_blocked(m, n, k, a, b, c, tile);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      EXPECT_NEAR(ref[i], c[i], 1e-11) << "tile=" << tile;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swdnn::conv

@@ -1,0 +1,144 @@
+// The reference kernels themselves: hand-computed cases, algebraic
+// properties, and finite-difference checks on the gradients.
+
+#include <gtest/gtest.h>
+
+#include "src/conv/reference.h"
+#include "src/util/rng.h"
+
+namespace swdnn::conv {
+namespace {
+
+TEST(Reference, IdentityFilterCopiesInput) {
+  // 1x1 filter of value 1 with one channel is the identity.
+  const ConvShape s = ConvShape::from_output(2, 1, 1, 3, 3, 1, 1);
+  tensor::Tensor in = make_input(s), w = make_filter(s), out = make_output(s);
+  util::Rng rng(1);
+  rng.fill_uniform(in.data(), -1, 1);
+  w.fill(1.0);
+  reference_forward(in, w, out, s);
+  EXPECT_TRUE(out.allclose(in, 0, 0));
+}
+
+TEST(Reference, HandComputed2x2) {
+  // 3x3 input, 2x2 filter of ones: each output is the window sum.
+  const ConvShape s = ConvShape::from_output(1, 1, 1, 2, 2, 2, 2);
+  tensor::Tensor in = make_input(s), w = make_filter(s), out = make_output(s);
+  for (std::int64_t r = 0; r < 3; ++r)
+    for (std::int64_t c = 0; c < 3; ++c)
+      in.at(r, c, 0, 0) = static_cast<double>(r * 3 + c);
+  w.fill(1.0);
+  reference_forward(in, w, out, s);
+  EXPECT_DOUBLE_EQ(out.at(0, 0, 0, 0), 0 + 1 + 3 + 4);
+  EXPECT_DOUBLE_EQ(out.at(0, 1, 0, 0), 1 + 2 + 4 + 5);
+  EXPECT_DOUBLE_EQ(out.at(1, 0, 0, 0), 3 + 4 + 6 + 7);
+  EXPECT_DOUBLE_EQ(out.at(1, 1, 0, 0), 4 + 5 + 7 + 8);
+}
+
+TEST(Reference, DeltaFilterShiftsImage) {
+  // A filter that is 1 at (kr=1, kc=2) picks in[ro+1][co+2].
+  const ConvShape s = ConvShape::from_output(1, 1, 1, 3, 3, 2, 3);
+  tensor::Tensor in = make_input(s), w = make_filter(s), out = make_output(s);
+  util::Rng rng(2);
+  rng.fill_uniform(in.data(), -1, 1);
+  w.at(1, 2, 0, 0) = 1.0;
+  reference_forward(in, w, out, s);
+  for (std::int64_t r = 0; r < 3; ++r)
+    for (std::int64_t c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(out.at(r, c, 0, 0), in.at(r + 1, c + 2, 0, 0));
+}
+
+TEST(Reference, LinearInInput) {
+  const ConvShape s = ConvShape::from_output(2, 3, 2, 4, 4, 3, 3);
+  tensor::Tensor a = make_input(s), b = make_input(s), w = make_filter(s);
+  util::Rng rng(3);
+  rng.fill_uniform(a.data(), -1, 1);
+  rng.fill_uniform(b.data(), -1, 1);
+  rng.fill_uniform(w.data(), -1, 1);
+
+  tensor::Tensor sum = make_input(s);
+  for (std::int64_t i = 0; i < sum.size(); ++i) {
+    sum.data()[i] = 2.0 * a.data()[i] + 3.0 * b.data()[i];
+  }
+  tensor::Tensor out_a = make_output(s), out_b = make_output(s),
+                 out_sum = make_output(s);
+  reference_forward(a, w, out_a, s);
+  reference_forward(b, w, out_b, s);
+  reference_forward(sum, w, out_sum, s);
+  for (std::int64_t i = 0; i < out_sum.size(); ++i) {
+    EXPECT_NEAR(out_sum.data()[i],
+                2.0 * out_a.data()[i] + 3.0 * out_b.data()[i], 1e-12);
+  }
+}
+
+TEST(Reference, ChannelsSumIntoOutput) {
+  // Two input channels with unit 1x1 filters: output = channel sum.
+  const ConvShape s = ConvShape::from_output(1, 2, 1, 2, 2, 1, 1);
+  tensor::Tensor in = make_input(s), w = make_filter(s), out = make_output(s);
+  in.at(0, 0, 0, 0) = 1.0;
+  in.at(0, 0, 1, 0) = 10.0;
+  w.fill(1.0);
+  reference_forward(in, w, out, s);
+  EXPECT_DOUBLE_EQ(out.at(0, 0, 0, 0), 11.0);
+}
+
+// Finite-difference gradient checks: perturb one element, verify the
+// analytic gradient against (L(x+h) - L(x-h)) / 2h for the scalar loss
+// L = sum(out * G) with a fixed random G.
+double loss_with(const tensor::Tensor& in, const tensor::Tensor& w,
+                 const tensor::Tensor& g, const ConvShape& s) {
+  tensor::Tensor out = make_output(s);
+  reference_forward(in, w, out, s);
+  double loss = 0;
+  for (std::int64_t i = 0; i < out.size(); ++i) {
+    loss += out.data()[i] * g.data()[i];
+  }
+  return loss;
+}
+
+TEST(Reference, BackwardDataMatchesFiniteDifferences) {
+  const ConvShape s = ConvShape::from_output(2, 2, 3, 3, 3, 2, 2);
+  util::Rng rng(4);
+  tensor::Tensor in = make_input(s), w = make_filter(s), g = make_output(s);
+  rng.fill_uniform(in.data(), -1, 1);
+  rng.fill_uniform(w.data(), -1, 1);
+  rng.fill_uniform(g.data(), -1, 1);
+
+  tensor::Tensor din = make_input(s);
+  reference_backward_data(g, w, din, s);
+
+  const double h = 1e-6;
+  for (std::int64_t idx : {0L, 7L, 23L, static_cast<long>(in.size() - 1)}) {
+    tensor::Tensor plus = in, minus = in;
+    plus.data()[idx] += h;
+    minus.data()[idx] -= h;
+    const double numeric =
+        (loss_with(plus, w, g, s) - loss_with(minus, w, g, s)) / (2 * h);
+    EXPECT_NEAR(din.data()[idx], numeric, 1e-6) << "idx=" << idx;
+  }
+}
+
+TEST(Reference, BackwardFilterMatchesFiniteDifferences) {
+  const ConvShape s = ConvShape::from_output(2, 2, 3, 3, 3, 2, 2);
+  util::Rng rng(5);
+  tensor::Tensor in = make_input(s), w = make_filter(s), g = make_output(s);
+  rng.fill_uniform(in.data(), -1, 1);
+  rng.fill_uniform(w.data(), -1, 1);
+  rng.fill_uniform(g.data(), -1, 1);
+
+  tensor::Tensor dw = make_filter(s);
+  reference_backward_filter(in, g, dw, s);
+
+  const double h = 1e-6;
+  for (std::int64_t idx : {0L, 5L, static_cast<long>(w.size() - 1)}) {
+    tensor::Tensor plus = w, minus = w;
+    plus.data()[idx] += h;
+    minus.data()[idx] -= h;
+    const double numeric =
+        (loss_with(in, plus, g, s) - loss_with(in, minus, g, s)) / (2 * h);
+    EXPECT_NEAR(dw.data()[idx], numeric, 1e-6) << "idx=" << idx;
+  }
+}
+
+}  // namespace
+}  // namespace swdnn::conv

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "src/conv/shape.h"
+
+namespace swdnn::conv {
+namespace {
+
+TEST(Shape, FromOutputComputesInputDims) {
+  const ConvShape s = ConvShape::from_output(128, 64, 96, 64, 64, 3, 3);
+  EXPECT_EQ(s.ri, 66);
+  EXPECT_EQ(s.ci, 66);
+  EXPECT_EQ(s.ro(), 64);
+  EXPECT_EQ(s.co(), 64);
+}
+
+TEST(Shape, FlopCount) {
+  const ConvShape s = ConvShape::from_output(2, 3, 4, 5, 6, 2, 3);
+  EXPECT_EQ(s.flops(), 2 * 2 * 5 * 6 * 3 * 4 * 2 * 3);
+}
+
+TEST(Shape, ElementCounts) {
+  const ConvShape s = ConvShape::from_output(2, 3, 4, 5, 6, 2, 3);
+  EXPECT_EQ(s.input_elements(), 6 * 8 * 3 * 2);
+  EXPECT_EQ(s.filter_elements(), 2 * 3 * 3 * 4);
+  EXPECT_EQ(s.output_elements(), 5 * 6 * 4 * 2);
+}
+
+TEST(Shape, ValidationRejectsNonPositive) {
+  ConvShape s;
+  s.batch = 0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(Shape, ValidationRejectsFilterLargerThanImage) {
+  ConvShape s;
+  s.ri = 2;
+  s.ci = 2;
+  s.kr = 3;
+  s.kc = 1;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(Shape, ToStringMentionsAllDims) {
+  const ConvShape s = ConvShape::from_output(128, 64, 96, 64, 64, 3, 3);
+  const std::string str = s.to_string();
+  EXPECT_NE(str.find("B=128"), std::string::npos);
+  EXPECT_NE(str.find("Ni=64"), std::string::npos);
+  EXPECT_NE(str.find("No=96"), std::string::npos);
+}
+
+TEST(Shape, Equality) {
+  const ConvShape a = ConvShape::from_output(8, 4, 4, 4, 4, 3, 3);
+  ConvShape b = a;
+  EXPECT_EQ(a, b);
+  b.no = 8;
+  EXPECT_NE(a, b);
+}
+
+TEST(Shape, PaperHeadlineConfigFlops) {
+  // B=128, Ni=No=256, 64x64 output, 3x3: ~0.62 Tflop per layer call.
+  const ConvShape s = ConvShape::from_output(128, 256, 256, 64, 64, 3, 3);
+  EXPECT_NEAR(static_cast<double>(s.flops()), 6.18e11, 1e10);
+}
+
+}  // namespace
+}  // namespace swdnn::conv

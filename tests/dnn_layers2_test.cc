@@ -1,0 +1,203 @@
+// The extended layer set: tanh, sigmoid, LRN, dropout, average pooling —
+// each with hand cases and finite-difference gradient checks.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/dnn/activations.h"
+#include "src/dnn/dropout.h"
+#include "src/dnn/lrn.h"
+#include "src/dnn/pooling.h"
+#include "src/util/rng.h"
+
+namespace swdnn::dnn {
+namespace {
+
+// Generic finite-difference gradient check through a layer for the
+// scalar loss L = sum(forward(x) * g).
+void grad_check(Layer& layer, tensor::Tensor x, double tol = 1e-6) {
+  util::Rng rng(7);
+  tensor::Tensor probe_out = layer.forward(x);
+  tensor::Tensor g(probe_out.dims());
+  rng.fill_uniform(g.data(), -1, 1);
+  const tensor::Tensor dx = layer.backward(g);
+
+  auto loss_of = [&layer, &g](const tensor::Tensor& input) {
+    const tensor::Tensor y = layer.forward(input);
+    double loss = 0;
+    for (std::int64_t i = 0; i < y.size(); ++i) {
+      loss += y.data()[i] * g.data()[i];
+    }
+    return loss;
+  };
+  const double h = 1e-6;
+  const std::int64_t probes[] = {0, x.size() / 2, x.size() - 1};
+  for (std::int64_t idx : probes) {
+    tensor::Tensor plus = x, minus = x;
+    plus.data()[idx] += h;
+    minus.data()[idx] -= h;
+    const double numeric = (loss_of(plus) - loss_of(minus)) / (2 * h);
+    EXPECT_NEAR(dx.data()[idx], numeric, tol) << "idx=" << idx;
+  }
+}
+
+TEST(TanhLayer, ForwardValues) {
+  Tanh layer;
+  tensor::Tensor x({3});
+  x.at(0) = 0;
+  x.at(1) = 1;
+  x.at(2) = -2;
+  const tensor::Tensor y = layer.forward(x);
+  EXPECT_NEAR(y.at(0), 0.0, 1e-12);
+  EXPECT_NEAR(y.at(1), std::tanh(1.0), 1e-12);
+  EXPECT_NEAR(y.at(2), std::tanh(-2.0), 1e-12);
+}
+
+TEST(TanhLayer, GradientMatchesFiniteDifferences) {
+  Tanh layer;
+  util::Rng rng(31);
+  tensor::Tensor x({2, 3, 2, 2});
+  rng.fill_uniform(x.data(), -2, 2);
+  grad_check(layer, x);
+}
+
+TEST(TanhLayer, BackwardBeforeForwardThrows) {
+  Tanh layer;
+  tensor::Tensor g({3});
+  EXPECT_THROW(layer.backward(g), std::invalid_argument);
+}
+
+TEST(SigmoidLayer, ForwardValues) {
+  Sigmoid layer;
+  tensor::Tensor x({2});
+  x.at(0) = 0;
+  x.at(1) = 100;
+  const tensor::Tensor y = layer.forward(x);
+  EXPECT_NEAR(y.at(0), 0.5, 1e-12);
+  EXPECT_NEAR(y.at(1), 1.0, 1e-12);
+}
+
+TEST(SigmoidLayer, GradientMatchesFiniteDifferences) {
+  Sigmoid layer;
+  util::Rng rng(32);
+  tensor::Tensor x({3, 4});
+  rng.fill_uniform(x.data(), -2, 2);
+  grad_check(layer, x);
+}
+
+TEST(LrnLayer, NormalizesAcrossChannels) {
+  Lrn layer(3, 1.0, 1.0, 1.0);  // strong normalization for visibility
+  tensor::Tensor x({1, 1, 4, 1});
+  for (std::int64_t c = 0; c < 4; ++c) x.at(0, 0, c, 0) = 3.0;
+  const tensor::Tensor y = layer.forward(x);
+  // Middle channels see a window sum of 27: y = 3 / (1 + 27/3).
+  EXPECT_NEAR(y.at(0, 0, 1, 0), 3.0 / 10.0, 1e-12);
+  // Edge channels have a truncated window (two members, sum 18).
+  EXPECT_NEAR(y.at(0, 0, 0, 0), 3.0 / 7.0, 1e-12);
+}
+
+TEST(LrnLayer, IdentityWhenAlphaIsZero) {
+  Lrn layer(5, 0.0, 0.75, 1.0);
+  util::Rng rng(33);
+  tensor::Tensor x({2, 2, 6, 2});
+  rng.fill_uniform(x.data(), -1, 1);
+  const tensor::Tensor y = layer.forward(x);
+  EXPECT_TRUE(y.allclose(x, 1e-12, 1e-12));
+}
+
+TEST(LrnLayer, GradientMatchesFiniteDifferences) {
+  Lrn layer(3, 0.5, 0.75, 2.0);
+  util::Rng rng(34);
+  tensor::Tensor x({2, 2, 5, 2});
+  rng.fill_uniform(x.data(), -1, 1);
+  grad_check(layer, x, 1e-5);
+}
+
+TEST(LrnLayer, RejectsEvenWindow) {
+  EXPECT_THROW(Lrn(4), std::invalid_argument);
+  EXPECT_THROW(Lrn(0), std::invalid_argument);
+}
+
+TEST(DropoutLayer, EvalModeIsIdentity) {
+  Dropout layer(0.5, 42);
+  layer.set_training(false);
+  util::Rng rng(35);
+  tensor::Tensor x({4, 4});
+  rng.fill_uniform(x.data(), -1, 1);
+  const tensor::Tensor y = layer.forward(x);
+  EXPECT_TRUE(y.allclose(x, 0, 0));
+}
+
+TEST(DropoutLayer, TrainModeZeroesAndRescales) {
+  Dropout layer(0.5, 42);
+  tensor::Tensor x({10000});
+  x.fill(1.0);
+  const tensor::Tensor y = layer.forward(x);
+  int zeros = 0;
+  for (double v : y.data()) {
+    if (v == 0.0) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, 2.0, 1e-12);  // 1 / (1 - 0.5)
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.5, 0.05);
+}
+
+TEST(DropoutLayer, PreservesExpectation) {
+  Dropout layer(0.3, 7);
+  tensor::Tensor x({20000});
+  x.fill(1.0);
+  const tensor::Tensor y = layer.forward(x);
+  double mean = 0;
+  for (double v : y.data()) mean += v;
+  mean /= static_cast<double>(y.size());
+  EXPECT_NEAR(mean, 1.0, 0.05);
+}
+
+TEST(DropoutLayer, BackwardUsesTheSameMask) {
+  Dropout layer(0.5, 11);
+  tensor::Tensor x({64});
+  x.fill(1.0);
+  const tensor::Tensor y = layer.forward(x);
+  tensor::Tensor g({64});
+  g.fill(1.0);
+  const tensor::Tensor dx = layer.backward(g);
+  for (std::int64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(dx.at(i), y.at(i));  // same mask, same scale
+  }
+}
+
+TEST(DropoutLayer, RejectsBadProbability) {
+  EXPECT_THROW(Dropout(1.0, 1), std::invalid_argument);
+  EXPECT_THROW(Dropout(-0.1, 1), std::invalid_argument);
+}
+
+TEST(AvgPoolingLayer, ForwardAverages) {
+  AvgPooling pool(2);
+  tensor::Tensor x({2, 2, 1, 1});
+  x.at(0, 0, 0, 0) = 1;
+  x.at(0, 1, 0, 0) = 2;
+  x.at(1, 0, 0, 0) = 3;
+  x.at(1, 1, 0, 0) = 6;
+  const tensor::Tensor y = pool.forward(x);
+  EXPECT_DOUBLE_EQ(y.at(0, 0, 0, 0), 3.0);
+}
+
+TEST(AvgPoolingLayer, GradientMatchesFiniteDifferences) {
+  AvgPooling pool(2);
+  util::Rng rng(36);
+  tensor::Tensor x({4, 4, 2, 2});
+  rng.fill_uniform(x.data(), -1, 1);
+  grad_check(pool, x);
+}
+
+TEST(AvgPoolingLayer, RejectsIndivisibleImage) {
+  AvgPooling pool(3);
+  tensor::Tensor x({4, 4, 1, 1});
+  EXPECT_THROW(pool.forward(x), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swdnn::dnn

@@ -1,0 +1,334 @@
+// Layer-by-layer unit tests: hand cases plus finite-difference gradient
+// checks for every trainable layer.
+
+#include <gtest/gtest.h>
+
+#include "src/conv/reference.h"
+#include "src/dnn/convolution.h"
+#include "src/dnn/fully_connected.h"
+#include "src/dnn/loss.h"
+#include "src/dnn/pooling.h"
+#include "src/dnn/relu.h"
+#include "src/dnn/softmax.h"
+#include "src/util/rng.h"
+
+namespace swdnn::dnn {
+namespace {
+
+TEST(ReluLayer, ForwardClampsNegatives) {
+  Relu relu;
+  tensor::Tensor in({4});
+  in.at(0) = -1;
+  in.at(1) = 0;
+  in.at(2) = 2;
+  in.at(3) = -0.5;
+  const tensor::Tensor out = relu.forward(in);
+  EXPECT_EQ(out.at(0), 0);
+  EXPECT_EQ(out.at(1), 0);
+  EXPECT_EQ(out.at(2), 2);
+  EXPECT_EQ(out.at(3), 0);
+}
+
+TEST(ReluLayer, BackwardMasksGradient) {
+  Relu relu;
+  tensor::Tensor in({3});
+  in.at(0) = -1;
+  in.at(1) = 3;
+  in.at(2) = 0;
+  relu.forward(in);
+  tensor::Tensor g({3});
+  g.fill(5.0);
+  const tensor::Tensor din = relu.backward(g);
+  EXPECT_EQ(din.at(0), 0);
+  EXPECT_EQ(din.at(1), 5);
+  EXPECT_EQ(din.at(2), 0);
+}
+
+TEST(ReluLayer, BackwardBeforeForwardThrows) {
+  Relu relu;
+  tensor::Tensor g({3});
+  EXPECT_THROW(relu.backward(g), std::invalid_argument);
+}
+
+TEST(Pooling, ForwardTakesWindowMax) {
+  MaxPooling pool(2);
+  tensor::Tensor in({2, 2, 1, 1});
+  in.at(0, 0, 0, 0) = 1;
+  in.at(0, 1, 0, 0) = 4;
+  in.at(1, 0, 0, 0) = 2;
+  in.at(1, 1, 0, 0) = 3;
+  const tensor::Tensor out = pool.forward(in);
+  EXPECT_EQ(out.dims(), (std::vector<std::int64_t>{1, 1, 1, 1}));
+  EXPECT_EQ(out.at(0, 0, 0, 0), 4);
+}
+
+TEST(Pooling, BackwardRoutesToArgmax) {
+  MaxPooling pool(2);
+  tensor::Tensor in({2, 2, 1, 1});
+  in.at(0, 1, 0, 0) = 9;
+  pool.forward(in);
+  tensor::Tensor g({1, 1, 1, 1});
+  g.fill(3.0);
+  const tensor::Tensor din = pool.backward(g);
+  EXPECT_EQ(din.at(0, 1, 0, 0), 3.0);
+  EXPECT_EQ(din.at(0, 0, 0, 0), 0.0);
+  EXPECT_EQ(din.at(1, 0, 0, 0), 0.0);
+}
+
+TEST(Pooling, RejectsIndivisibleImage) {
+  MaxPooling pool(2);
+  tensor::Tensor in({3, 4, 1, 1});
+  EXPECT_THROW(pool.forward(in), std::invalid_argument);
+}
+
+TEST(Pooling, RejectsBadWindow) {
+  EXPECT_THROW(MaxPooling(0), std::invalid_argument);
+}
+
+TEST(SoftmaxLayer, ColumnsSumToOne) {
+  tensor::Tensor logits({3, 2});
+  logits.at(0, 0) = 1;
+  logits.at(1, 0) = 2;
+  logits.at(2, 0) = 3;
+  logits.at(0, 1) = -5;
+  logits.at(1, 1) = 0;
+  logits.at(2, 1) = 5;
+  const tensor::Tensor p = softmax_columns(logits);
+  for (std::int64_t b = 0; b < 2; ++b) {
+    double sum = 0;
+    for (std::int64_t c = 0; c < 3; ++c) sum += p.at(c, b);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+  EXPECT_GT(p.at(2, 0), p.at(0, 0));
+}
+
+TEST(SoftmaxLayer, StableForHugeLogits) {
+  tensor::Tensor logits({2, 1});
+  logits.at(0, 0) = 1000;
+  logits.at(1, 0) = 1001;
+  const tensor::Tensor p = softmax_columns(logits);
+  EXPECT_NEAR(p.at(0, 0) + p.at(1, 0), 1.0, 1e-12);
+  EXPECT_FALSE(std::isnan(p.at(0, 0)));
+}
+
+TEST(Loss, CrossEntropyPerfectPredictionIsNearZero) {
+  tensor::Tensor logits({3, 1});
+  logits.at(1, 0) = 100;
+  const LossResult r = softmax_cross_entropy(logits, {1});
+  EXPECT_NEAR(r.loss, 0.0, 1e-9);
+  EXPECT_EQ(r.correct, 1);
+}
+
+TEST(Loss, CrossEntropyUniformIsLogC) {
+  tensor::Tensor logits({4, 2});
+  const LossResult r = softmax_cross_entropy(logits, {0, 3});
+  EXPECT_NEAR(r.loss, std::log(4.0), 1e-12);
+}
+
+TEST(Loss, CrossEntropyGradientMatchesFiniteDifferences) {
+  util::Rng rng(51);
+  tensor::Tensor logits({4, 3});
+  rng.fill_uniform(logits.data(), -1, 1);
+  const std::vector<int> labels = {2, 0, 3};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  const double h = 1e-6;
+  for (std::int64_t idx : {0L, 5L, 11L}) {
+    tensor::Tensor plus = logits, minus = logits;
+    plus.data()[idx] += h;
+    minus.data()[idx] -= h;
+    const double numeric = (softmax_cross_entropy(plus, labels).loss -
+                            softmax_cross_entropy(minus, labels).loss) /
+                           (2 * h);
+    EXPECT_NEAR(r.d_logits.data()[idx], numeric, 1e-6);
+  }
+}
+
+TEST(Loss, CrossEntropyRejectsBadLabel) {
+  tensor::Tensor logits({3, 1});
+  EXPECT_THROW(softmax_cross_entropy(logits, {3}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 1}), std::invalid_argument);
+}
+
+TEST(Loss, MseZeroForEqualTensors) {
+  tensor::Tensor a({4}), b({4});
+  a.fill(2.0);
+  b.fill(2.0);
+  EXPECT_DOUBLE_EQ(mean_squared_error(a, b).loss, 0.0);
+}
+
+TEST(Loss, MseGradientMatchesFiniteDifferences) {
+  util::Rng rng(52);
+  tensor::Tensor pred({5}), target({5});
+  rng.fill_uniform(pred.data(), -1, 1);
+  rng.fill_uniform(target.data(), -1, 1);
+  const LossResult r = mean_squared_error(pred, target);
+  const double h = 1e-6;
+  tensor::Tensor plus = pred, minus = pred;
+  plus.at(2) += h;
+  minus.at(2) -= h;
+  const double numeric = (mean_squared_error(plus, target).loss -
+                          mean_squared_error(minus, target).loss) /
+                         (2 * h);
+  EXPECT_NEAR(r.d_logits.at(2), numeric, 1e-6);
+}
+
+TEST(FcLayer, ForwardIsAffine) {
+  util::Rng rng(53);
+  FullyConnected fc(3, 2, rng);
+  tensor::Tensor x({3, 1});
+  x.at(0, 0) = 1;
+  x.at(1, 0) = 2;
+  x.at(2, 0) = 3;
+  const tensor::Tensor y = fc.forward(x);
+  double expect0 = fc.bias().at(0);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    expect0 += fc.weights().at(0, i) * x.at(i, 0);
+  }
+  EXPECT_NEAR(y.at(0, 0), expect0, 1e-12);
+}
+
+TEST(FcLayer, GradientsMatchFiniteDifferences) {
+  util::Rng rng(54);
+  FullyConnected fc(4, 3, rng);
+  tensor::Tensor x({4, 2});
+  rng.fill_uniform(x.data(), -1, 1);
+  tensor::Tensor g({3, 2});
+  rng.fill_uniform(g.data(), -1, 1);
+
+  auto loss_of = [&](FullyConnected& layer) {
+    const tensor::Tensor y = layer.forward(x);
+    double loss = 0;
+    for (std::int64_t i = 0; i < y.size(); ++i) {
+      loss += y.data()[i] * g.data()[i];
+    }
+    return loss;
+  };
+
+  fc.forward(x);
+  const tensor::Tensor dx = fc.backward(g);
+  auto params = fc.params();
+  ASSERT_EQ(params.size(), 2u);
+
+  const double h = 1e-6;
+  // Weight gradient.
+  {
+    const std::int64_t idx = 5;
+    const double analytic = params[0].grad->data()[idx];
+    const double orig = params[0].param->data()[idx];
+    params[0].param->data()[idx] = orig + h;
+    const double lp = loss_of(fc);
+    params[0].param->data()[idx] = orig - h;
+    const double lm = loss_of(fc);
+    params[0].param->data()[idx] = orig;
+    EXPECT_NEAR(analytic, (lp - lm) / (2 * h), 1e-6);
+  }
+  // Input gradient.
+  {
+    fc.forward(x);
+    fc.backward(g);
+    const double analytic = dx.at(1, 1);
+    tensor::Tensor xp = x, xm = x;
+    xp.at(1, 1) += h;
+    xm.at(1, 1) -= h;
+    const tensor::Tensor yp = fc.forward(xp);
+    double lp = 0;
+    for (std::int64_t i = 0; i < yp.size(); ++i) {
+      lp += yp.data()[i] * g.data()[i];
+    }
+    const tensor::Tensor ym = fc.forward(xm);
+    double lm = 0;
+    for (std::int64_t i = 0; i < ym.size(); ++i) {
+      lm += ym.data()[i] * g.data()[i];
+    }
+    EXPECT_NEAR(analytic, (lp - lm) / (2 * h), 1e-6);
+  }
+}
+
+TEST(FcLayer, AcceptsRank4InputAndFlattens) {
+  util::Rng rng(55);
+  FullyConnected fc(2 * 2 * 3, 5, rng);
+  tensor::Tensor x({2, 2, 3, 4});
+  rng.fill_uniform(x.data(), -1, 1);
+  const tensor::Tensor y = fc.forward(x);
+  EXPECT_EQ(y.dims(), (std::vector<std::int64_t>{5, 4}));
+  const tensor::Tensor dx = fc.backward(y);
+  EXPECT_EQ(dx.dims(), x.dims());
+}
+
+TEST(FcLayer, RejectsWrongFeatureCount) {
+  util::Rng rng(56);
+  FullyConnected fc(4, 2, rng);
+  tensor::Tensor x({3, 1});
+  EXPECT_THROW(fc.forward(x), std::invalid_argument);
+}
+
+TEST(ConvLayer, ForwardMatchesReferenceKernels) {
+  util::Rng rng(57);
+  const conv::ConvShape shape = conv::ConvShape::from_output(2, 3, 4, 4, 4, 3, 3);
+  Convolution layer(shape, rng);
+  tensor::Tensor x = conv::make_input(shape);
+  rng.fill_uniform(x.data(), -1, 1);
+  const tensor::Tensor y = layer.forward(x);
+
+  tensor::Tensor expected = conv::make_output(shape);
+  conv::reference_forward(x, layer.filter(), expected, shape);
+  EXPECT_LE(expected.max_abs_diff(y), 1e-11);
+}
+
+TEST(ConvLayer, FilterGradientMatchesFiniteDifferences) {
+  util::Rng rng(58);
+  const conv::ConvShape shape = conv::ConvShape::from_output(2, 2, 2, 3, 3, 2, 2);
+  Convolution layer(shape, rng);
+  tensor::Tensor x = conv::make_input(shape);
+  rng.fill_uniform(x.data(), -1, 1);
+  tensor::Tensor g = conv::make_output(shape);
+  rng.fill_uniform(g.data(), -1, 1);
+
+  layer.forward(x);
+  layer.backward(g);
+  auto params = layer.params();
+  ASSERT_EQ(params.size(), 1u);
+
+  auto loss_of = [&] {
+    const tensor::Tensor y = layer.forward(x);
+    double loss = 0;
+    for (std::int64_t i = 0; i < y.size(); ++i) {
+      loss += y.data()[i] * g.data()[i];
+    }
+    return loss;
+  };
+  const double h = 1e-6;
+  const std::int64_t idx = 3;
+  const double analytic = params[0].grad->data()[idx];
+  const double orig = params[0].param->data()[idx];
+  params[0].param->data()[idx] = orig + h;
+  const double lp = loss_of();
+  params[0].param->data()[idx] = orig - h;
+  const double lm = loss_of();
+  params[0].param->data()[idx] = orig;
+  EXPECT_NEAR(analytic, (lp - lm) / (2 * h), 1e-6);
+}
+
+TEST(ConvLayer, SimulatedMeshBackendMatchesHostBackend) {
+  util::Rng rng_a(59), rng_b(59);
+  const conv::ConvShape shape = conv::ConvShape::from_output(8, 8, 8, 2, 2, 2, 2);
+  Convolution host(shape, rng_a, ConvBackend::kHostIm2col);
+  Convolution mesh(shape, rng_b, ConvBackend::kSimulatedMesh);
+  tensor::Tensor x = conv::make_input(shape);
+  util::Rng rng(60);
+  rng.fill_uniform(x.data(), -1, 1);
+  const tensor::Tensor ya = host.forward(x);
+  const tensor::Tensor yb = mesh.forward(x);
+  EXPECT_LE(ya.max_abs_diff(yb), 1e-11);
+}
+
+TEST(ConvLayer, RejectsWrongInputShape) {
+  util::Rng rng(61);
+  const conv::ConvShape shape = conv::ConvShape::from_output(2, 2, 2, 3, 3, 2, 2);
+  Convolution layer(shape, rng);
+  tensor::Tensor bad({3, 3, 2, 2});
+  EXPECT_THROW(layer.forward(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swdnn::dnn

@@ -1,0 +1,146 @@
+// ZeroPad2d, parameter checkpointing, and the 'same'-convolution
+// composition they enable.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/dnn/convolution.h"
+#include "src/dnn/fully_connected.h"
+#include "src/dnn/network.h"
+#include "src/dnn/padding.h"
+#include "src/dnn/relu.h"
+#include "src/dnn/serialize.h"
+#include "src/util/rng.h"
+
+namespace swdnn::dnn {
+namespace {
+
+TEST(ZeroPad, ForwardPlacesInputInTheInterior) {
+  ZeroPad2d pad(1, 2, 3, 0);
+  tensor::Tensor x({2, 2, 1, 1});
+  x.at(0, 0, 0, 0) = 5.0;
+  x.at(1, 1, 0, 0) = 7.0;
+  const tensor::Tensor y = pad.forward(x);
+  EXPECT_EQ(y.dims(), (std::vector<std::int64_t>{5, 5, 1, 1}));
+  EXPECT_EQ(y.at(1, 3, 0, 0), 5.0);
+  EXPECT_EQ(y.at(2, 4, 0, 0), 7.0);
+  EXPECT_EQ(y.at(0, 0, 0, 0), 0.0);
+}
+
+TEST(ZeroPad, BackwardCropsGradient) {
+  ZeroPad2d pad(1);
+  tensor::Tensor x({2, 2, 1, 1});
+  pad.forward(x);
+  tensor::Tensor g({4, 4, 1, 1});
+  for (std::int64_t i = 0; i < g.size(); ++i) {
+    g.data()[i] = static_cast<double>(i);
+  }
+  const tensor::Tensor dx = pad.backward(g);
+  EXPECT_EQ(dx.dims(), x.dims());
+  EXPECT_EQ(dx.at(0, 0, 0, 0), g.at(1, 1, 0, 0));
+  EXPECT_EQ(dx.at(1, 1, 0, 0), g.at(2, 2, 0, 0));
+}
+
+TEST(ZeroPad, RejectsNegativePadding) {
+  EXPECT_THROW(ZeroPad2d(-1, 0, 0, 0), std::invalid_argument);
+}
+
+TEST(ZeroPad, SameConvolutionKeepsSpatialSize) {
+  // pad(k/2) + valid conv = 'same' convolution — the composition a real
+  // network uses with the paper's valid-only kernels.
+  util::Rng rng(101);
+  Network net;
+  net.emplace<ZeroPad2d>(1);
+  net.emplace<Convolution>(
+      conv::ConvShape::from_output(2, 1, 3, 6, 6, 3, 3), rng);
+  tensor::Tensor x({6, 6, 1, 2});
+  rng.fill_uniform(x.data(), -1, 1);
+  const tensor::Tensor y = net.forward(x);
+  EXPECT_EQ(y.dim(0), 6);
+  EXPECT_EQ(y.dim(1), 6);
+  EXPECT_EQ(y.dim(2), 3);
+  // Gradient flows back to the unpadded input shape.
+  tensor::Tensor g(y.dims());
+  g.fill(0.1);
+  EXPECT_EQ(net.backward(g).dims(), x.dims());
+}
+
+Network make_test_network(util::Rng& rng) {
+  Network net;
+  net.emplace<Convolution>(
+      conv::ConvShape::from_output(2, 1, 2, 4, 4, 3, 3), rng);
+  net.emplace<Relu>();
+  net.emplace<FullyConnected>(4 * 4 * 2, 3, rng);
+  return net;
+}
+
+TEST(Serialize, RoundTripRestoresAllParameters) {
+  util::Rng rng_a(102), rng_b(103);
+  Network original = make_test_network(rng_a);
+  Network reloaded = make_test_network(rng_b);  // different init
+
+  const std::string path = ::testing::TempDir() + "/swdnn_params.bin";
+  save_parameters(original, path);
+  load_parameters(reloaded, path);
+
+  const auto pa = original.params();
+  const auto pb = reloaded.params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(pa[i].param->allclose(*pb[i].param, 0, 0)) << "param " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RoundTripPreservesBehaviour) {
+  util::Rng rng_a(104), rng_b(105), rng_x(106);
+  Network original = make_test_network(rng_a);
+  Network reloaded = make_test_network(rng_b);
+  const std::string path = ::testing::TempDir() + "/swdnn_params2.bin";
+  save_parameters(original, path);
+  load_parameters(reloaded, path);
+
+  tensor::Tensor x({6, 6, 1, 2});
+  rng_x.fill_uniform(x.data(), -1, 1);
+  const tensor::Tensor ya = original.forward(x);
+  const tensor::Tensor yb = reloaded.forward(x);
+  EXPECT_TRUE(ya.allclose(yb, 0, 0));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsArchitectureMismatch) {
+  util::Rng rng_a(107), rng_b(108);
+  Network original = make_test_network(rng_a);
+  const std::string path = ::testing::TempDir() + "/swdnn_params3.bin";
+  save_parameters(original, path);
+
+  Network different;
+  different.emplace<FullyConnected>(10, 3, rng_b);
+  EXPECT_THROW(load_parameters(different, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsGarbageFile) {
+  const std::string path = ::testing::TempDir() + "/swdnn_garbage.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a checkpoint", f);
+    std::fclose(f);
+  }
+  util::Rng rng(109);
+  Network net = make_test_network(rng);
+  EXPECT_THROW(load_parameters(net, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsMissingFile) {
+  util::Rng rng(110);
+  Network net = make_test_network(rng);
+  EXPECT_THROW(load_parameters(net, "/nonexistent/swdnn.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace swdnn::dnn

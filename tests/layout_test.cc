@@ -1,0 +1,92 @@
+// The Section V-C vectorization layouts: exact element mapping and
+// lossless round trips.
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/layout.h"
+#include "src/util/rng.h"
+
+namespace swdnn::tensor {
+namespace {
+
+Tensor random_canonical(std::int64_t r, std::int64_t c, std::int64_t n,
+                        std::int64_t b, std::uint64_t seed) {
+  Tensor t({r, c, n, b});
+  util::Rng rng(seed);
+  rng.fill_uniform(t.data(), -1.0, 1.0);
+  return t;
+}
+
+TEST(Layout, ImageSizeAwareShape) {
+  const Tensor canon = random_canonical(3, 5, 2, 8, 1);
+  const Tensor v = to_image_size_aware(canon);
+  EXPECT_EQ(v.dims(), (std::vector<std::int64_t>{2, 2, 3, 5, 4}));
+}
+
+TEST(Layout, BatchSizeAwareShape) {
+  const Tensor canon = random_canonical(3, 5, 2, 8, 1);
+  const Tensor v = to_batch_size_aware(canon);
+  EXPECT_EQ(v.dims(), (std::vector<std::int64_t>{2, 3, 5, 2, 4}));
+}
+
+TEST(Layout, ImageSizeAwareElementMapping) {
+  const Tensor canon = random_canonical(2, 3, 2, 8, 2);
+  const Tensor v = to_image_size_aware(canon);
+  // Element (r=1, c=2, n=1, b=6) -> lane 6%4=2 of vector 6/4=1.
+  EXPECT_EQ(v.at(1, 1, 1, 2, 2), canon.at(1, 2, 1, 6));
+}
+
+TEST(Layout, BatchSizeAwareElementMapping) {
+  const Tensor canon = random_canonical(2, 3, 2, 8, 3);
+  const Tensor v = to_batch_size_aware(canon);
+  EXPECT_EQ(v.at(1, 1, 2, 1, 2), canon.at(1, 2, 1, 6));
+}
+
+TEST(Layout, ImageSizeAwareRoundTrip) {
+  const Tensor canon = random_canonical(4, 6, 3, 12, 4);
+  const Tensor back = from_image_size_aware(to_image_size_aware(canon));
+  EXPECT_TRUE(canon.allclose(back, 0, 0));
+}
+
+TEST(Layout, BatchSizeAwareRoundTrip) {
+  const Tensor canon = random_canonical(4, 6, 3, 12, 5);
+  const Tensor back = from_batch_size_aware(to_batch_size_aware(canon));
+  EXPECT_TRUE(canon.allclose(back, 0, 0));
+}
+
+TEST(Layout, LanesAreConsecutiveBatches) {
+  // The whole point of the layout: batch quads land in one vector.
+  Tensor canon({1, 1, 1, 8});
+  for (std::int64_t b = 0; b < 8; ++b) {
+    canon.at(0, 0, 0, b) = static_cast<double>(b);
+  }
+  const Tensor v = to_image_size_aware(canon);
+  for (int l = 0; l < 4; ++l) {
+    EXPECT_EQ(v.at(0, 0, 0, 0, l), static_cast<double>(l));
+    EXPECT_EQ(v.at(1, 0, 0, 0, l), static_cast<double>(4 + l));
+  }
+}
+
+TEST(Layout, RejectsBadBatch) {
+  Tensor canon({2, 2, 2, 6});  // 6 % 4 != 0
+  EXPECT_THROW(to_image_size_aware(canon), std::invalid_argument);
+  EXPECT_THROW(to_batch_size_aware(canon), std::invalid_argument);
+}
+
+TEST(Layout, RejectsBadRank) {
+  Tensor t3({2, 2, 4});
+  EXPECT_THROW(to_image_size_aware(t3), std::invalid_argument);
+  Tensor t5({2, 2, 2, 2, 3});
+  EXPECT_THROW(from_image_size_aware(t5), std::invalid_argument);
+  EXPECT_THROW(from_batch_size_aware(t5), std::invalid_argument);
+}
+
+TEST(Layout, LeadingBlockBytes) {
+  EXPECT_EQ(leading_block_bytes(ConvLayout::kCanonicalRCNB, 128, 16), 1024);
+  EXPECT_EQ(leading_block_bytes(ConvLayout::kImageSizeAware, 32, 16),
+            32 * 16 * 8);
+  EXPECT_EQ(leading_block_bytes(ConvLayout::kBatchSizeAware, 128, 16), 1024);
+}
+
+}  // namespace
+}  // namespace swdnn::tensor

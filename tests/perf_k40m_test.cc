@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "src/perf/k40m.h"
+
+namespace swdnn::perf {
+namespace {
+
+conv::ConvShape paper_shape(std::int64_t ni, std::int64_t no,
+                            std::int64_t k = 3) {
+  return conv::ConvShape::from_output(128, ni, no, 64, 64, k, k);
+}
+
+TEST(K40m, EfficiencyNeverExceedsPublishedBest) {
+  // "the best efficiency on K40m is around 40%."
+  K40mCudnnModel model;
+  for (std::int64_t ni = 64; ni <= 384; ni += 16) {
+    for (std::int64_t no = 64; no <= 384; no += 16) {
+      EXPECT_LE(model.efficiency(paper_shape(ni, no)), 0.42);
+      EXPECT_GE(model.efficiency(paper_shape(ni, no)), 0.04);
+    }
+  }
+}
+
+TEST(K40m, BestEfficiencyIsNear40PercentOnAlignedChannels) {
+  K40mCudnnModel model;
+  double best = 0;
+  for (std::int64_t ch : {128, 256, 384}) {
+    best = std::max(best, model.efficiency(paper_shape(ch, ch)));
+  }
+  EXPECT_GT(best, 0.30);
+  EXPECT_LE(best, 0.42);
+}
+
+TEST(K40m, UnalignedChannelsDegrade) {
+  K40mCudnnModel model;
+  // Average over the No axis to wash out the per-shape jitter.
+  auto mean_eff = [&model](std::int64_t ni) {
+    double sum = 0;
+    int n = 0;
+    for (std::int64_t no = 64; no <= 384; no += 64, ++n) {
+      sum += model.efficiency(paper_shape(ni, no));
+    }
+    return sum / n;
+  };
+  EXPECT_GT(mean_eff(128), mean_eff(136));
+}
+
+TEST(K40m, LargeFiltersCollapse) {
+  // Fig. 9: the cuDNN series falls with filter size while swDNN holds.
+  K40mCudnnModel model;
+  const double at3 = model.conv_gflops(paper_shape(256, 256, 3));
+  const double at11 = model.conv_gflops(paper_shape(256, 256, 11));
+  const double at21 = model.conv_gflops(paper_shape(256, 256, 21));
+  EXPECT_GT(at3, at11);
+  EXPECT_GT(at11, at21);
+  EXPECT_LT(at21, at3 / 2.0);
+}
+
+TEST(K40m, Deterministic) {
+  K40mCudnnModel a, b;
+  const auto s = paper_shape(200, 168, 5);
+  EXPECT_DOUBLE_EQ(a.conv_gflops(s), b.conv_gflops(s));
+}
+
+TEST(K40m, JitterMakesSeriesJagged) {
+  // Neighbouring configurations should not form a smooth curve (cuDNN's
+  // kernel-selection instability).
+  K40mCudnnModel model;
+  int direction_changes = 0;
+  double prev = model.conv_gflops(paper_shape(64, 64));
+  double prev_delta = 0;
+  for (std::int64_t ch = 80; ch <= 384; ch += 16) {
+    const double cur = model.conv_gflops(paper_shape(ch, ch));
+    const double delta = cur - prev;
+    if (delta * prev_delta < 0) ++direction_changes;
+    prev_delta = delta;
+    prev = cur;
+  }
+  EXPECT_GE(direction_changes, 3);
+}
+
+TEST(K40m, ThroughputIsEfficiencyTimesBoostPeak) {
+  K40mCudnnModel model;
+  const auto s = paper_shape(128, 128);
+  EXPECT_NEAR(model.conv_gflops(s),
+              model.efficiency(s) * model.spec().dp_boost_gflops, 1e-9);
+}
+
+}  // namespace
+}  // namespace swdnn::perf

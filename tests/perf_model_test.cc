@@ -1,0 +1,211 @@
+// The performance model must reproduce the paper's published equation
+// values: Eq. (1)/(2) RBW numbers from Table III, Eq. (5)'s 23.2 GB/s,
+// and the Fig. 2 direct-gload strawman.
+
+#include <gtest/gtest.h>
+
+#include "src/perf/model.h"
+
+namespace swdnn::perf {
+namespace {
+
+conv::ConvShape paper_shape(std::int64_t ni, std::int64_t no,
+                            std::int64_t k = 3) {
+  return conv::ConvShape::from_output(128, ni, no, 64, 64, k, k);
+}
+
+ConvPlan img_plan(std::int64_t bb, std::int64_t bco) {
+  ConvPlan p;
+  p.kind = PlanKind::kImageSizeAware;
+  p.block_b = bb;
+  p.block_co = bco;
+  return p;
+}
+
+ConvPlan batch_plan(std::int64_t bco = 8) {
+  ConvPlan p;
+  p.kind = PlanKind::kBatchSizeAware;
+  p.block_co = bco;
+  return p;
+}
+
+TEST(Model, Eq1MatchesTable3Row1) {
+  // img, Kc=3, bB=32, bCo=16, Ni=128, No=128 -> RBW 29.0.
+  PerformanceModel model;
+  EXPECT_NEAR(model.rbw_image_plan(paper_shape(128, 128), img_plan(32, 16)),
+              29.0, 0.05);
+}
+
+TEST(Model, Eq1MatchesTable3Row2) {
+  // img, bB=32, bCo=8, Ni=128, No=256 -> RBW 23.2.
+  PerformanceModel model;
+  EXPECT_NEAR(model.rbw_image_plan(paper_shape(128, 256), img_plan(32, 8)),
+              23.2, 0.05);
+}
+
+TEST(Model, Eq2MatchesTable3Row3) {
+  // batch, Kc=3, Ni=256, No=256, B=128 -> RBW 27.1.
+  PerformanceModel model;
+  EXPECT_NEAR(model.rbw_batch_plan(paper_shape(256, 256)), 27.1, 0.05);
+}
+
+TEST(Model, Eq2MatchesTable3Row4) {
+  // batch, Ni=128, No=384 -> RBW 25.7 (paper rounds; exact is 25.78).
+  PerformanceModel model;
+  EXPECT_NEAR(model.rbw_batch_plan(paper_shape(128, 384)), 25.7, 0.1);
+}
+
+TEST(Model, Eq5SimdRegisterBandwidthIs23GBs) {
+  // rbB=16, rbNo=4 -> 23.2 GB/s, under the 46.4 GB/s LDM port.
+  PerformanceModel model;
+  ConvPlan p;
+  p.rb_b = 16;
+  p.rb_no = 4;
+  EXPECT_NEAR(model.rbw_register_simd(p), 23.2, 1e-9);
+  EXPECT_LT(model.rbw_register_simd(p),
+            arch::default_spec().ldm_reg_bandwidth_gbs);
+}
+
+TEST(Model, Eq3SpatialBlockingIsFilterBound) {
+  // Eq. (3)'s RBW is governed by rbKr*rbKc, which the *network* fixes —
+  // the paper rejects the spatial plan because the programmer cannot
+  // tune it. Check both halves of that argument: RBW falls only with
+  // the filter size (not a free parameter), and at 1x1 filters it
+  // exceeds what the LDM port provides.
+  PerformanceModel model;
+  const double rbw_1x1 = model.rbw_register_spatial(4, 4, 1, 1);
+  const double rbw_3x3 = model.rbw_register_spatial(4, 4, 3, 3);
+  const double rbw_5x5 = model.rbw_register_spatial(6, 6, 5, 5);
+  EXPECT_GT(rbw_1x1, rbw_3x3);
+  EXPECT_GT(rbw_3x3, rbw_5x5);
+  EXPECT_GT(rbw_1x1, arch::default_spec().ldm_reg_bandwidth_gbs);
+  // The batch/No blocking (Eq. 5) is below the port for ANY filter.
+  ConvPlan p;
+  EXPECT_LT(model.rbw_register_simd(p),
+            arch::default_spec().ldm_reg_bandwidth_gbs);
+}
+
+TEST(Model, DirectGloadIsFractionOfAPercent) {
+  // (8 / 139.2)^2 = 0.33% of 742.4 Gflops.
+  PerformanceModel model;
+  const double gf = model.direct_gload_gflops_per_cg();
+  EXPECT_NEAR(gf / 742.4, 0.0033, 3e-4);
+  EXPECT_LT(gf, 3.0);
+}
+
+TEST(Model, EstimateIsBoundedByPeak) {
+  PerformanceModel model;
+  for (auto no : {64, 128, 256, 384}) {
+    const auto e = model.estimate(paper_shape(128, no), img_plan(32, 8));
+    EXPECT_GT(e.gflops_per_cg, 0.0);
+    EXPECT_LT(e.gflops_per_cg, 742.4);
+    EXPECT_NEAR(e.gflops_chip, 4 * e.gflops_per_cg, 1e-9);
+  }
+}
+
+TEST(Model, LargerNoLowersImagePlanRbw) {
+  PerformanceModel model;
+  EXPECT_GT(model.rbw_image_plan(paper_shape(128, 64), img_plan(32, 8)),
+            model.rbw_image_plan(paper_shape(128, 256), img_plan(32, 8)));
+}
+
+TEST(Model, LargerBlockingLowersImagePlanRbw) {
+  PerformanceModel model;
+  EXPECT_GT(model.rbw_image_plan(paper_shape(128, 128), img_plan(16, 4)),
+            model.rbw_image_plan(paper_shape(128, 128), img_plan(64, 16)));
+}
+
+TEST(Model, RegisterCommCutsRequiredBandwidthByMeshDim) {
+  // Section V-A: without mesh data sharing the memory traffic grows by
+  // ~the mesh dimension ("reduces the memory bandwidth requirement for
+  // almost an order of magnitude").
+  PerformanceModel model;
+  ConvPlan with = batch_plan();
+  ConvPlan without = batch_plan();
+  without.use_register_comm = false;
+  const auto shape = paper_shape(256, 256);
+  const auto e_with = model.estimate(shape, with);
+  const auto e_without = model.estimate(shape, without);
+  EXPECT_NEAR(e_without.rbw_mem_gbs / e_with.rbw_mem_gbs, 8.0, 1e-9);
+  EXPECT_LT(e_without.gflops_per_cg, e_with.gflops_per_cg / 10.0);
+}
+
+TEST(Model, DoubleBufferingOverlapsDmaWithCompute) {
+  PerformanceModel model;
+  ConvPlan with = batch_plan();
+  ConvPlan without = batch_plan();
+  without.double_buffer = false;
+  const auto shape = paper_shape(256, 256);
+  EXPECT_GT(model.estimate(shape, with).gflops_per_cg,
+            model.estimate(shape, without).gflops_per_cg);
+}
+
+TEST(Model, ReorderedPipelineBeatsOriginal) {
+  PerformanceModel model;
+  ConvPlan re = batch_plan();
+  ConvPlan orig = batch_plan();
+  orig.reordered_pipeline = false;
+  const auto shape = paper_shape(256, 256);
+  const auto e_re = model.estimate(shape, re);
+  const auto e_orig = model.estimate(shape, orig);
+  EXPECT_GT(e_re.ee, e_orig.ee);
+  EXPECT_GT(e_re.gflops_per_cg, e_orig.gflops_per_cg);
+  // Original schedule EE: the single-iteration count is 16/26 = 61.5%;
+  // across iterations the decoder pairs the first reload with the last
+  // FMA, so the simulated multi-iteration EE sits just above it.
+  EXPECT_GE(e_orig.ee, (16.0 / 26.0) * 0.94 - 1e-9);
+  EXPECT_LT(e_orig.ee, (16.0 / 25.0) * 0.94);
+}
+
+TEST(Model, TrafficAccountsAllThreeStreams) {
+  PerformanceModel model;
+  const auto shape = paper_shape(128, 128);
+  const auto t = model.traffic(shape, img_plan(32, 16));
+  EXPECT_GT(t.input.bytes, 0.0);
+  EXPECT_GT(t.filter.bytes, 0.0);
+  EXPECT_GT(t.output.bytes, 0.0);
+  // Output leaves LDM exactly once.
+  EXPECT_DOUBLE_EQ(t.output.bytes,
+                   static_cast<double>(shape.output_elements()) * 8);
+  EXPECT_EQ(t.output.direction, DmaDirection::kPut);
+}
+
+TEST(Model, EffectiveMbwIsWithinTableRange) {
+  PerformanceModel model;
+  for (auto ni : {64, 128, 256}) {
+    const auto e = model.estimate(paper_shape(ni, ni), batch_plan());
+    EXPECT_GT(e.mbw_mem_gbs, 4.0);
+    EXPECT_LT(e.mbw_mem_gbs, 36.01);
+  }
+}
+
+TEST(Model, InputDmaPromotionCutsInputTraffic) {
+  PerformanceModel model;
+  ConvPlan base = img_plan(32, 16);
+  ConvPlan promoted = img_plan(32, 16);
+  promoted.promote_input_dma = true;
+  const auto shape = paper_shape(128, 128);
+  EXPECT_LT(model.traffic(shape, promoted).input.bytes,
+            model.traffic(shape, base).input.bytes);
+}
+
+TEST(Model, FilterDmaPromotionCutsFilterTraffic) {
+  PerformanceModel model;
+  ConvPlan base = batch_plan();
+  ConvPlan promoted = batch_plan();
+  promoted.promote_filter_dma = true;
+  const auto shape = paper_shape(128, 128);
+  EXPECT_LT(model.traffic(shape, promoted).filter.bytes,
+            model.traffic(shape, base).filter.bytes);
+}
+
+TEST(Model, SecondsForScalesWithCgCount) {
+  PerformanceModel model;
+  const auto shape = paper_shape(128, 128);
+  const auto e = model.estimate(shape, batch_plan());
+  EXPECT_NEAR(e.seconds_for(shape.flops(), 1) / e.seconds_for(shape.flops()),
+              4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace swdnn::perf

@@ -1,0 +1,213 @@
+// SPMD launches on the simulated mesh: identity, DMA, register
+// communication, barriers, and statistics aggregation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "src/sim/executor.h"
+
+namespace swdnn::sim {
+namespace {
+
+arch::Sw26010Spec mesh_spec(int dim) {
+  arch::Sw26010Spec spec = arch::default_spec();
+  spec.mesh_rows = dim;
+  spec.mesh_cols = dim;
+  return spec;
+}
+
+TEST(Executor, LaunchesOneKernelPerCpe) {
+  const arch::Sw26010Spec spec = mesh_spec(4);
+  MeshExecutor exec(spec);
+  std::vector<std::atomic<int>> hits(16);
+  exec.run([&](CpeContext& ctx) {
+    hits[static_cast<std::size_t>(ctx.id())].fetch_add(1);
+    EXPECT_EQ(ctx.id(), ctx.row() * 4 + ctx.col());
+    EXPECT_EQ(ctx.mesh_rows(), 4);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Executor, FullMeshHas64Cpes) {
+  MeshExecutor exec;
+  std::atomic<int> count{0};
+  exec.run([&](CpeContext& ctx) {
+    (void)ctx;
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(Executor, DmaRoundTripThroughLdm) {
+  const arch::Sw26010Spec spec = mesh_spec(2);
+  MeshExecutor exec(spec);
+  std::vector<double> global(4 * 16);
+  for (std::size_t i = 0; i < global.size(); ++i) {
+    global[i] = static_cast<double>(i);
+  }
+  std::vector<double> result(global.size());
+  const LaunchStats stats = exec.run([&](CpeContext& ctx) {
+    auto buf = ctx.ldm().alloc_doubles(16);
+    const std::size_t off = static_cast<std::size_t>(ctx.id()) * 16;
+    ctx.dma_get({global.data() + off, 16}, buf);
+    for (double& v : buf) v += 1.0;
+    ctx.charge_flops(16);
+    ctx.dma_put(buf, {result.data() + off, 16});
+  });
+  for (std::size_t i = 0; i < global.size(); ++i) {
+    EXPECT_EQ(result[i], global[i] + 1.0);
+  }
+  EXPECT_EQ(stats.dma.get_bytes, global.size() * 8);
+  EXPECT_EQ(stats.dma.put_bytes, global.size() * 8);
+  EXPECT_EQ(stats.total_flops, 4u * 16u);
+  EXPECT_GT(stats.max_compute_cycles, 0u);
+  EXPECT_GT(stats.dma_seconds, 0.0);
+}
+
+TEST(Executor, StridedGatherAndScatter) {
+  const arch::Sw26010Spec spec = mesh_spec(2);
+  MeshExecutor exec(spec);
+  // 4 rows of 8; each CPE gathers column-block ctx.id()*2 of width 2.
+  std::vector<double> matrix(4 * 8);
+  for (std::size_t i = 0; i < matrix.size(); ++i) {
+    matrix[i] = static_cast<double>(i);
+  }
+  std::vector<double> out(matrix.size());
+  exec.run([&](CpeContext& ctx) {
+    auto buf = ctx.ldm().alloc_doubles(8);  // 4 rows x 2 cols
+    const std::int64_t col0 = ctx.id() * 2;
+    ctx.dma_get_strided(matrix.data() + col0, 4, 2, 8, buf);
+    ctx.dma_put_strided(buf, out.data() + col0, 4, 2, 8);
+  });
+  EXPECT_EQ(out, matrix);
+}
+
+TEST(Executor, BarrierSeparatesPhases) {
+  const arch::Sw26010Spec spec = mesh_spec(4);
+  MeshExecutor exec(spec);
+  std::atomic<int> phase1{0};
+  std::atomic<bool> violated{false};
+  exec.run([&](CpeContext& ctx) {
+    phase1.fetch_add(1);
+    ctx.sync();
+    if (phase1.load() != 16) violated.store(true);
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(Executor, RowPutGetDeliversInOrder) {
+  const arch::Sw26010Spec spec = mesh_spec(2);
+  MeshExecutor exec(spec);
+  std::vector<double> received(4, -1);
+  exec.run([&](CpeContext& ctx) {
+    if (ctx.col() == 0) {
+      ctx.put_row(1, Vec4::splat(static_cast<double>(ctx.row() + 10)));
+    } else {
+      received[static_cast<std::size_t>(ctx.row())] = ctx.get_row().lane[0];
+    }
+  });
+  EXPECT_EQ(received[0], 10.0);
+  EXPECT_EQ(received[1], 11.0);
+}
+
+TEST(Executor, ColPutGetDelivers) {
+  const arch::Sw26010Spec spec = mesh_spec(2);
+  MeshExecutor exec(spec);
+  std::vector<double> received(2, -1);
+  exec.run([&](CpeContext& ctx) {
+    if (ctx.row() == 0) {
+      ctx.put_col(1, Vec4::splat(static_cast<double>(ctx.col() + 20)));
+    } else {
+      received[static_cast<std::size_t>(ctx.col())] = ctx.get_col().lane[0];
+    }
+  });
+  EXPECT_EQ(received[0], 20.0);
+  EXPECT_EQ(received[1], 21.0);
+}
+
+TEST(Executor, RowBroadcastReachesWholeRow) {
+  const arch::Sw26010Spec spec = mesh_spec(4);
+  MeshExecutor exec(spec);
+  std::vector<double> received(16, -1);
+  const LaunchStats stats = exec.run([&](CpeContext& ctx) {
+    if (ctx.col() == 2) {
+      ctx.bcast_row(Vec4::splat(static_cast<double>(100 + ctx.row())));
+      received[static_cast<std::size_t>(ctx.id())] =
+          static_cast<double>(100 + ctx.row());
+    } else {
+      received[static_cast<std::size_t>(ctx.id())] = ctx.get_row().lane[0];
+    }
+  });
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_EQ(received[static_cast<std::size_t>(r * 4 + c)], 100.0 + r);
+    }
+  }
+  // 4 broadcasts x 3 receivers each.
+  EXPECT_EQ(stats.regcomm_messages, 12u);
+  EXPECT_EQ(stats.regcomm_bytes(), 12u * 32u);
+}
+
+TEST(Executor, ColBroadcastReachesWholeColumn) {
+  const arch::Sw26010Spec spec = mesh_spec(4);
+  MeshExecutor exec(spec);
+  std::vector<double> received(16, -1);
+  exec.run([&](CpeContext& ctx) {
+    if (ctx.row() == 0) {
+      ctx.bcast_col(Vec4::splat(static_cast<double>(ctx.col())));
+      received[static_cast<std::size_t>(ctx.id())] =
+          static_cast<double>(ctx.col());
+    } else {
+      received[static_cast<std::size_t>(ctx.id())] = ctx.get_col().lane[0];
+    }
+  });
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_EQ(received[static_cast<std::size_t>(r * 4 + c)],
+                static_cast<double>(c));
+    }
+  }
+}
+
+TEST(Executor, LdmIsPerCpe) {
+  const arch::Sw26010Spec spec = mesh_spec(2);
+  MeshExecutor exec(spec);
+  std::atomic<bool> overlap{false};
+  std::vector<double*> bases(4, nullptr);
+  exec.run([&](CpeContext& ctx) {
+    auto buf = ctx.ldm().alloc_doubles(64);
+    bases[static_cast<std::size_t>(ctx.id())] = buf.data();
+    ctx.sync();
+    for (int other = 0; other < 4; ++other) {
+      if (other != ctx.id() && bases[static_cast<std::size_t>(other)] ==
+                                   buf.data()) {
+        overlap.store(true);
+      }
+    }
+  });
+  EXPECT_FALSE(overlap.load());
+}
+
+TEST(LaunchStats, OverlapModel) {
+  LaunchStats s;
+  s.compute_seconds = 2.0;
+  s.dma_seconds = 3.0;
+  s.total_flops = 12'000'000'000ull;
+  EXPECT_DOUBLE_EQ(s.modeled_seconds(true), 3.0);
+  EXPECT_DOUBLE_EQ(s.modeled_seconds(false), 5.0);
+  EXPECT_DOUBLE_EQ(s.modeled_gflops(true), 4.0);
+}
+
+TEST(Executor, ChargeFlopsRoundsUpCycles) {
+  const arch::Sw26010Spec spec = mesh_spec(2);
+  MeshExecutor exec(spec);
+  const LaunchStats stats = exec.run([&](CpeContext& ctx) {
+    if (ctx.id() == 0) ctx.charge_flops(9);  // 9/8 -> 2 cycles
+  });
+  EXPECT_EQ(stats.max_compute_cycles, 2u);
+}
+
+}  // namespace
+}  // namespace swdnn::sim

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/sim/regcomm.h"
+
+namespace swdnn::sim {
+namespace {
+
+TEST(Vec4, Splat) {
+  const Vec4 v = Vec4::splat(2.5);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v.lane[i], 2.5);
+}
+
+TEST(Vec4, Fma) {
+  Vec4 acc = Vec4::splat(1.0);
+  acc.fma(Vec4{{1, 2, 3, 4}}, Vec4{{2, 2, 2, 2}});
+  EXPECT_EQ(acc.lane[0], 3.0);
+  EXPECT_EQ(acc.lane[3], 9.0);
+}
+
+TEST(Vec4, AddAndMul) {
+  const Vec4 a{{1, 2, 3, 4}};
+  const Vec4 b{{10, 20, 30, 40}};
+  const Vec4 sum = a + b;
+  const Vec4 prod = a * b;
+  EXPECT_EQ(sum.lane[2], 33.0);
+  EXPECT_EQ(prod.lane[3], 160.0);
+}
+
+TEST(TransferBuffer, FifoOrder) {
+  TransferBuffer buf(4);
+  buf.put(Vec4::splat(1.0));
+  buf.put(Vec4::splat(2.0));
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf.get().lane[0], 1.0);
+  EXPECT_EQ(buf.get().lane[0], 2.0);
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(TransferBuffer, PutBlocksWhenFullUntilGet) {
+  TransferBuffer buf(2);
+  buf.put(Vec4::splat(1.0));
+  buf.put(Vec4::splat(2.0));
+  std::atomic<bool> third_done{false};
+  std::thread producer([&] {
+    buf.put(Vec4::splat(3.0));  // must block until a slot frees
+    third_done.store(true);
+  });
+  // The producer cannot finish while the buffer is full.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_done.load());
+  EXPECT_EQ(buf.get().lane[0], 1.0);
+  producer.join();
+  EXPECT_TRUE(third_done.load());
+  EXPECT_EQ(buf.get().lane[0], 2.0);
+  EXPECT_EQ(buf.get().lane[0], 3.0);
+}
+
+TEST(TransferBuffer, GetBlocksUntilPut) {
+  TransferBuffer buf(4);
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    const Vec4 v = buf.get();
+    EXPECT_EQ(v.lane[1], 7.0);
+    got.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got.load());
+  buf.put(Vec4{{0, 7, 0, 0}});
+  consumer.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(TransferBuffer, ManyMessagesThroughSmallBuffer) {
+  // Producer-consumer across a capacity-4 buffer, 1000 messages: the
+  // paper's multi-Put/multi-Get discipline.
+  TransferBuffer buf(4);
+  constexpr int kN = 1000;
+  std::thread producer([&] {
+    for (int i = 0; i < kN; ++i) buf.put(Vec4::splat(static_cast<double>(i)));
+  });
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(buf.get().lane[0], static_cast<double>(i));
+  }
+  producer.join();
+}
+
+}  // namespace
+}  // namespace swdnn::sim

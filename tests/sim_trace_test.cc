@@ -1,0 +1,126 @@
+// The simulator's event tracer: recording, Chrome JSON export, and
+// integration with real kernel launches.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+
+#include "src/conv/ldm_blocked.h"
+#include "src/conv/reference.h"
+#include "src/sim/trace.h"
+#include "src/util/rng.h"
+
+namespace swdnn::sim {
+namespace {
+
+arch::Sw26010Spec mesh_spec(int dim) {
+  arch::Sw26010Spec spec = arch::default_spec();
+  spec.mesh_rows = dim;
+  spec.mesh_cols = dim;
+  return spec;
+}
+
+TEST(Tracer, RecordsEvents) {
+  EventTracer tracer;
+  tracer.record(3, "dma", "get 256B", 100, 150);
+  tracer.record(0, "sync", "barrier", 200, 201);
+  ASSERT_EQ(tracer.size(), 2u);
+  const auto events = tracer.events();
+  EXPECT_EQ(events[0].cpe, 3);
+  EXPECT_EQ(events[0].category, "dma");
+  EXPECT_EQ(events[0].end_cycle - events[0].begin_cycle, 50u);
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(Tracer, ChromeJsonShape) {
+  EventTracer tracer;
+  tracer.record(1, "dma", "get 64B", 0, 29);  // 29 cycles @1.45GHz = 20ns
+  const std::string json = tracer.to_chrome_json(1.45);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"get 64B\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(Tracer, EmptyTraceIsValidJson) {
+  EventTracer tracer;
+  EXPECT_EQ(tracer.to_chrome_json(1.45), "{\"traceEvents\":[]}");
+}
+
+TEST(Tracer, WritesFile) {
+  EventTracer tracer;
+  tracer.record(0, "dma", "put 1024B", 10, 50);
+  const std::string path = ::testing::TempDir() + "/swdnn_trace.json";
+  tracer.write_chrome_json(path, 1.45);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("put 1024B"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Tracer, CapturesAConvolutionLaunch) {
+  // Attach to a real mesh kernel run: DMA, bus, and barrier events from
+  // every CPE must appear.
+  const arch::Sw26010Spec spec = mesh_spec(2);
+  MeshExecutor exec(spec);
+  EventTracer tracer;
+  exec.set_tracer(&tracer);
+
+  const conv::ConvShape shape =
+      conv::ConvShape::from_output(4, 2, 2, 3, 4, 2, 2);
+  perf::ConvPlan plan;
+  plan.kind = perf::PlanKind::kBatchSizeAware;
+  plan.block_co = 2;
+  util::Rng rng(55);
+  auto input = conv::make_input(shape);
+  auto filter = conv::make_filter(shape);
+  rng.fill_uniform(input.data(), -1, 1);
+  rng.fill_uniform(filter.data(), -1, 1);
+  auto output = conv::make_output(shape);
+  conv::run_batch_size_aware(exec, input, filter, output, shape, plan);
+
+  EXPECT_GT(tracer.size(), 0u);
+  bool saw_dma = false, saw_bus = false, saw_sync = false;
+  std::set<int> cpes;
+  for (const auto& e : tracer.events()) {
+    saw_dma |= (e.category == "dma");
+    saw_bus |= (e.category == "bus");
+    saw_sync |= (e.category == "sync");
+    cpes.insert(e.cpe);
+    EXPECT_GE(e.end_cycle, e.begin_cycle);
+  }
+  EXPECT_TRUE(saw_dma);
+  EXPECT_TRUE(saw_bus);
+  EXPECT_TRUE(saw_sync);
+  EXPECT_EQ(cpes.size(), 4u);  // all CPEs of the 2x2 mesh participated
+
+  // Detach: subsequent launches record nothing.
+  exec.set_tracer(nullptr);
+  tracer.clear();
+  conv::run_batch_size_aware(exec, input, filter, output, shape, plan);
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(Tracer, ConcurrentRecordingIsSafe) {
+  // 64 CPE threads recording into one tracer.
+  MeshExecutor exec;  // full 8x8 mesh
+  EventTracer tracer;
+  exec.set_tracer(&tracer);
+  std::vector<double> global(64 * 8);
+  exec.run([&](CpeContext& ctx) {
+    auto buf = ctx.ldm().alloc_doubles(8);
+    for (int rep = 0; rep < 10; ++rep) {
+      ctx.dma_get({global.data() + ctx.id() * 8, 8}, buf);
+    }
+  });
+  EXPECT_EQ(tracer.size(), 64u * 10u);
+}
+
+}  // namespace
+}  // namespace swdnn::sim

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "src/tensor/tensor.h"
+
+namespace swdnn::tensor {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  for (double v : t.data()) EXPECT_EQ(v, 0.0);
+  EXPECT_EQ(t.size(), 6);
+  EXPECT_EQ(t.rank(), 2);
+}
+
+TEST(Tensor, RowMajorStrides) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.strides(), (std::vector<std::int64_t>{12, 4, 1}));
+}
+
+TEST(Tensor, OffsetAndAtAgree) {
+  Tensor t({3, 4, 5, 6});
+  t.at(2, 1, 3, 4) = 7.5;
+  EXPECT_EQ(t.data()[t.offset({2, 1, 3, 4})], 7.5);
+  EXPECT_EQ(t.offset({0, 0, 0, 1}), 1);
+  EXPECT_EQ(t.offset({1, 0, 0, 0}), 4 * 5 * 6);
+}
+
+TEST(Tensor, Rank5Access) {
+  Tensor t({2, 2, 2, 2, 4});
+  t.at(1, 1, 1, 1, 3) = 1.0;
+  EXPECT_EQ(t.data()[t.size() - 1], 1.0);
+}
+
+TEST(Tensor, RejectsBadRank) {
+  EXPECT_THROW(Tensor(std::vector<std::int64_t>{}), std::invalid_argument);
+  EXPECT_THROW(Tensor({1, 1, 1, 1, 1, 1}), std::invalid_argument);
+}
+
+TEST(Tensor, RejectsNonPositiveDims) {
+  EXPECT_THROW(Tensor({2, 0}), std::invalid_argument);
+  EXPECT_THROW(Tensor({-1}), std::invalid_argument);
+}
+
+TEST(Tensor, FillAndZero) {
+  Tensor t({4});
+  t.fill(2.5);
+  for (double v : t.data()) EXPECT_EQ(v, 2.5);
+  t.zero();
+  for (double v : t.data()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Tensor, AllcloseExactAndTolerance) {
+  Tensor a({3}), b({3});
+  a.fill(1.0);
+  b.fill(1.0);
+  EXPECT_TRUE(a.allclose(b));
+  b.at(1) = 1.0 + 1e-13;
+  EXPECT_TRUE(a.allclose(b));
+  b.at(1) = 1.1;
+  EXPECT_FALSE(a.allclose(b));
+}
+
+TEST(Tensor, AllcloseDimsMismatch) {
+  Tensor a({3}), b({4});
+  EXPECT_FALSE(a.allclose(b));
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  Tensor a({2, 2}), b({2, 2});
+  a.at(1, 1) = 3.0;
+  b.at(1, 1) = 1.0;
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 2.0);
+  Tensor c({3});
+  EXPECT_THROW(a.max_abs_diff(c), std::invalid_argument);
+}
+
+TEST(Tensor, ShapeString) {
+  EXPECT_EQ(Tensor({4, 8, 8, 2}).shape_string(), "Tensor[4x8x8x2]");
+}
+
+}  // namespace
+}  // namespace swdnn::tensor

@@ -1,0 +1,132 @@
+// Issue-trace consistency: the optional trace must agree with the
+// aggregate SimResult on every stream.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/timing/kernels.h"
+#include "src/timing/pipeline.h"
+#include "src/util/rng.h"
+
+namespace swdnn::timing {
+namespace {
+
+void check_trace_consistency(const arch::InstructionStream& stream) {
+  DualPipelineSimulator sim;
+  IssueTrace trace;
+  const SimResult with_trace = sim.simulate(stream, &trace);
+  const SimResult without = sim.simulate(stream);
+
+  // Tracing must not perturb the simulation.
+  EXPECT_EQ(with_trace.cycles, without.cycles);
+  EXPECT_EQ(with_trace.dual_issue_cycles, without.dual_issue_cycles);
+
+  // Every instruction issued exactly once, in order.
+  ASSERT_EQ(trace.size(), stream.size());
+  std::set<std::size_t> seen;
+  std::uint64_t prev_cycle = 0;
+  for (const IssueEvent& e : trace) {
+    EXPECT_TRUE(seen.insert(e.index).second) << "double issue " << e.index;
+    EXPECT_GE(e.cycle, prev_cycle);
+    prev_cycle = e.cycle;
+    EXPECT_TRUE(e.slot == '0' || e.slot == '1');
+  }
+
+  // Per-cycle structural limits: at most one instruction per slot.
+  std::set<std::pair<std::uint64_t, char>> slots;
+  for (const IssueEvent& e : trace) {
+    EXPECT_TRUE(slots.insert({e.cycle, e.slot}).second)
+        << "slot " << e.slot << " double-booked at cycle " << e.cycle;
+  }
+
+  // Slot/pipeline class agreement.
+  for (const IssueEvent& e : trace) {
+    const auto cls = arch::op_info(stream[e.index].op).pipeline;
+    if (cls == arch::PipelineClass::kP0Only) {
+      EXPECT_EQ(e.slot, '0');
+    }
+    if (cls == arch::PipelineClass::kP1Only) {
+      EXPECT_EQ(e.slot, '1');
+    }
+  }
+
+  // P0/P1 counts match the aggregates.
+  std::uint64_t p0 = 0, p1 = 0;
+  for (const IssueEvent& e : trace) {
+    (e.slot == '0' ? p0 : p1) += 1;
+  }
+  EXPECT_EQ(p0, with_trace.issued_p0);
+  EXPECT_EQ(p1, with_trace.issued_p1);
+}
+
+TEST(IssueTrace, OriginalScheduleConsistent) {
+  check_trace_consistency(original_stream(3));
+}
+
+TEST(IssueTrace, ReorderedScheduleConsistent) {
+  check_trace_consistency(reordered_stream(4));
+}
+
+TEST(IssueTrace, RandomStreamsConsistent) {
+  // Property test: random instruction soups must keep the invariants.
+  util::Rng rng(2025);
+  for (int trial = 0; trial < 20; ++trial) {
+    arch::InstructionStream stream;
+    const int len = static_cast<int>(rng.uniform_int(1, 60));
+    for (int i = 0; i < len; ++i) {
+      const int pick = static_cast<int>(rng.uniform_int(0, 4));
+      const int r1 = static_cast<int>(rng.uniform_int(0, 15));
+      const int r2 = static_cast<int>(rng.uniform_int(0, 15));
+      const int r3 = static_cast<int>(rng.uniform_int(0, 15));
+      switch (pick) {
+        case 0:
+          stream.push_back(arch::make_vload(r1, 100));
+          break;
+        case 1:
+          stream.push_back(arch::make_vfmad(r1, r2, r3));
+          break;
+        case 2:
+          stream.push_back(arch::make_addi(r1));
+          break;
+        case 3:
+          stream.push_back(arch::make_cmp(r1, r2));
+          break;
+        default:
+          stream.push_back(arch::make_branch(r1));
+          break;
+      }
+    }
+    check_trace_consistency(stream);
+  }
+}
+
+TEST(IssueTrace, CyclesBoundedByStreamStructure) {
+  // More properties on random streams: issue takes at least
+  // ceil(len/2) cycles (two slots) and at most len + total stall
+  // potential; dual issues never exceed len/2.
+  util::Rng rng(77);
+  DualPipelineSimulator sim;
+  for (int trial = 0; trial < 20; ++trial) {
+    arch::InstructionStream stream;
+    const int len = static_cast<int>(rng.uniform_int(2, 80));
+    for (int i = 0; i < len; ++i) {
+      if (rng.uniform(0, 1) < 0.5) {
+        stream.push_back(
+            arch::make_vload(static_cast<int>(rng.uniform_int(0, 7)), 100));
+      } else {
+        stream.push_back(
+            arch::make_vfmad(static_cast<int>(rng.uniform_int(8, 15)),
+                             static_cast<int>(rng.uniform_int(0, 7)),
+                             static_cast<int>(rng.uniform_int(0, 7))));
+      }
+    }
+    const SimResult r = sim.simulate(stream);
+    EXPECT_GE(r.cycles, static_cast<std::uint64_t>((len + 1) / 2));
+    EXPECT_LE(r.dual_issue_cycles, static_cast<std::uint64_t>(len / 2));
+    EXPECT_EQ(r.issued_p0 + r.issued_p1, static_cast<std::uint64_t>(len));
+  }
+}
+
+}  // namespace
+}  // namespace swdnn::timing
