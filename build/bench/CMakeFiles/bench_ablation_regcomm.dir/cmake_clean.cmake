@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_regcomm.dir/bench_ablation_regcomm.cpp.o"
+  "CMakeFiles/bench_ablation_regcomm.dir/bench_ablation_regcomm.cpp.o.d"
+  "bench_ablation_regcomm"
+  "bench_ablation_regcomm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_regcomm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

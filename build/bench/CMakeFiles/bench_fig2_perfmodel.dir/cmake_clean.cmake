@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_perfmodel.dir/bench_fig2_perfmodel.cpp.o"
+  "CMakeFiles/bench_fig2_perfmodel.dir/bench_fig2_perfmodel.cpp.o.d"
+  "bench_fig2_perfmodel"
+  "bench_fig2_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pipeline_sim.dir/bench_pipeline_sim.cpp.o"
+  "CMakeFiles/bench_pipeline_sim.dir/bench_pipeline_sim.cpp.o.d"
+  "bench_pipeline_sim"
+  "bench_pipeline_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pipeline_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

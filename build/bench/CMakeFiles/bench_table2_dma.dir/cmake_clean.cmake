@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_dma.dir/bench_table2_dma.cpp.o"
+  "CMakeFiles/bench_table2_dma.dir/bench_table2_dma.cpp.o.d"
+  "bench_table2_dma"
+  "bench_table2_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alexnet_mini.dir/alexnet_mini.cpp.o"
+  "CMakeFiles/alexnet_mini.dir/alexnet_mini.cpp.o.d"
+  "alexnet_mini"
+  "alexnet_mini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alexnet_mini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_demo.dir/api_demo.cpp.o"
+  "CMakeFiles/api_demo.dir/api_demo.cpp.o.d"
+  "api_demo"
+  "api_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_parallel_training.dir/data_parallel_training.cpp.o"
+  "CMakeFiles/data_parallel_training.dir/data_parallel_training.cpp.o.d"
+  "data_parallel_training"
+  "data_parallel_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_parallel_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layer_timing.dir/layer_timing.cpp.o"
+  "CMakeFiles/layer_timing.dir/layer_timing.cpp.o.d"
+  "layer_timing"
+  "layer_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layer_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

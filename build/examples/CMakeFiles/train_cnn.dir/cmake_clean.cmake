@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_cnn.dir/train_cnn.cpp.o"
+  "CMakeFiles/train_cnn.dir/train_cnn.cpp.o.d"
+  "train_cnn"
+  "train_cnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_cnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/swdnn_api.cc" "src/CMakeFiles/swdnn.dir/api/swdnn_api.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/api/swdnn_api.cc.o.d"
+  "/root/repo/src/arch/isa.cc" "src/CMakeFiles/swdnn.dir/arch/isa.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/arch/isa.cc.o.d"
+  "/root/repo/src/arch/spec.cc" "src/CMakeFiles/swdnn.dir/arch/spec.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/arch/spec.cc.o.d"
+  "/root/repo/src/conv/backward.cc" "src/CMakeFiles/swdnn.dir/conv/backward.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/conv/backward.cc.o.d"
+  "/root/repo/src/conv/fftconv.cc" "src/CMakeFiles/swdnn.dir/conv/fftconv.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/conv/fftconv.cc.o.d"
+  "/root/repo/src/conv/gemm.cc" "src/CMakeFiles/swdnn.dir/conv/gemm.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/conv/gemm.cc.o.d"
+  "/root/repo/src/conv/im2col.cc" "src/CMakeFiles/swdnn.dir/conv/im2col.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/conv/im2col.cc.o.d"
+  "/root/repo/src/conv/ldm_blocked.cc" "src/CMakeFiles/swdnn.dir/conv/ldm_blocked.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/conv/ldm_blocked.cc.o.d"
+  "/root/repo/src/conv/mesh_gemm_driver.cc" "src/CMakeFiles/swdnn.dir/conv/mesh_gemm_driver.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/conv/mesh_gemm_driver.cc.o.d"
+  "/root/repo/src/conv/reference.cc" "src/CMakeFiles/swdnn.dir/conv/reference.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/conv/reference.cc.o.d"
+  "/root/repo/src/conv/regcomm_gemm.cc" "src/CMakeFiles/swdnn.dir/conv/regcomm_gemm.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/conv/regcomm_gemm.cc.o.d"
+  "/root/repo/src/conv/shape.cc" "src/CMakeFiles/swdnn.dir/conv/shape.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/conv/shape.cc.o.d"
+  "/root/repo/src/conv/swconv.cc" "src/CMakeFiles/swdnn.dir/conv/swconv.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/conv/swconv.cc.o.d"
+  "/root/repo/src/conv/winograd.cc" "src/CMakeFiles/swdnn.dir/conv/winograd.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/conv/winograd.cc.o.d"
+  "/root/repo/src/dnn/activations.cc" "src/CMakeFiles/swdnn.dir/dnn/activations.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/dnn/activations.cc.o.d"
+  "/root/repo/src/dnn/convolution.cc" "src/CMakeFiles/swdnn.dir/dnn/convolution.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/dnn/convolution.cc.o.d"
+  "/root/repo/src/dnn/dropout.cc" "src/CMakeFiles/swdnn.dir/dnn/dropout.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/dnn/dropout.cc.o.d"
+  "/root/repo/src/dnn/fully_connected.cc" "src/CMakeFiles/swdnn.dir/dnn/fully_connected.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/dnn/fully_connected.cc.o.d"
+  "/root/repo/src/dnn/loss.cc" "src/CMakeFiles/swdnn.dir/dnn/loss.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/dnn/loss.cc.o.d"
+  "/root/repo/src/dnn/lrn.cc" "src/CMakeFiles/swdnn.dir/dnn/lrn.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/dnn/lrn.cc.o.d"
+  "/root/repo/src/dnn/network.cc" "src/CMakeFiles/swdnn.dir/dnn/network.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/dnn/network.cc.o.d"
+  "/root/repo/src/dnn/padding.cc" "src/CMakeFiles/swdnn.dir/dnn/padding.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/dnn/padding.cc.o.d"
+  "/root/repo/src/dnn/pooling.cc" "src/CMakeFiles/swdnn.dir/dnn/pooling.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/dnn/pooling.cc.o.d"
+  "/root/repo/src/dnn/relu.cc" "src/CMakeFiles/swdnn.dir/dnn/relu.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/dnn/relu.cc.o.d"
+  "/root/repo/src/dnn/serialize.cc" "src/CMakeFiles/swdnn.dir/dnn/serialize.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/dnn/serialize.cc.o.d"
+  "/root/repo/src/dnn/sgd.cc" "src/CMakeFiles/swdnn.dir/dnn/sgd.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/dnn/sgd.cc.o.d"
+  "/root/repo/src/dnn/softmax.cc" "src/CMakeFiles/swdnn.dir/dnn/softmax.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/dnn/softmax.cc.o.d"
+  "/root/repo/src/dnn/trainer.cc" "src/CMakeFiles/swdnn.dir/dnn/trainer.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/dnn/trainer.cc.o.d"
+  "/root/repo/src/parallel/allreduce.cc" "src/CMakeFiles/swdnn.dir/parallel/allreduce.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/parallel/allreduce.cc.o.d"
+  "/root/repo/src/parallel/data_parallel.cc" "src/CMakeFiles/swdnn.dir/parallel/data_parallel.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/parallel/data_parallel.cc.o.d"
+  "/root/repo/src/perf/chooser.cc" "src/CMakeFiles/swdnn.dir/perf/chooser.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/perf/chooser.cc.o.d"
+  "/root/repo/src/perf/dma_table.cc" "src/CMakeFiles/swdnn.dir/perf/dma_table.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/perf/dma_table.cc.o.d"
+  "/root/repo/src/perf/k40m.cc" "src/CMakeFiles/swdnn.dir/perf/k40m.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/perf/k40m.cc.o.d"
+  "/root/repo/src/perf/model.cc" "src/CMakeFiles/swdnn.dir/perf/model.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/perf/model.cc.o.d"
+  "/root/repo/src/perf/plan.cc" "src/CMakeFiles/swdnn.dir/perf/plan.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/perf/plan.cc.o.d"
+  "/root/repo/src/sim/dma.cc" "src/CMakeFiles/swdnn.dir/sim/dma.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/sim/dma.cc.o.d"
+  "/root/repo/src/sim/executor.cc" "src/CMakeFiles/swdnn.dir/sim/executor.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/sim/executor.cc.o.d"
+  "/root/repo/src/sim/ldm.cc" "src/CMakeFiles/swdnn.dir/sim/ldm.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/sim/ldm.cc.o.d"
+  "/root/repo/src/sim/mesh.cc" "src/CMakeFiles/swdnn.dir/sim/mesh.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/sim/mesh.cc.o.d"
+  "/root/repo/src/sim/noc.cc" "src/CMakeFiles/swdnn.dir/sim/noc.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/sim/noc.cc.o.d"
+  "/root/repo/src/sim/regcomm.cc" "src/CMakeFiles/swdnn.dir/sim/regcomm.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/sim/regcomm.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/swdnn.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/sim/trace.cc.o.d"
+  "/root/repo/src/tensor/layout.cc" "src/CMakeFiles/swdnn.dir/tensor/layout.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/tensor/layout.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/swdnn.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/timing/kernels.cc" "src/CMakeFiles/swdnn.dir/timing/kernels.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/timing/kernels.cc.o.d"
+  "/root/repo/src/timing/pipeline.cc" "src/CMakeFiles/swdnn.dir/timing/pipeline.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/timing/pipeline.cc.o.d"
+  "/root/repo/src/util/cli.cc" "src/CMakeFiles/swdnn.dir/util/cli.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/util/cli.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/swdnn.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/swdnn.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/stopwatch.cc" "src/CMakeFiles/swdnn.dir/util/stopwatch.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/util/stopwatch.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/swdnn.dir/util/table.cc.o" "gcc" "src/CMakeFiles/swdnn.dir/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_backward_test.dir/conv_backward_test.cc.o"
+  "CMakeFiles/conv_backward_test.dir/conv_backward_test.cc.o.d"
+  "conv_backward_test"
+  "conv_backward_test.pdb"
+  "conv_backward_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_backward_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_im2col_test.dir/conv_im2col_test.cc.o"
+  "CMakeFiles/conv_im2col_test.dir/conv_im2col_test.cc.o.d"
+  "conv_im2col_test"
+  "conv_im2col_test.pdb"
+  "conv_im2col_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_im2col_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_ldm_blocked_test.dir/conv_ldm_blocked_test.cc.o"
+  "CMakeFiles/conv_ldm_blocked_test.dir/conv_ldm_blocked_test.cc.o.d"
+  "conv_ldm_blocked_test"
+  "conv_ldm_blocked_test.pdb"
+  "conv_ldm_blocked_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_ldm_blocked_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

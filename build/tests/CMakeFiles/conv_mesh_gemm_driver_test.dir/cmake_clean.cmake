@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_mesh_gemm_driver_test.dir/conv_mesh_gemm_driver_test.cc.o"
+  "CMakeFiles/conv_mesh_gemm_driver_test.dir/conv_mesh_gemm_driver_test.cc.o.d"
+  "conv_mesh_gemm_driver_test"
+  "conv_mesh_gemm_driver_test.pdb"
+  "conv_mesh_gemm_driver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_mesh_gemm_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_regcomm_gemm_test.dir/conv_regcomm_gemm_test.cc.o"
+  "CMakeFiles/conv_regcomm_gemm_test.dir/conv_regcomm_gemm_test.cc.o.d"
+  "conv_regcomm_gemm_test"
+  "conv_regcomm_gemm_test.pdb"
+  "conv_regcomm_gemm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_regcomm_gemm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

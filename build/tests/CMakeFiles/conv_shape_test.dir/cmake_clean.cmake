@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_shape_test.dir/conv_shape_test.cc.o"
+  "CMakeFiles/conv_shape_test.dir/conv_shape_test.cc.o.d"
+  "conv_shape_test"
+  "conv_shape_test.pdb"
+  "conv_shape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

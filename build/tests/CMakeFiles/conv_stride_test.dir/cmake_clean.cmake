@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_stride_test.dir/conv_stride_test.cc.o"
+  "CMakeFiles/conv_stride_test.dir/conv_stride_test.cc.o.d"
+  "conv_stride_test"
+  "conv_stride_test.pdb"
+  "conv_stride_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_stride_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_swconv_test.dir/conv_swconv_test.cc.o"
+  "CMakeFiles/conv_swconv_test.dir/conv_swconv_test.cc.o.d"
+  "conv_swconv_test"
+  "conv_swconv_test.pdb"
+  "conv_swconv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_swconv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

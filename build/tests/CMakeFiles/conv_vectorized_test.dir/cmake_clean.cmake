@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_vectorized_test.dir/conv_vectorized_test.cc.o"
+  "CMakeFiles/conv_vectorized_test.dir/conv_vectorized_test.cc.o.d"
+  "conv_vectorized_test"
+  "conv_vectorized_test.pdb"
+  "conv_vectorized_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_vectorized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

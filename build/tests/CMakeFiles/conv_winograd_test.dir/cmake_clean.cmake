@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_winograd_test.dir/conv_winograd_test.cc.o"
+  "CMakeFiles/conv_winograd_test.dir/conv_winograd_test.cc.o.d"
+  "conv_winograd_test"
+  "conv_winograd_test.pdb"
+  "conv_winograd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_winograd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

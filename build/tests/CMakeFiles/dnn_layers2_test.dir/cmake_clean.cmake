@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_layers2_test.dir/dnn_layers2_test.cc.o"
+  "CMakeFiles/dnn_layers2_test.dir/dnn_layers2_test.cc.o.d"
+  "dnn_layers2_test"
+  "dnn_layers2_test.pdb"
+  "dnn_layers2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_layers2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_layers_test.dir/dnn_layers_test.cc.o"
+  "CMakeFiles/dnn_layers_test.dir/dnn_layers_test.cc.o.d"
+  "dnn_layers_test"
+  "dnn_layers_test.pdb"
+  "dnn_layers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_layers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_mesh_backend_test.dir/dnn_mesh_backend_test.cc.o"
+  "CMakeFiles/dnn_mesh_backend_test.dir/dnn_mesh_backend_test.cc.o.d"
+  "dnn_mesh_backend_test"
+  "dnn_mesh_backend_test.pdb"
+  "dnn_mesh_backend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_mesh_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_padding_serialize_test.dir/dnn_padding_serialize_test.cc.o"
+  "CMakeFiles/dnn_padding_serialize_test.dir/dnn_padding_serialize_test.cc.o.d"
+  "dnn_padding_serialize_test"
+  "dnn_padding_serialize_test.pdb"
+  "dnn_padding_serialize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_padding_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_tables_test.dir/paper_tables_test.cc.o"
+  "CMakeFiles/paper_tables_test.dir/paper_tables_test.cc.o.d"
+  "paper_tables_test"
+  "paper_tables_test.pdb"
+  "paper_tables_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_tables_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_k40m_test.dir/perf_k40m_test.cc.o"
+  "CMakeFiles/perf_k40m_test.dir/perf_k40m_test.cc.o.d"
+  "perf_k40m_test"
+  "perf_k40m_test.pdb"
+  "perf_k40m_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_k40m_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_plan_test.dir/perf_plan_test.cc.o"
+  "CMakeFiles/perf_plan_test.dir/perf_plan_test.cc.o.d"
+  "perf_plan_test"
+  "perf_plan_test.pdb"
+  "perf_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

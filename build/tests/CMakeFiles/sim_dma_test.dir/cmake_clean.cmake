@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_dma_test.dir/sim_dma_test.cc.o"
+  "CMakeFiles/sim_dma_test.dir/sim_dma_test.cc.o.d"
+  "sim_dma_test"
+  "sim_dma_test.pdb"
+  "sim_dma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_dma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_ldm_test.dir/sim_ldm_test.cc.o"
+  "CMakeFiles/sim_ldm_test.dir/sim_ldm_test.cc.o.d"
+  "sim_ldm_test"
+  "sim_ldm_test.pdb"
+  "sim_ldm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_ldm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_regcomm_test.dir/sim_regcomm_test.cc.o"
+  "CMakeFiles/sim_regcomm_test.dir/sim_regcomm_test.cc.o.d"
+  "sim_regcomm_test"
+  "sim_regcomm_test.pdb"
+  "sim_regcomm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_regcomm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_pipeline_test.dir/timing_pipeline_test.cc.o"
+  "CMakeFiles/timing_pipeline_test.dir/timing_pipeline_test.cc.o.d"
+  "timing_pipeline_test"
+  "timing_pipeline_test.pdb"
+  "timing_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

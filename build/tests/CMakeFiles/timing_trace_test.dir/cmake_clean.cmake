@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_trace_test.dir/timing_trace_test.cc.o"
+  "CMakeFiles/timing_trace_test.dir/timing_trace_test.cc.o.d"
+  "timing_trace_test"
+  "timing_trace_test.pdb"
+  "timing_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
