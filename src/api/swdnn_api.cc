@@ -1,7 +1,9 @@
 #include "src/api/swdnn_api.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <exception>
+#include <memory>
 #include <string>
 
 #include "src/conv/backward.h"
@@ -14,10 +16,25 @@ struct Handle {
   arch::Sw26010Spec spec = arch::default_spec();
   conv::SwConvolution sw;
   ExecutionRoute last_route = ExecutionRoute::kNone;
-  std::string last_error;
+  // Fixed-size buffer, never shared between handles: last_error_message()
+  // stays valid and race-free under concurrent use of distinct handles.
+  char last_error[256] = {0};
+  std::unique_ptr<sim::FaultInjector> injector;
+  sim::RetryPolicy retry;
+  std::uint64_t host_fallbacks = 0;
+  std::uint64_t dma_retries = 0;
 
   explicit Handle(const arch::Sw26010Spec& s) : spec(s), sw(s) {}
 };
+
+namespace {
+
+void set_error(Handle* handle, const char* message) {
+  std::snprintf(handle->last_error, sizeof(handle->last_error), "%s",
+                message);
+}
+
+}  // namespace
 
 const char* status_string(Status status) {
   switch (status) {
@@ -29,6 +46,10 @@ const char* status_string(Status status) {
       return "SWDNN_STATUS_SHAPE_MISMATCH";
     case Status::kExecutionFailed:
       return "SWDNN_STATUS_EXECUTION_FAILED";
+    case Status::kTransientFault:
+      return "SWDNN_STATUS_TRANSIENT_FAULT";
+    case Status::kDeviceFault:
+      return "SWDNN_STATUS_DEVICE_FAULT";
   }
   return "SWDNN_STATUS_UNKNOWN";
 }
@@ -125,8 +146,18 @@ Status convolution_forward(Handle* handle, const TensorDescriptor& x_desc,
     tensor::Tensor filter = wrap(w, {shape.kr, shape.kc, shape.ni, shape.no});
     tensor::Tensor output({shape.ro(), shape.co(), shape.no, shape.batch});
     try {
-      handle->sw.forward(input, filter, output, shape);
+      const conv::ForwardResult result =
+          handle->sw.forward(input, filter, output, shape);
+      handle->dma_retries += result.stats.dma_retries;
       handle->last_route = ExecutionRoute::kSimulatedMesh;
+    } catch (const sim::LaunchFault& e) {
+      // A fault the tile-retry policy could not absorb: the mesh route
+      // is degraded, so recompute the whole call on the host. The
+      // partially written mesh output is discarded.
+      set_error(handle, e.what());
+      ++handle->host_fallbacks;
+      conv::im2col_forward(input, filter, output, shape);
+      handle->last_route = ExecutionRoute::kHostGemm;
     } catch (const std::exception&) {
       // Shape does not map onto the mesh (divisibility): host fallback.
       conv::im2col_forward(input, filter, output, shape);
@@ -134,7 +165,7 @@ Status convolution_forward(Handle* handle, const TensorDescriptor& x_desc,
     }
     std::copy(output.data().begin(), output.data().end(), y);
   } catch (const std::exception& e) {
-    handle->last_error = e.what();
+    set_error(handle, e.what());
     return Status::kExecutionFailed;
   }
   return Status::kSuccess;
@@ -159,15 +190,22 @@ Status convolution_backward_data(Handle* handle,
         wrap(dy, {shape.ro(), shape.co(), shape.no, shape.batch});
     tensor::Tensor din({shape.ri, shape.ci, shape.ni, shape.batch});
     try {
-      conv::swconv_backward_data(handle->sw, dout, filter, din, shape);
+      const conv::ForwardResult result =
+          conv::swconv_backward_data(handle->sw, dout, filter, din, shape);
+      handle->dma_retries += result.stats.dma_retries;
       handle->last_route = ExecutionRoute::kSimulatedMesh;
+    } catch (const sim::LaunchFault& e) {
+      set_error(handle, e.what());
+      ++handle->host_fallbacks;
+      conv::im2col_backward_data(dout, filter, din, shape);
+      handle->last_route = ExecutionRoute::kHostGemm;
     } catch (const std::exception&) {
       conv::im2col_backward_data(dout, filter, din, shape);
       handle->last_route = ExecutionRoute::kHostGemm;
     }
     std::copy(din.data().begin(), din.data().end(), dx);
   } catch (const std::exception& e) {
-    handle->last_error = e.what();
+    set_error(handle, e.what());
     return Status::kExecutionFailed;
   }
   return Status::kSuccess;
@@ -193,11 +231,22 @@ Status convolution_backward_filter(Handle* handle,
         wrap(dy, {shape.ro(), shape.co(), shape.no, shape.batch});
     tensor::Tensor dfilter({shape.kr, shape.kc, shape.ni, shape.no});
     sim::MeshExecutor exec(handle->spec);
-    conv::mesh_backward_filter(exec, input, dout, dfilter, shape);
+    exec.set_fault_injector(handle->injector.get());
+    exec.set_retry_policy(handle->retry);
+    const sim::LaunchStats stats =
+        conv::mesh_backward_filter(exec, input, dout, dfilter, shape);
+    if (stats.failed) {
+      // backward-filter has no host route in this build: surface the
+      // fault class so the framework can retry or re-plan.
+      set_error(handle, stats.failure.c_str());
+      return stats.persistent_fault ? Status::kDeviceFault
+                                    : Status::kTransientFault;
+    }
+    handle->dma_retries += stats.dma_retries;
     handle->last_route = ExecutionRoute::kSimulatedMesh;
     std::copy(dfilter.data().begin(), dfilter.data().end(), dw);
   } catch (const std::exception& e) {
-    handle->last_error = e.what();
+    set_error(handle, e.what());
     return Status::kExecutionFailed;
   }
   return Status::kSuccess;
@@ -217,7 +266,7 @@ Status get_convolution_estimate(Handle* handle,
     if (rs != Status::kSuccess) return rs;
     *gflops_chip = handle->sw.estimate(shape).gflops_chip;
   } catch (const std::exception& e) {
-    handle->last_error = e.what();
+    set_error(handle, e.what());
     return Status::kExecutionFailed;
   }
   return Status::kSuccess;
@@ -228,7 +277,48 @@ ExecutionRoute last_execution_route(const Handle* handle) {
 }
 
 const char* last_error_message(const Handle* handle) {
-  return handle == nullptr ? "" : handle->last_error.c_str();
+  return handle == nullptr ? "" : handle->last_error;
+}
+
+Status set_fault_plan(Handle* handle, const sim::FaultPlan* plan) {
+  if (handle == nullptr) return Status::kBadParam;
+  if (plan == nullptr) {
+    handle->injector.reset();
+    handle->sw.set_fault_injector(nullptr);
+    handle->host_fallbacks = 0;
+    handle->dma_retries = 0;
+    return Status::kSuccess;
+  }
+  handle->injector = std::make_unique<sim::FaultInjector>(*plan);
+  handle->sw.set_fault_injector(handle->injector.get());
+  handle->host_fallbacks = 0;
+  handle->dma_retries = 0;
+  return Status::kSuccess;
+}
+
+Status set_retry_policy(Handle* handle, int max_attempts,
+                        std::uint64_t backoff_cycles) {
+  if (handle == nullptr || max_attempts < 1) return Status::kBadParam;
+  handle->retry = sim::RetryPolicy{max_attempts, backoff_cycles};
+  handle->sw.set_retry_policy(handle->retry);
+  return Status::kSuccess;
+}
+
+Status fault_counters(const Handle* handle, FaultCounters* counters) {
+  if (handle == nullptr || counters == nullptr) return Status::kBadParam;
+  *counters = FaultCounters{};
+  counters->host_fallbacks = handle->host_fallbacks;
+  counters->dma_retries = handle->dma_retries;
+  if (handle->injector != nullptr) {
+    const sim::FaultInjector& fi = *handle->injector;
+    counters->dma_transfer_faults = fi.count(sim::FaultSite::kDmaTransfer);
+    counters->dma_misalign_faults = fi.count(sim::FaultSite::kDmaMisalign);
+    counters->ldm_capacity_faults = fi.count(sim::FaultSite::kLdmCapacity);
+    counters->ldm_bitflip_faults = fi.count(sim::FaultSite::kLdmBitFlip);
+    counters->regcomm_stalls = fi.count(sim::FaultSite::kRegcommStall);
+    counters->noc_link_faults = fi.count(sim::FaultSite::kNocLink);
+  }
+  return Status::kSuccess;
 }
 
 }  // namespace swdnn::api

@@ -20,10 +20,20 @@
 // onto the simulated mesh run on the host GEMM path; the result is the
 // same, only the execution substrate differs (query the chosen route
 // with last_execution_route()).
+//
+// Threading contract: a Handle is not synchronized — at most one thread
+// may use a given handle at a time. Distinct handles are fully
+// independent: every piece of per-call state (last_execution_route,
+// last_error_message, fault counters, retry policy) lives inside the
+// handle itself, never in shared or static storage, so concurrent use
+// of different handles from different threads is safe. The free
+// functions that take no handle (status_string, descriptor setters,
+// get_convolution_output_descriptor) are pure and thread-safe.
 
 #include <cstdint>
 
 #include "src/arch/spec.h"
+#include "src/sim/fault.h"
 
 namespace swdnn::api {
 
@@ -32,6 +42,8 @@ enum class Status {
   kBadParam,        ///< null pointer or invalid descriptor
   kShapeMismatch,   ///< descriptors disagree with each other
   kExecutionFailed, ///< internal failure (carried exception message)
+  kTransientFault,  ///< an injected/device fault; retrying may succeed
+  kDeviceFault,     ///< persistent device fault; the route is dead
 };
 
 const char* status_string(Status status);
@@ -105,7 +117,47 @@ Status get_convolution_estimate(Handle* handle,
 /// Which substrate executed the last convolution call on this handle.
 ExecutionRoute last_execution_route(const Handle* handle);
 
-/// Human-readable message of the last kExecutionFailed on this handle.
+/// Human-readable message of the last failure (kExecutionFailed,
+/// kTransientFault, kDeviceFault, or an absorbed fault that forced a
+/// host fallback) on this handle. The storage is a fixed-size buffer
+/// inside the handle: the pointer stays valid until the next failing
+/// call on this handle or destroy(), and is unaffected by calls on
+/// other handles.
 const char* last_error_message(const Handle* handle);
+
+// --- Fault injection and resilience ---------------------------------------
+//
+// A handle can carry a fault-injection campaign (tests, chaos drills):
+// every simulated-mesh launch issued through it polls the plan at the
+// DMA/LDM/bus/NoC fault sites. Transient DMA faults are retried at tile
+// granularity under the handle's retry policy; faults the policy cannot
+// absorb degrade the call to the host GEMM path where one exists
+// (observable via last_execution_route()) or surface as
+// kTransientFault / kDeviceFault where none does.
+
+/// Installs (copies) a fault plan on the handle; nullptr removes it.
+/// Resets the handle's fault counters.
+Status set_fault_plan(Handle* handle, const sim::FaultPlan* plan);
+
+/// Bounded tile-level retry-with-backoff for faulting DMA transfers:
+/// up to `max_attempts` tries per transfer (>= 1), attempt k charging
+/// `backoff_cycles << (k-1)` cycles before re-issuing.
+Status set_retry_policy(Handle* handle, int max_attempts,
+                        std::uint64_t backoff_cycles);
+
+struct FaultCounters {
+  std::uint64_t dma_transfer_faults = 0;
+  std::uint64_t dma_misalign_faults = 0;
+  std::uint64_t ldm_capacity_faults = 0;
+  std::uint64_t ldm_bitflip_faults = 0;
+  std::uint64_t regcomm_stalls = 0;
+  std::uint64_t noc_link_faults = 0;
+  std::uint64_t dma_retries = 0;     ///< tile transfers re-issued
+  std::uint64_t host_fallbacks = 0;  ///< calls degraded to the host path
+};
+
+/// Fills `counters` with the faults injected and recoveries performed
+/// on this handle since its fault plan was installed.
+Status fault_counters(const Handle* handle, FaultCounters* counters);
 
 }  // namespace swdnn::api

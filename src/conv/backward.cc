@@ -109,6 +109,13 @@ sim::LaunchStats mesh_backward_filter(sim::MeshExecutor& exec,
       total.dma.requests += stats.dma.requests;
       total.dma_seconds += stats.dma_seconds;
       total.compute_seconds += stats.compute_seconds;
+      total.fault_events += stats.fault_events;
+      total.dma_retries += stats.dma_retries;
+      if (stats.failed && !total.failed) {
+        total.failed = true;
+        total.persistent_fault = stats.persistent_fault;
+        total.failure = stats.failure;
+      }
     }
   }
   return total;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "src/timing/kernels.h"
 
@@ -69,6 +70,8 @@ ForwardResult SwConvolution::forward(const tensor::Tensor& input,
     choice = plan_for(shape, /*require_executable=*/true);
   }
   sim::MeshExecutor exec(spec_);
+  exec.set_fault_injector(injector_);
+  exec.set_retry_policy(retry_);
   sim::LaunchStats stats;
   if (choice.plan.kind == perf::PlanKind::kImageSizeAware) {
     stats = run_image_size_aware(exec, input, filter, output, shape,
@@ -76,6 +79,9 @@ ForwardResult SwConvolution::forward(const tensor::Tensor& input,
   } else {
     stats = run_batch_size_aware(exec, input, filter, output, shape,
                                  choice.plan);
+  }
+  if (stats.failed) {
+    throw sim::LaunchFault(stats.failure, stats.persistent_fault);
   }
   return ForwardResult{choice, stats};
 }
@@ -90,13 +96,26 @@ sim::MultiCgStats SwConvolution::forward_multi_cg(
   sim::MultiCgStats stats;
   stats.launch_overhead_seconds = 2e-6;
   sim::MeshExecutor exec(spec_);
-  for (const auto& part : parts) {
+  exec.set_fault_injector(injector_);
+  exec.set_retry_policy(retry_);
+  for (std::size_t cg = 0; cg < parts.size(); ++cg) {
+    const auto& part = parts[cg];
+    if (injector_ != nullptr &&
+        injector_->poll_noc_link(static_cast<int>(cg))) {
+      throw sim::LaunchFault(
+          "NoC link to core group " + std::to_string(cg) + " is down",
+          /*persistent=*/true);
+    }
     if (p.kind == perf::PlanKind::kImageSizeAware) {
       stats.per_cg.push_back(run_image_size_aware(
           exec, input, filter, output, shape, p, part.begin, part.end));
     } else {
       stats.per_cg.push_back(run_batch_size_aware(
           exec, input, filter, output, shape, p, part.begin, part.end));
+    }
+    if (stats.per_cg.back().failed) {
+      throw sim::LaunchFault(stats.per_cg.back().failure,
+                             stats.per_cg.back().persistent_fault);
     }
   }
   return stats;

@@ -67,9 +67,25 @@ class SwConvolution {
   const perf::PlanChooser& chooser() const { return chooser_; }
   const arch::Sw26010Spec& spec() const { return spec_; }
 
+  /// Attaches a fault campaign to every simulated launch this object
+  /// issues (nullptr detaches). When a launch reports an injected fault
+  /// it could not absorb under the retry policy, forward() throws
+  /// sim::LaunchFault after the launch drains; callers retry or fall
+  /// back to the host path.
+  void set_fault_injector(sim::FaultInjector* injector) {
+    injector_ = injector;
+  }
+  sim::FaultInjector* fault_injector() const { return injector_; }
+
+  /// Tile-level DMA retry-with-backoff applied inside launches.
+  void set_retry_policy(const sim::RetryPolicy& policy) { retry_ = policy; }
+  const sim::RetryPolicy& retry_policy() const { return retry_; }
+
  private:
   arch::Sw26010Spec spec_;  // by value: callers may pass temporaries
   perf::PlanChooser chooser_;
+  sim::FaultInjector* injector_ = nullptr;
+  sim::RetryPolicy retry_;
 };
 
 }  // namespace swdnn::conv

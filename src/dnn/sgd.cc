@@ -31,4 +31,19 @@ void Sgd::step(const std::vector<ParamGrad>& params) {
   }
 }
 
+void Sgd::copy_state_from(const Sgd& other,
+                          const std::vector<ParamGrad>& params,
+                          const std::vector<ParamGrad>& other_params) {
+  velocity_.clear();
+  for (std::size_t i = 0; i < params.size() && i < other_params.size();
+       ++i) {
+    for (const auto& [key, vel] : other.velocity_) {
+      if (key == other_params[i].param) {
+        velocity_.emplace_back(params[i].param, vel);
+        break;
+      }
+    }
+  }
+}
+
 }  // namespace swdnn::dnn

@@ -19,6 +19,14 @@ class Sgd {
   double learning_rate() const { return learning_rate_; }
   void set_learning_rate(double lr) { learning_rate_ = lr; }
 
+  /// Copies velocity buffers from another optimizer, mapping parameters
+  /// by position (`params` and `other_params` must describe identically
+  /// structured networks). A revived data-parallel replica uses this to
+  /// rejoin the ring in exact lockstep even with momentum enabled.
+  void copy_state_from(const Sgd& other,
+                       const std::vector<ParamGrad>& params,
+                       const std::vector<ParamGrad>& other_params);
+
  private:
   double learning_rate_;
   double momentum_;

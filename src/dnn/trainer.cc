@@ -1,7 +1,9 @@
 #include "src/dnn/trainer.h"
 
 #include <cmath>
+#include <utility>
 
+#include "src/dnn/serialize.h"
 #include "src/util/stopwatch.h"
 
 namespace swdnn::dnn {
@@ -62,6 +64,54 @@ EpochStats Trainer::train_epoch(SyntheticBars& data, std::int64_t batch_size,
                    static_cast<double>(steps * batch_size);
   stats.seconds = watch.elapsed_seconds();
   return stats;
+}
+
+void Trainer::enable_checkpointing(std::string path, int interval) {
+  checkpoint_path_ = std::move(path);
+  checkpoint_interval_ = interval < 1 ? 1 : interval;
+  checkpoints_written_ = 0;
+  resilient_steps_ = 0;
+}
+
+bool Trainer::rollback() {
+  if (checkpoint_interval_ == 0 || checkpoints_written_ == 0) return false;
+  load_parameters(net_, checkpoint_path_);
+  return true;
+}
+
+bool Trainer::gradients_finite() const {
+  for (const auto& pg : net_.params()) {
+    for (const double g : pg.grad->data()) {
+      if (!std::isfinite(g)) return false;
+    }
+  }
+  return true;
+}
+
+Trainer::ResilientStep Trainer::train_step_resilient(const Batch& batch) {
+  ResilientStep out;
+  if (checkpoint_interval_ > 0 &&
+      resilient_steps_ % checkpoint_interval_ == 0) {
+    save_parameters(net_, checkpoint_path_);
+    ++checkpoints_written_;
+  }
+  ++resilient_steps_;
+  try {
+    tensor::Tensor logits = net_.forward(batch.images);
+    out.loss = softmax_cross_entropy(logits, batch.labels);
+    net_.backward(out.loss.d_logits);
+    if (!gradients_finite()) {
+      // Corrupted gradients (e.g. an LDM bit flip surfaced as NaN):
+      // training on them would poison the parameters permanently.
+      out.rolled_back = rollback();
+      return out;
+    }
+    opt_.step(net_.params());
+  } catch (const std::exception&) {
+    // Unrecoverable fault mid-step: restore the last good parameters.
+    out.rolled_back = rollback();
+  }
+  return out;
 }
 
 double Trainer::evaluate(SyntheticBars& data, std::int64_t batch_size,

@@ -6,6 +6,7 @@
 // tests can train a small CNN end-to-end without external data (the
 // paper itself evaluates on synthetic parameter sweeps, not datasets).
 
+#include <string>
 #include <vector>
 
 #include "src/dnn/loss.h"
@@ -58,9 +59,39 @@ class Trainer {
   /// Accuracy on freshly sampled data (no update).
   double evaluate(SyntheticBars& data, std::int64_t batch_size, int batches);
 
+  // --- Self-healing ----------------------------------------------------
+  /// Enables step-level checkpointing: parameters are written to `path`
+  /// (via dnn/serialize) every `interval` resilient steps, before the
+  /// update, so a fault mid-step can always roll back to the last good
+  /// state.
+  void enable_checkpointing(std::string path, int interval = 1);
+
+  /// Restores the last checkpoint into the network. Returns false when
+  /// checkpointing is off or nothing has been saved yet.
+  bool rollback();
+
+  /// Result of one fault-tolerant step: when the forward/backward pass
+  /// throws (a persistent device fault) or produces non-finite
+  /// gradients (corruption), the step is abandoned, the last checkpoint
+  /// restored, and `rolled_back` set — parameters are never updated
+  /// from corrupted gradients.
+  struct ResilientStep {
+    LossResult loss;
+    bool rolled_back = false;
+  };
+  ResilientStep train_step_resilient(const Batch& batch);
+
+  int checkpoints_written() const { return checkpoints_written_; }
+
  private:
+  bool gradients_finite() const;
+
   Network& net_;
   Sgd& opt_;
+  std::string checkpoint_path_;
+  int checkpoint_interval_ = 0;  ///< 0 = checkpointing disabled
+  int checkpoints_written_ = 0;
+  int resilient_steps_ = 0;
 };
 
 }  // namespace swdnn::dnn

@@ -72,6 +72,25 @@ void ring_allreduce(std::vector<std::span<double>> buffers, ReduceOp op) {
   }
 }
 
+void ring_allreduce_resilient(std::vector<std::span<double>> buffers,
+                              const std::vector<bool>& alive, ReduceOp op) {
+  if (alive.size() != buffers.size()) {
+    throw std::invalid_argument(
+        "ring_allreduce_resilient: alive/buffers length mismatch");
+  }
+  std::vector<std::span<double>> survivors;
+  survivors.reserve(buffers.size());
+  for (std::size_t r = 0; r < buffers.size(); ++r) {
+    if (alive[r]) survivors.push_back(buffers[r]);
+  }
+  if (survivors.empty()) {
+    throw std::invalid_argument("ring_allreduce_resilient: no rank alive");
+  }
+  // The survivor list IS the rebuilt ring: the plain ring over it skips
+  // dead ranks and, for kAverage, rescales by the live count.
+  ring_allreduce(std::move(survivors), op);
+}
+
 double ring_allreduce_seconds(std::int64_t bytes, int nodes,
                               const InterconnectSpec& spec) {
   if (nodes <= 1) return 0.0;

@@ -28,6 +28,17 @@ enum class ReduceOp { kSum, kAverage };
 void ring_allreduce(std::vector<std::span<double>> buffers,
                     ReduceOp op = ReduceOp::kSum);
 
+/// Fault-aware variant for degraded clusters: `alive[r]` marks which
+/// ranks still respond. The ring is rebuilt over the survivors (dead
+/// ranks are skipped entirely — their buffers are neither read nor
+/// written), and for kAverage the divisor is the survivor count, so
+/// the result is exactly what ring_allreduce would produce on the
+/// surviving subset. Throws std::invalid_argument when `alive` and
+/// `buffers` disagree in length or no rank is alive.
+void ring_allreduce_resilient(std::vector<std::span<double>> buffers,
+                              const std::vector<bool>& alive,
+                              ReduceOp op = ReduceOp::kSum);
+
 struct InterconnectSpec {
   double link_bandwidth_gbs = 8.0;  ///< per-direction node link (TaihuLight
                                     ///< network: ~8 GB/s injection per node)

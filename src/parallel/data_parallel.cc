@@ -1,5 +1,6 @@
 #include "src/parallel/data_parallel.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -16,6 +17,7 @@ DataParallelTrainer::DataParallelTrainer(
   for (int node = 0; node < nodes; ++node) {
     replicas_.push_back(make_replica());
     optimizers_.emplace_back(learning_rate, momentum);
+    alive_.push_back(true);
   }
 }
 
@@ -26,10 +28,15 @@ DataParallelTrainer::StepResult DataParallelTrainer::train_step(
         "DataParallelTrainer: one shard per node required");
   }
   StepResult result;
+  result.live_nodes = live_ranks();
+  if (result.live_nodes == 0) {
+    throw std::runtime_error("DataParallelTrainer: all ranks dead");
+  }
   std::int64_t total_samples = 0;
 
-  // Local forward/backward per node.
+  // Local forward/backward per live node; dead ranks compute nothing.
   for (std::size_t node = 0; node < replicas_.size(); ++node) {
+    if (!alive_[node]) continue;
     const dnn::Batch& shard = shards[node];
     const tensor::Tensor logits = replicas_[node]->forward(shard.images);
     const dnn::LossResult loss =
@@ -42,7 +49,9 @@ DataParallelTrainer::StepResult DataParallelTrainer::train_step(
   }
   result.loss /= static_cast<double>(total_samples);
 
-  // Gradient all-reduce (average), parameter by parameter.
+  // Gradient all-reduce (average) over the surviving ring, parameter by
+  // parameter: the mean rescales to the live count, so losing a rank
+  // shrinks the effective batch instead of corrupting the update.
   std::int64_t bytes = 0;
   const std::size_t num_params = replicas_[0]->params().size();
   for (std::size_t p = 0; p < num_params; ++p) {
@@ -52,22 +61,69 @@ DataParallelTrainer::StepResult DataParallelTrainer::train_step(
       grads.push_back(replica->params()[p].grad->data());
     }
     bytes += static_cast<std::int64_t>(grads[0].size_bytes());
-    ring_allreduce(grads, ReduceOp::kAverage);
+    ring_allreduce_resilient(grads, alive_, ReduceOp::kAverage);
   }
-  result.comm_seconds = ring_allreduce_seconds(
-      bytes, static_cast<int>(replicas_.size()), interconnect_);
+  result.comm_seconds =
+      ring_allreduce_seconds(bytes, result.live_nodes, interconnect_);
 
-  // Identical update everywhere.
+  // Identical update on every live replica.
   for (std::size_t node = 0; node < replicas_.size(); ++node) {
+    if (!alive_[node]) continue;
     optimizers_[node].step(replicas_[node]->params());
   }
   return result;
 }
 
+void DataParallelTrainer::kill_rank(int node) {
+  alive_.at(static_cast<std::size_t>(node)) = false;
+}
+
+void DataParallelTrainer::revive_rank(int node) {
+  const auto idx = static_cast<std::size_t>(node);
+  if (alive_.at(idx)) return;
+  int donor = -1;
+  for (std::size_t r = 0; r < alive_.size(); ++r) {
+    if (alive_[r]) {
+      donor = static_cast<int>(r);
+      break;
+    }
+  }
+  if (donor < 0) {
+    throw std::runtime_error("revive_rank: no live replica to copy from");
+  }
+  const auto src = replicas_[static_cast<std::size_t>(donor)]->params();
+  const auto dst = replicas_[idx]->params();
+  for (std::size_t p = 0; p < src.size(); ++p) {
+    const auto from = src[p].param->data();
+    auto to = dst[p].param->data();
+    std::copy(from.begin(), from.end(), to.begin());
+  }
+  optimizers_[idx].copy_state_from(
+      optimizers_[static_cast<std::size_t>(donor)], dst, src);
+  alive_[idx] = true;
+}
+
+int DataParallelTrainer::live_ranks() const {
+  int live = 0;
+  for (const bool a : alive_) live += a ? 1 : 0;
+  return live;
+}
+
 double DataParallelTrainer::max_replica_divergence() {
   double worst = 0;
-  const auto reference = replicas_[0]->params();
-  for (std::size_t node = 1; node < replicas_.size(); ++node) {
+  int reference_node = -1;
+  for (std::size_t r = 0; r < alive_.size(); ++r) {
+    if (alive_[r]) {
+      reference_node = static_cast<int>(r);
+      break;
+    }
+  }
+  if (reference_node < 0) return 0;
+  const auto reference =
+      replicas_[static_cast<std::size_t>(reference_node)]->params();
+  for (std::size_t node = static_cast<std::size_t>(reference_node) + 1;
+       node < replicas_.size(); ++node) {
+    if (!alive_[node]) continue;
     const auto params = replicas_[node]->params();
     for (std::size_t p = 0; p < params.size(); ++p) {
       worst = std::max(worst,

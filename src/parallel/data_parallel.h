@@ -39,17 +39,34 @@ class DataParallelTrainer {
 
   /// One synchronous step: per-node forward/backward on its shard,
   /// gradient all-reduce (average), identical optimizer step on every
-  /// replica. `shards` must have one batch per node. Returns the
-  /// sample-weighted mean loss plus this step's modeled communication
-  /// time.
+  /// replica. `shards` must have one batch per node (dead nodes' shards
+  /// are ignored). Returns the sample-weighted mean loss over live
+  /// nodes plus this step's modeled communication time.
   struct StepResult {
     double loss = 0;
     std::int64_t correct = 0;
     double comm_seconds = 0;
+    int live_nodes = 0;
   };
   StepResult train_step(const std::vector<dnn::Batch>& shards);
 
-  /// Largest parameter divergence across replicas (0 when in sync).
+  // --- Self-healing --------------------------------------------------
+  /// Simulates a node failure: the rank stops computing, its gradients
+  /// are excluded, and the all-reduce ring is rebuilt over survivors
+  /// (the average rescales to the live count). Training continues.
+  void kill_rank(int node);
+
+  /// Brings a failed rank back: its parameters are restored from a
+  /// live survivor so it rejoins in lockstep.
+  void revive_rank(int node);
+
+  bool rank_alive(int node) const {
+    return alive_.at(static_cast<std::size_t>(node));
+  }
+  int live_ranks() const;
+
+  /// Largest parameter divergence across live replicas (0 when in
+  /// sync; dead replicas are excluded — their parameters are stale).
   double max_replica_divergence();
 
   /// Bytes all-reduced per step (all parameters).
@@ -58,6 +75,7 @@ class DataParallelTrainer {
  private:
   std::vector<std::unique_ptr<dnn::Network>> replicas_;
   std::vector<dnn::Sgd> optimizers_;
+  std::vector<bool> alive_;
   InterconnectSpec interconnect_;
 };
 

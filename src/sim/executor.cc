@@ -29,23 +29,82 @@ void trace_event(MeshExecutor& exec, CpeCell& cell, int cpe,
 }
 }  // namespace
 
+void CpeContext::fail_launch(const std::string& message, bool persistent) {
+  if (persistent) exec_.persistent_.store(true, std::memory_order_relaxed);
+  bool expected = false;
+  if (exec_.failed_.compare_exchange_strong(expected, true)) {
+    std::lock_guard<std::mutex> lock(exec_.failure_mutex_);
+    exec_.failure_ = message;
+  }
+  trace_event(exec_, cell(), id(), "fault", message, 1);
+}
+
+// Polls the attached fault campaign for one DMA tile transfer and
+// applies the executor's RetryPolicy in place: a faulting attempt is
+// re-issued (re-charged against the DMA engine, with exponential
+// backoff cycles) until it lands or attempts run out. Returns true when
+// the payload may be copied — on exhaustion the launch is marked failed
+// and the copy is skipped, exactly like a real engine reporting a
+// completion error. Never throws: peers may be blocked on barriers.
+bool CpeContext::dma_attempt(std::uint64_t bytes, std::int64_t block_bytes,
+                             perf::DmaDirection dir, bool aligned) {
+  FaultInjector* fi = exec_.fault_injector();
+  if (fi == nullptr) return true;
+  const RetryPolicy& rp = exec_.retry_policy();
+  const int max_attempts = rp.max_attempts < 1 ? 1 : rp.max_attempts;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (!fi->poll_dma_fault(id())) return true;
+    trace_event(exec_, cell(), id(), "fault",
+                "dma fault (attempt " + std::to_string(attempt) + ")", 1);
+    if (attempt == max_attempts) break;
+    // Retry the tile: back off, then re-occupy the engine for the
+    // repeated transfer.
+    charge_cycles(rp.backoff_cycles << (attempt - 1));
+    dma_.record(bytes, block_bytes, dir, aligned);
+    exec_.dma_retries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  fail_launch("persistent DMA fault on CPE " + std::to_string(id()) +
+                  " after " + std::to_string(max_attempts) + " attempts",
+              /*persistent=*/max_attempts > 1);
+  return false;
+}
+
+// Whether this request is forced onto the misaligned bandwidth curve by
+// an injected alignment fault.
+bool CpeContext::dma_aligned(std::int64_t bytes) {
+  bool aligned = block_aligned(bytes);
+  FaultInjector* fi = exec_.fault_injector();
+  if (aligned && fi != nullptr && fi->poll_dma_misalign(id())) {
+    aligned = false;
+  }
+  return aligned;
+}
+
 void CpeContext::dma_get(std::span<const double> src, std::span<double> dst) {
   const std::int64_t bytes = static_cast<std::int64_t>(src.size_bytes());
+  const bool aligned = dma_aligned(bytes);
   const std::uint64_t cost =
-      dma_.record(src.size_bytes(), bytes, perf::DmaDirection::kGet,
-                  block_aligned(bytes));
+      dma_.record(src.size_bytes(), bytes, perf::DmaDirection::kGet, aligned);
   trace_event(exec_, cell(), id(), "dma",
               "get " + std::to_string(bytes) + "B", cost);
+  if (!dma_attempt(src.size_bytes(), bytes, perf::DmaDirection::kGet,
+                   aligned)) {
+    return;
+  }
   std::copy(src.begin(), src.end(), dst.begin());
 }
 
 void CpeContext::dma_put(std::span<const double> src, std::span<double> dst) {
   const std::int64_t bytes = static_cast<std::int64_t>(src.size_bytes());
+  const bool aligned = dma_aligned(bytes);
   const std::uint64_t cost =
-      dma_.record(src.size_bytes(), bytes, perf::DmaDirection::kPut,
-                  block_aligned(bytes));
+      dma_.record(src.size_bytes(), bytes, perf::DmaDirection::kPut, aligned);
   trace_event(exec_, cell(), id(), "dma",
               "put " + std::to_string(bytes) + "B", cost);
+  if (!dma_attempt(src.size_bytes(), bytes, perf::DmaDirection::kPut,
+                   aligned)) {
+    return;
+  }
   std::copy(src.begin(), src.end(), dst.begin());
 }
 
@@ -54,13 +113,18 @@ void CpeContext::dma_get_strided(const double* src_base, std::int64_t nblocks,
                                  std::int64_t stride_elems,
                                  std::span<double> dst) {
   const std::int64_t block_bytes = block_elems * 8;
+  const bool aligned = dma_aligned(block_bytes);
   const std::uint64_t cost = dma_.record(
       static_cast<std::uint64_t>(nblocks * block_bytes), block_bytes,
-      perf::DmaDirection::kGet, block_aligned(block_bytes));
+      perf::DmaDirection::kGet, aligned);
   trace_event(exec_, cell(), id(), "dma",
               "get-strided " + std::to_string(nblocks) + "x" +
                   std::to_string(block_bytes) + "B",
               cost);
+  if (!dma_attempt(static_cast<std::uint64_t>(nblocks * block_bytes),
+                   block_bytes, perf::DmaDirection::kGet, aligned)) {
+    return;
+  }
   for (std::int64_t b = 0; b < nblocks; ++b) {
     const double* src = src_base + b * stride_elems;
     std::copy(src, src + block_elems, dst.begin() + b * block_elems);
@@ -72,32 +136,51 @@ void CpeContext::dma_put_strided(std::span<const double> src, double* dst_base,
                                  std::int64_t block_elems,
                                  std::int64_t stride_elems) {
   const std::int64_t block_bytes = block_elems * 8;
+  const bool aligned = dma_aligned(block_bytes);
   const std::uint64_t cost = dma_.record(
       static_cast<std::uint64_t>(nblocks * block_bytes), block_bytes,
-      perf::DmaDirection::kPut, block_aligned(block_bytes));
+      perf::DmaDirection::kPut, aligned);
   trace_event(exec_, cell(), id(), "dma",
               "put-strided " + std::to_string(nblocks) + "x" +
                   std::to_string(block_bytes) + "B",
               cost);
+  if (!dma_attempt(static_cast<std::uint64_t>(nblocks * block_bytes),
+                   block_bytes, perf::DmaDirection::kPut, aligned)) {
+    return;
+  }
   for (std::int64_t b = 0; b < nblocks; ++b) {
     std::copy(src.begin() + b * block_elems,
               src.begin() + (b + 1) * block_elems, dst_base + b * stride_elems);
   }
 }
 
+// Injected bus stall: the operation still completes, later.
+void CpeContext::maybe_stall_bus() {
+  if (FaultInjector* fi = exec_.fault_injector()) {
+    if (const std::uint64_t stall = fi->poll_regcomm_stall(id())) {
+      trace_event(exec_, cell(), id(), "fault",
+                  "bus stall " + std::to_string(stall) + " cycles", stall);
+      charge_cycles(stall);
+    }
+  }
+}
+
 void CpeContext::put_row(int dst_col, const Vec4& value) {
+  maybe_stall_bus();
   mesh_.cell(row_, dst_col).row_buffer.put(value);
   cell().regcomm_messages.fetch_add(1, std::memory_order_relaxed);
   charge_cycles(1);  // a put issues in one cycle on P1
 }
 
 void CpeContext::put_col(int dst_row, const Vec4& value) {
+  maybe_stall_bus();
   mesh_.cell(dst_row, col_).col_buffer.put(value);
   cell().regcomm_messages.fetch_add(1, std::memory_order_relaxed);
   charge_cycles(1);
 }
 
 void CpeContext::bcast_row(const Vec4& value) {
+  maybe_stall_bus();
   trace_event(exec_, cell(), id(), "bus", "bcast-row", 1);
   for (int c = 0; c < mesh_.cols(); ++c) {
     if (c == col_) continue;
@@ -111,6 +194,7 @@ void CpeContext::bcast_row(const Vec4& value) {
 }
 
 void CpeContext::bcast_col(const Vec4& value) {
+  maybe_stall_bus();
   trace_event(exec_, cell(), id(), "bus", "bcast-col", 1);
   for (int r = 0; r < mesh_.rows(); ++r) {
     if (r == row_) continue;
@@ -160,6 +244,31 @@ LaunchStats MeshExecutor::run(const Kernel& kernel) {
   std::barrier<> barrier(mesh.num_cpes());
   barrier_ = &barrier;
 
+  failed_.store(false);
+  persistent_.store(false);
+  dma_retries_.store(0);
+  failure_.clear();
+  const std::uint64_t faults_before =
+      injector_ != nullptr ? injector_->total_events() : 0;
+  if (injector_ != nullptr) {
+    for (int r = 0; r < mesh.rows(); ++r) {
+      for (int c = 0; c < mesh.cols(); ++c) {
+        const int cpe = r * mesh.cols() + c;
+        mesh.cell(r, c).ldm.attach_faults(
+            injector_, cpe, [this](const std::string& msg) {
+              // LDM faults are always persistent for the launch: the
+              // arena stays degraded for its whole lifetime.
+              persistent_.store(true, std::memory_order_relaxed);
+              bool expected = false;
+              if (failed_.compare_exchange_strong(expected, true)) {
+                std::lock_guard<std::mutex> lock(failure_mutex_);
+                failure_ = msg;
+              }
+            });
+      }
+    }
+  }
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(mesh.num_cpes()));
   for (int r = 0; r < mesh.rows(); ++r) {
@@ -189,6 +298,16 @@ LaunchStats MeshExecutor::run(const Kernel& kernel) {
   stats.dma_seconds = dma.modeled_seconds();
   stats.compute_seconds = static_cast<double>(stats.max_compute_cycles) /
                           (spec_.cpe_clock_ghz * 1e9);
+  stats.failed = failed_.load();
+  stats.persistent_fault = persistent_.load();
+  stats.dma_retries = dma_retries_.load();
+  if (stats.failed) {
+    std::lock_guard<std::mutex> lock(failure_mutex_);
+    stats.failure = failure_;
+  }
+  if (injector_ != nullptr) {
+    stats.fault_events = injector_->total_events() - faults_before;
+  }
   return stats;
 }
 

@@ -16,12 +16,16 @@
 // Functional correctness never depends on the accounting; timing
 // counters only feed the statistics block returned by run().
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <span>
+#include <string>
 
 #include "src/arch/spec.h"
 #include "src/sim/dma.h"
+#include "src/sim/fault.h"
 #include "src/sim/mesh.h"
 #include "src/sim/trace.h"
 
@@ -96,12 +100,22 @@ class CpeContext {
 
   std::uint64_t compute_cycles() const { return cell().compute_cycles; }
 
+  // --- Fault handling -----------------------------------------------------
+  /// Marks the whole launch failed (kernels keep running to drain
+  /// barriers; the driver inspects LaunchStats afterwards). The first
+  /// caller's message wins.
+  void fail_launch(const std::string& message, bool persistent);
+
  private:
   CpeCell& cell() { return mesh_.cell(row_, col_); }
   const CpeCell& cell() const { return mesh_.cell(row_, col_); }
   bool block_aligned(std::int64_t bytes) const {
     return bytes % static_cast<std::int64_t>(spec().dma_alignment_bytes) == 0;
   }
+  bool dma_attempt(std::uint64_t bytes, std::int64_t block_bytes,
+                   perf::DmaDirection dir, bool aligned);
+  bool dma_aligned(std::int64_t bytes);
+  void maybe_stall_bus();
 
   MeshExecutor& exec_;
   CpeMesh& mesh_;
@@ -118,6 +132,13 @@ struct LaunchStats {
   DmaTotals dma;
   double dma_seconds = 0;      ///< Table II-costed DMA engine occupancy
   double compute_seconds = 0;  ///< max_compute_cycles / clock
+
+  // Fault outcome of the launch (only set when an injector is attached).
+  bool failed = false;           ///< a fault site exhausted its recovery
+  bool persistent_fault = false; ///< retries exhausted / dead resource
+  std::string failure;           ///< first failure's diagnostic
+  std::uint64_t fault_events = 0;  ///< injector events during this launch
+  std::uint64_t dma_retries = 0;   ///< tile transfers re-issued after faults
 
   /// End-to-end model. With double buffering DMA overlaps compute, so
   /// the launch takes max(compute, dma); without, they serialize.
@@ -158,11 +179,31 @@ class MeshExecutor {
   void set_tracer(EventTracer* tracer) { tracer_ = tracer; }
   EventTracer* tracer() const { return tracer_; }
 
+  /// Attaches a fault campaign; every subsequent launch polls it at the
+  /// DMA, LDM, and register-communication sites. Pass nullptr to
+  /// detach. The injector must outlive the launches it disturbs.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
+  /// Bounded retry-with-backoff applied to faulting DMA tile
+  /// transfers during launches on this executor.
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
  private:
   friend class CpeContext;
   arch::Sw26010Spec spec_;  // by value: callers may pass temporaries
   void* barrier_ = nullptr;  // set during run(); see executor.cc
   EventTracer* tracer_ = nullptr;
+  FaultInjector* injector_ = nullptr;
+  RetryPolicy retry_;
+
+  // Per-launch failure latch (reset by run()).
+  std::atomic<bool> failed_{false};
+  std::atomic<bool> persistent_{false};
+  std::atomic<std::uint64_t> dma_retries_{0};
+  std::mutex failure_mutex_;
+  std::string failure_;
 };
 
 }  // namespace swdnn::sim

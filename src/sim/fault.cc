@@ -1,0 +1,168 @@
+#include "src/sim/fault.h"
+
+#include <algorithm>
+
+#include "src/util/rng.h"
+
+namespace swdnn::sim {
+
+namespace {
+
+/// splitmix64 finalizer: decorrelates the (seed, site, unit, seq)
+/// tuple into an Rng seed so neighbouring sequence numbers do not
+/// produce correlated draws.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+int site_index(FaultSite site) { return static_cast<int>(site); }
+
+int clamp_unit(int unit) {
+  return std::clamp(unit, 0, 63);
+}
+
+}  // namespace
+
+const char* fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kDmaTransfer:
+      return "dma-transfer";
+    case FaultSite::kDmaMisalign:
+      return "dma-misalign";
+    case FaultSite::kLdmCapacity:
+      return "ldm-capacity";
+    case FaultSite::kLdmBitFlip:
+      return "ldm-bitflip";
+    case FaultSite::kRegcommStall:
+      return "regcomm-stall";
+    case FaultSite::kNocLink:
+      return "noc-link";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+bool FaultInjector::decide(FaultSite site, int unit, std::uint64_t seq,
+                           double rate) const {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  util::Rng rng(mix(plan_.seed ^ mix(static_cast<std::uint64_t>(
+                                         site_index(site) * 64 + unit) ^
+                                     mix(seq))));
+  return rng.uniform(0.0, 1.0) < rate;
+}
+
+std::uint64_t FaultInjector::next_sequence(FaultSite site, int unit) {
+  return sequence_[static_cast<std::size_t>(site_index(site))]
+                  [static_cast<std::size_t>(clamp_unit(unit))]
+                      .fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::record(FaultSite site, int unit, std::uint64_t seq,
+                           std::string detail) {
+  counts_[static_cast<std::size_t>(site_index(site))].fetch_add(
+      1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(FaultEvent{site, unit, seq, std::move(detail)});
+}
+
+bool FaultInjector::poll_dma_fault(int cpe) {
+  const std::uint64_t seq = next_sequence(FaultSite::kDmaTransfer, cpe);
+  const bool hit = seq < plan_.fail_first_dma ||
+                   decide(FaultSite::kDmaTransfer, cpe, seq,
+                          plan_.dma_fault_rate);
+  if (hit) {
+    record(FaultSite::kDmaTransfer, cpe, seq, "transfer error");
+  }
+  return hit;
+}
+
+bool FaultInjector::poll_dma_misalign(int cpe) {
+  const std::uint64_t seq = next_sequence(FaultSite::kDmaMisalign, cpe);
+  const bool hit =
+      decide(FaultSite::kDmaMisalign, cpe, seq, plan_.dma_misalign_rate);
+  if (hit) {
+    record(FaultSite::kDmaMisalign, cpe, seq, "forced misaligned service");
+  }
+  return hit;
+}
+
+void FaultInjector::report_ldm_capacity_fault(int cpe,
+                                              std::size_t requested_bytes) {
+  const std::uint64_t seq = next_sequence(FaultSite::kLdmCapacity, cpe);
+  record(FaultSite::kLdmCapacity, cpe, seq,
+         "allocation of " + std::to_string(requested_bytes) +
+             " B hit dead LDM region");
+}
+
+bool FaultInjector::poll_ldm_bitflip(int cpe) {
+  const std::uint64_t seq = next_sequence(FaultSite::kLdmBitFlip, cpe);
+  const bool hit =
+      decide(FaultSite::kLdmBitFlip, cpe, seq, plan_.ldm_bitflip_rate);
+  if (hit) {
+    record(FaultSite::kLdmBitFlip, cpe, seq, "bit flip in fresh allocation");
+  }
+  return hit;
+}
+
+std::uint64_t FaultInjector::poll_regcomm_stall(int cpe) {
+  const std::uint64_t seq = next_sequence(FaultSite::kRegcommStall, cpe);
+  const bool hit =
+      decide(FaultSite::kRegcommStall, cpe, seq, plan_.regcomm_stall_rate);
+  if (!hit) return 0;
+  record(FaultSite::kRegcommStall, cpe, seq,
+         "bus stall " + std::to_string(plan_.regcomm_stall_cycles) +
+             " cycles");
+  return plan_.regcomm_stall_cycles;
+}
+
+bool FaultInjector::poll_noc_link(int cg) {
+  const bool down = std::find(plan_.dead_noc_links.begin(),
+                              plan_.dead_noc_links.end(),
+                              cg) != plan_.dead_noc_links.end();
+  if (down) {
+    const std::uint64_t seq = next_sequence(FaultSite::kNocLink, cg);
+    record(FaultSite::kNocLink, cg, seq, "link to core group down");
+  }
+  return down;
+}
+
+std::vector<FaultEvent> FaultInjector::events() const {
+  std::vector<FaultEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = events_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.site != b.site) return a.site < b.site;
+              if (a.unit != b.unit) return a.unit < b.unit;
+              return a.sequence < b.sequence;
+            });
+  return out;
+}
+
+std::uint64_t FaultInjector::count(FaultSite site) const {
+  return counts_[static_cast<std::size_t>(site_index(site))].load();
+}
+
+std::uint64_t FaultInjector::total_events() const {
+  std::uint64_t total = 0;
+  for (const auto& c : counts_) total += c.load();
+  return total;
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  for (auto& site : sequence_) {
+    for (auto& unit : site) unit.store(0);
+  }
+  for (auto& c : counts_) c.store(0);
+}
+
+}  // namespace swdnn::sim

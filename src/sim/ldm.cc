@@ -1,6 +1,9 @@
 #include "src/sim/ldm.h"
 
+#include <limits>
 #include <string>
+
+#include "src/sim/fault.h"
 
 namespace swdnn::sim {
 
@@ -20,11 +23,40 @@ std::span<double> LdmAllocator::alloc_doubles(std::size_t count) {
   if (used_bytes_ + bytes > capacity_bytes_) {
     throw LdmOverflow(bytes, used_bytes_, capacity_bytes_);
   }
+  if (injector_ != nullptr) {
+    const std::size_t loss = injector_->ldm_capacity_loss();
+    const std::size_t usable =
+        loss < capacity_bytes_ ? capacity_bytes_ - loss : 0;
+    if (used_bytes_ + bytes > usable) {
+      injector_->report_ldm_capacity_fault(cpe_, bytes);
+      if (on_fault_) {
+        on_fault_("LDM capacity fault on CPE " + std::to_string(cpe_));
+      }
+    }
+  }
   double* base = arena_.get() + used_bytes_ / sizeof(double);
   used_bytes_ += bytes;
-  return {base, count};
+  std::span<double> out{base, count};
+  if (injector_ != nullptr && count > 0 && injector_->poll_ldm_bitflip(cpe_)) {
+    // Simulated single-event upset caught by the (modeled) LDM parity
+    // check: poison one word so silent reuse is impossible, and mark
+    // the launch suspect so the driver re-executes or falls back.
+    out[count / 2] = std::numeric_limits<double>::quiet_NaN();
+    if (on_fault_) {
+      on_fault_("LDM bit flip on CPE " + std::to_string(cpe_));
+    }
+  }
+  return out;
 }
 
 void LdmAllocator::reset() { used_bytes_ = 0; }
+
+void LdmAllocator::attach_faults(
+    FaultInjector* injector, int cpe,
+    std::function<void(const std::string&)> on_fault) {
+  injector_ = injector;
+  cpe_ = cpe;
+  on_fault_ = std::move(on_fault);
+}
 
 }  // namespace swdnn::sim

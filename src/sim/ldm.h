@@ -12,11 +12,14 @@
 // its double-buffered tiles once per layer call.
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <span>
 #include <stdexcept>
 
 namespace swdnn::sim {
+
+class FaultInjector;
 
 class LdmOverflow : public std::runtime_error {
  public:
@@ -38,10 +41,22 @@ class LdmAllocator {
   std::size_t bytes_capacity() const { return capacity_bytes_; }
   std::size_t bytes_free() const { return capacity_bytes_ - used_bytes_; }
 
+  /// Attaches a fault campaign: a capacity-loss fault shrinks the
+  /// usable arena (allocations crossing into the dead region report a
+  /// kLdmCapacity fault through `on_fault` but are still served from
+  /// the physical arena — CPE kernels must never throw mid-launch), and
+  /// bit-flip faults poison one word of a fresh allocation and report
+  /// it. `on_fault(message)` marks the enclosing launch failed.
+  void attach_faults(FaultInjector* injector, int cpe,
+                     std::function<void(const std::string&)> on_fault);
+
  private:
   std::size_t capacity_bytes_;
   std::size_t used_bytes_ = 0;
   std::unique_ptr<double[]> arena_;
+  FaultInjector* injector_ = nullptr;
+  int cpe_ = 0;
+  std::function<void(const std::string&)> on_fault_;
 };
 
 }  // namespace swdnn::sim

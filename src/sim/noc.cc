@@ -56,9 +56,19 @@ MultiCgStats NocSystem::run_partitioned(
     throw std::invalid_argument("run_partitioned: bad core-group count");
   }
   const auto parts = partition_output_rows(total_output_rows, num_cgs);
+  if (injector_ != nullptr) {
+    for (int cg = 0; cg < num_cgs; ++cg) {
+      if (injector_->poll_noc_link(cg)) {
+        throw LaunchFault("NoC link to core group " + std::to_string(cg) +
+                              " is down",
+                          /*persistent=*/true);
+      }
+    }
+  }
   MultiCgStats stats;
   stats.launch_overhead_seconds = launch_overhead_seconds_;
   MeshExecutor exec(spec_);
+  exec.set_fault_injector(injector_);
   for (int cg = 0; cg < num_cgs; ++cg) {
     stats.per_cg.push_back(exec.run(make_kernel(cg, parts[cg])));
   }

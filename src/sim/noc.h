@@ -54,17 +54,27 @@ class NocSystem {
 
   /// Runs `make_kernel(cg, partition)` on each core group's mesh. The
   /// simulation executes CGs sequentially (the host is one machine) but
-  /// the stats model them as concurrent.
+  /// the stats model them as concurrent. Throws LaunchFault (persistent)
+  /// before launching anything if an attached fault campaign has
+  /// severed the NoC link to one of the requested core groups — the
+  /// caller redistributes or falls back.
   MultiCgStats run_partitioned(
       std::int64_t total_output_rows, int num_cgs,
       const std::function<MeshExecutor::Kernel(int, RowPartition)>&
           make_kernel);
+
+  /// Attaches a fault campaign; link state is consulted per
+  /// run_partitioned call and fault sites inside each CG launch are
+  /// injected through the shared executor.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
 
   const arch::Sw26010Spec& spec() const { return spec_; }
 
  private:
   arch::Sw26010Spec spec_;  // by value: callers may pass temporaries
   double launch_overhead_seconds_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace swdnn::sim

@@ -1,0 +1,311 @@
+// Fault injection and resilience through the handle API: retried
+// transient faults, graceful degradation to the host route, the
+// transient/persistent status split on the route with no fallback, the
+// fault counters, and the full Status surface of every entry point.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/api/swdnn_api.h"
+#include "src/conv/reference.h"
+#include "src/util/rng.h"
+
+namespace swdnn::api {
+namespace {
+
+arch::Sw26010Spec mesh_spec(int dim) {
+  arch::Sw26010Spec spec = arch::default_spec();
+  spec.mesh_rows = dim;
+  spec.mesh_cols = dim;
+  return spec;
+}
+
+/// A mesh-compatible problem on the 2x2 test mesh, with reference
+/// results for all three gradients.
+struct Problem {
+  Problem() : shape(conv::ConvShape::from_output(4, 2, 2, 3, 4, 2, 2)) {
+    util::Rng rng(4242);
+    input = conv::make_input(shape);
+    filter = conv::make_filter(shape);
+    output_grad = conv::make_output(shape);
+    rng.fill_uniform(input.data(), -1, 1);
+    rng.fill_uniform(filter.data(), -1, 1);
+    rng.fill_uniform(output_grad.data(), -1, 1);
+    set_tensor4d_descriptor(x_desc, shape.ri, shape.ci, shape.ni,
+                            shape.batch);
+    set_filter_descriptor(w_desc, shape.kr, shape.kc, shape.ni, shape.no);
+    set_tensor4d_descriptor(y_desc, shape.ro(), shape.co(), shape.no,
+                            shape.batch);
+  }
+
+  conv::ConvShape shape;
+  tensor::Tensor input, filter, output_grad;
+  TensorDescriptor x_desc, y_desc;
+  FilterDescriptor w_desc;
+};
+
+class ApiFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const arch::Sw26010Spec spec = mesh_spec(2);
+    ASSERT_EQ(create(&handle_, &spec), Status::kSuccess);
+  }
+  void TearDown() override {
+    EXPECT_EQ(destroy(handle_), Status::kSuccess);
+  }
+
+  std::vector<double> forward(Status expected = Status::kSuccess) {
+    std::vector<double> y(
+        static_cast<std::size_t>(p_.shape.ro() * p_.shape.co() * p_.shape.no *
+                                 p_.shape.batch));
+    EXPECT_EQ(convolution_forward(handle_, p_.x_desc, p_.input.data().data(),
+                                  p_.w_desc, p_.filter.data().data(),
+                                  p_.y_desc, y.data()),
+              expected);
+    return y;
+  }
+
+  Handle* handle_ = nullptr;
+  Problem p_;
+};
+
+TEST(ApiStatus, StatusStringCoversEveryValue) {
+  const Status all[] = {Status::kSuccess,         Status::kBadParam,
+                        Status::kShapeMismatch,   Status::kExecutionFailed,
+                        Status::kTransientFault,  Status::kDeviceFault};
+  std::set<std::string> names;
+  for (const Status s : all) {
+    ASSERT_NE(status_string(s), nullptr);
+    names.insert(status_string(s));
+  }
+  EXPECT_EQ(names.size(), 6u);  // all distinct
+  EXPECT_STREQ(status_string(Status::kTransientFault),
+               "SWDNN_STATUS_TRANSIENT_FAULT");
+  EXPECT_STREQ(status_string(Status::kDeviceFault),
+               "SWDNN_STATUS_DEVICE_FAULT");
+}
+
+TEST_F(ApiFaultTest, TransientDmaFaultsRetryToBitwiseIdenticalOutput) {
+  // The acceptance campaign: a fault-free run, then the same call under
+  // a plan faulting the first two DMA attempts per CPE with retries
+  // enabled. The retried run must succeed on the mesh route with output
+  // bitwise identical to the fault-free run.
+  const std::vector<double> clean = forward();
+  ASSERT_EQ(last_execution_route(handle_), ExecutionRoute::kSimulatedMesh);
+
+  sim::FaultPlan plan;
+  plan.fail_first_dma = 2;
+  ASSERT_EQ(set_fault_plan(handle_, &plan), Status::kSuccess);
+  ASSERT_EQ(set_retry_policy(handle_, 4, 16), Status::kSuccess);
+  const std::vector<double> faulty = forward();
+  EXPECT_EQ(last_execution_route(handle_), ExecutionRoute::kSimulatedMesh);
+  ASSERT_EQ(faulty.size(), clean.size());
+  EXPECT_EQ(std::memcmp(faulty.data(), clean.data(),
+                        clean.size() * sizeof(double)),
+            0);
+
+  FaultCounters counters;
+  ASSERT_EQ(fault_counters(handle_, &counters), Status::kSuccess);
+  EXPECT_GT(counters.dma_transfer_faults, 0u);
+  EXPECT_GT(counters.dma_retries, 0u);
+  EXPECT_EQ(counters.host_fallbacks, 0u);
+}
+
+TEST_F(ApiFaultTest, PersistentFaultsDegradeForwardToHostGemm) {
+  // Every DMA attempt faults: retries exhaust, the mesh route is dead,
+  // and the call must degrade to the host GEMM path — still correct,
+  // never garbage.
+  sim::FaultPlan plan;
+  plan.fail_first_dma = 1u << 20;
+  ASSERT_EQ(set_fault_plan(handle_, &plan), Status::kSuccess);
+  ASSERT_EQ(set_retry_policy(handle_, 3, 8), Status::kSuccess);
+  const std::vector<double> y = forward();
+  EXPECT_EQ(last_execution_route(handle_), ExecutionRoute::kHostGemm);
+  EXPECT_STRNE(last_error_message(handle_), "");
+
+  tensor::Tensor expected = conv::make_output(p_.shape);
+  conv::reference_forward(p_.input, p_.filter, expected, p_.shape);
+  for (std::int64_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)], expected.data()[i], 1e-10);
+  }
+
+  FaultCounters counters;
+  ASSERT_EQ(fault_counters(handle_, &counters), Status::kSuccess);
+  EXPECT_EQ(counters.host_fallbacks, 1u);
+}
+
+TEST_F(ApiFaultTest, PersistentFaultsDegradeBackwardDataToHostGemm) {
+  sim::FaultPlan plan;
+  plan.fail_first_dma = 1u << 20;
+  ASSERT_EQ(set_fault_plan(handle_, &plan), Status::kSuccess);
+  ASSERT_EQ(set_retry_policy(handle_, 2, 8), Status::kSuccess);
+  std::vector<double> dx(static_cast<std::size_t>(p_.input.size()));
+  ASSERT_EQ(convolution_backward_data(handle_, p_.w_desc,
+                                      p_.filter.data().data(), p_.y_desc,
+                                      p_.output_grad.data().data(), p_.x_desc,
+                                      dx.data()),
+            Status::kSuccess);
+  EXPECT_EQ(last_execution_route(handle_), ExecutionRoute::kHostGemm);
+
+  tensor::Tensor expected = conv::make_input(p_.shape);
+  conv::reference_backward_data(p_.output_grad, p_.filter, expected,
+                                p_.shape);
+  for (std::int64_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(dx[static_cast<std::size_t>(i)], expected.data()[i], 1e-10);
+  }
+}
+
+TEST_F(ApiFaultTest, BackwardFilterSurfacesDeviceFaultWhenRetriesExhaust) {
+  // backward-filter has no host route: a persistent fault must surface
+  // as kDeviceFault with a diagnostic, not as silent garbage.
+  sim::FaultPlan plan;
+  plan.fail_first_dma = 1u << 20;
+  ASSERT_EQ(set_fault_plan(handle_, &plan), Status::kSuccess);
+  ASSERT_EQ(set_retry_policy(handle_, 3, 8), Status::kSuccess);
+  std::vector<double> dw(static_cast<std::size_t>(p_.filter.size()));
+  EXPECT_EQ(convolution_backward_filter(handle_, p_.x_desc,
+                                        p_.input.data().data(), p_.y_desc,
+                                        p_.output_grad.data().data(),
+                                        p_.w_desc, dw.data()),
+            Status::kDeviceFault);
+  EXPECT_STRNE(last_error_message(handle_), "");
+}
+
+TEST_F(ApiFaultTest, BackwardFilterTransientFaultClearsOnRetry) {
+  // Only the first DMA attempt per CPE faults and the policy allows no
+  // retries: the first call reports kTransientFault, and re-issuing the
+  // call (the framework-level retry the status invites) succeeds with
+  // the right gradient.
+  sim::FaultPlan plan;
+  plan.fail_first_dma = 1;
+  ASSERT_EQ(set_fault_plan(handle_, &plan), Status::kSuccess);
+  std::vector<double> dw(static_cast<std::size_t>(p_.filter.size()));
+  EXPECT_EQ(convolution_backward_filter(handle_, p_.x_desc,
+                                        p_.input.data().data(), p_.y_desc,
+                                        p_.output_grad.data().data(),
+                                        p_.w_desc, dw.data()),
+            Status::kTransientFault);
+  ASSERT_EQ(convolution_backward_filter(handle_, p_.x_desc,
+                                        p_.input.data().data(), p_.y_desc,
+                                        p_.output_grad.data().data(),
+                                        p_.w_desc, dw.data()),
+            Status::kSuccess);
+
+  tensor::Tensor expected = conv::make_filter(p_.shape);
+  conv::reference_backward_filter(p_.input, p_.output_grad, expected,
+                                  p_.shape);
+  for (std::int64_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(dw[static_cast<std::size_t>(i)], expected.data()[i], 1e-9);
+  }
+}
+
+TEST_F(ApiFaultTest, LdmBitFlipDegradesToHostGemm) {
+  // Corrupted LDM cannot be retried away — the launch is persistently
+  // failed and the call recomputes on the host.
+  sim::FaultPlan plan;
+  plan.ldm_bitflip_rate = 1.0;
+  ASSERT_EQ(set_fault_plan(handle_, &plan), Status::kSuccess);
+  forward();
+  EXPECT_EQ(last_execution_route(handle_), ExecutionRoute::kHostGemm);
+  FaultCounters counters;
+  ASSERT_EQ(fault_counters(handle_, &counters), Status::kSuccess);
+  EXPECT_GT(counters.ldm_bitflip_faults, 0u);
+  EXPECT_GE(counters.host_fallbacks, 1u);
+}
+
+TEST_F(ApiFaultTest, DetachingThePlanRestoresCleanMeshExecution) {
+  sim::FaultPlan plan;
+  plan.fail_first_dma = 1u << 20;
+  ASSERT_EQ(set_fault_plan(handle_, &plan), Status::kSuccess);
+  forward();
+  EXPECT_EQ(last_execution_route(handle_), ExecutionRoute::kHostGemm);
+
+  ASSERT_EQ(set_fault_plan(handle_, nullptr), Status::kSuccess);
+  forward();
+  EXPECT_EQ(last_execution_route(handle_), ExecutionRoute::kSimulatedMesh);
+  FaultCounters counters;
+  ASSERT_EQ(fault_counters(handle_, &counters), Status::kSuccess);
+  EXPECT_EQ(counters.dma_transfer_faults, 0u);
+  EXPECT_EQ(counters.host_fallbacks, 0u);
+}
+
+TEST_F(ApiFaultTest, RetryPolicyAndCounterArgumentsAreValidated) {
+  EXPECT_EQ(set_retry_policy(nullptr, 2, 8), Status::kBadParam);
+  EXPECT_EQ(set_retry_policy(handle_, 0, 8), Status::kBadParam);
+  EXPECT_EQ(set_retry_policy(handle_, -1, 8), Status::kBadParam);
+  EXPECT_EQ(set_fault_plan(nullptr, nullptr), Status::kBadParam);
+  FaultCounters counters;
+  EXPECT_EQ(fault_counters(nullptr, &counters), Status::kBadParam);
+  EXPECT_EQ(fault_counters(handle_, nullptr), Status::kBadParam);
+}
+
+// --- Status surface of the three conv entry points ------------------------
+
+TEST_F(ApiFaultTest, ForwardRejectsNullHandleAndBuffers) {
+  std::vector<double> buf(4096, 0.0);
+  EXPECT_EQ(convolution_forward(nullptr, p_.x_desc, buf.data(), p_.w_desc,
+                                buf.data(), p_.y_desc, buf.data()),
+            Status::kBadParam);
+  EXPECT_EQ(convolution_forward(handle_, p_.x_desc, buf.data(), p_.w_desc,
+                                nullptr, p_.y_desc, buf.data()),
+            Status::kBadParam);
+  EXPECT_EQ(convolution_forward(handle_, p_.x_desc, buf.data(), p_.w_desc,
+                                buf.data(), p_.y_desc, nullptr),
+            Status::kBadParam);
+}
+
+TEST_F(ApiFaultTest, BackwardDataRejectsNullsAndShapeMismatch) {
+  std::vector<double> buf(4096, 0.0);
+  EXPECT_EQ(convolution_backward_data(nullptr, p_.w_desc, buf.data(),
+                                      p_.y_desc, buf.data(), p_.x_desc,
+                                      buf.data()),
+            Status::kBadParam);
+  EXPECT_EQ(convolution_backward_data(handle_, p_.w_desc, nullptr, p_.y_desc,
+                                      buf.data(), p_.x_desc, buf.data()),
+            Status::kBadParam);
+  EXPECT_EQ(convolution_backward_data(handle_, p_.w_desc, buf.data(),
+                                      p_.y_desc, nullptr, p_.x_desc,
+                                      buf.data()),
+            Status::kBadParam);
+  TensorDescriptor bad_dy = p_.y_desc;
+  bad_dy.rows += 1;
+  EXPECT_EQ(convolution_backward_data(handle_, p_.w_desc, buf.data(), bad_dy,
+                                      buf.data(), p_.x_desc, buf.data()),
+            Status::kShapeMismatch);
+}
+
+TEST_F(ApiFaultTest, BackwardFilterRejectsNullsAndShapeMismatch) {
+  std::vector<double> buf(4096, 0.0);
+  EXPECT_EQ(convolution_backward_filter(nullptr, p_.x_desc, buf.data(),
+                                        p_.y_desc, buf.data(), p_.w_desc,
+                                        buf.data()),
+            Status::kBadParam);
+  EXPECT_EQ(convolution_backward_filter(handle_, p_.x_desc, nullptr,
+                                        p_.y_desc, buf.data(), p_.w_desc,
+                                        buf.data()),
+            Status::kBadParam);
+  EXPECT_EQ(convolution_backward_filter(handle_, p_.x_desc, buf.data(),
+                                        p_.y_desc, buf.data(), p_.w_desc,
+                                        nullptr),
+            Status::kBadParam);
+  FilterDescriptor bad_dw = p_.w_desc;
+  bad_dw.ni += 1;
+  EXPECT_EQ(convolution_backward_filter(handle_, p_.x_desc, buf.data(),
+                                        p_.y_desc, buf.data(), bad_dw,
+                                        buf.data()),
+            Status::kShapeMismatch);
+}
+
+TEST_F(ApiFaultTest, EstimateRejectsNullOutput) {
+  EXPECT_EQ(get_convolution_estimate(handle_, p_.x_desc, p_.w_desc, nullptr),
+            Status::kBadParam);
+  EXPECT_EQ(get_convolution_estimate(nullptr, p_.x_desc, p_.w_desc, nullptr),
+            Status::kBadParam);
+}
+
+}  // namespace
+}  // namespace swdnn::api

@@ -1,0 +1,290 @@
+// The fault-injection framework at the simulator level: deterministic
+// replay, DMA retry-with-backoff, transient vs persistent launch
+// failure, LDM capacity/bit-flip faults, regcomm stalls, and severed
+// NoC links.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "src/sim/executor.h"
+#include "src/sim/fault.h"
+#include "src/sim/noc.h"
+
+namespace swdnn::sim {
+namespace {
+
+arch::Sw26010Spec mesh_spec(int dim) {
+  arch::Sw26010Spec spec = arch::default_spec();
+  spec.mesh_rows = dim;
+  spec.mesh_cols = dim;
+  return spec;
+}
+
+/// A deterministic workload: every CPE round-trips its 32-double slice
+/// of `global` through LDM (one aligned get + one aligned put).
+LaunchStats run_round_trip(MeshExecutor& exec, std::vector<double>& global,
+                           std::vector<double>& result) {
+  return exec.run([&](CpeContext& ctx) {
+    auto buf = ctx.ldm().alloc_doubles(32);
+    const std::size_t off = static_cast<std::size_t>(ctx.id()) * 32;
+    ctx.dma_get({global.data() + off, 32}, buf);
+    ctx.dma_put(buf, {result.data() + off, 32});
+  });
+}
+
+TEST(FaultSite, NamesAreDistinct) {
+  const FaultSite sites[] = {FaultSite::kDmaTransfer, FaultSite::kDmaMisalign,
+                             FaultSite::kLdmCapacity, FaultSite::kLdmBitFlip,
+                             FaultSite::kRegcommStall, FaultSite::kNocLink};
+  for (std::size_t a = 0; a < 6; ++a) {
+    ASSERT_NE(fault_site_name(sites[a]), nullptr);
+    for (std::size_t b = a + 1; b < 6; ++b) {
+      EXPECT_STRNE(fault_site_name(sites[a]), fault_site_name(sites[b]));
+    }
+  }
+}
+
+TEST(FaultInjector, SameSeedReplaysIdenticalEventTrace) {
+  // Two independent injectors with the same plan, driving the same
+  // workload over 64 concurrent CPE threads, must log exactly the same
+  // events — the determinism the replay tests depend on.
+  FaultPlan plan;
+  plan.seed = 12345;
+  plan.dma_fault_rate = 0.4;
+  std::vector<std::vector<FaultEvent>> traces;
+  for (int run = 0; run < 2; ++run) {
+    FaultInjector injector(plan);
+    MeshExecutor exec(mesh_spec(4));
+    exec.set_fault_injector(&injector);
+    exec.set_retry_policy({/*max_attempts=*/8, /*backoff_cycles=*/4});
+    std::vector<double> global(16 * 32, 1.0), result(16 * 32);
+    run_round_trip(exec, global, result);
+    traces.push_back(injector.events());
+  }
+  ASSERT_FALSE(traces[0].empty());
+  ASSERT_EQ(traces[0].size(), traces[1].size());
+  for (std::size_t i = 0; i < traces[0].size(); ++i) {
+    EXPECT_EQ(traces[0][i].site, traces[1][i].site) << "event " << i;
+    EXPECT_EQ(traces[0][i].unit, traces[1][i].unit) << "event " << i;
+    EXPECT_EQ(traces[0][i].sequence, traces[1][i].sequence) << "event " << i;
+    EXPECT_EQ(traces[0][i].detail, traces[1][i].detail) << "event " << i;
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsProduceDifferentPlacement) {
+  FaultPlan a, b;
+  a.seed = 1;
+  b.seed = 2;
+  a.dma_fault_rate = b.dma_fault_rate = 0.5;
+  FaultInjector ia(a), ib(b);
+  std::vector<bool> da, db;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    da.push_back(ia.poll_dma_fault(0));
+    db.push_back(ib.poll_dma_fault(0));
+  }
+  EXPECT_NE(da, db);
+}
+
+TEST(FaultInjector, ResetReplaysTheCampaignFromTheStart) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.dma_fault_rate = 0.5;
+  FaultInjector injector(plan);
+  std::vector<bool> first;
+  for (int i = 0; i < 32; ++i) first.push_back(injector.poll_dma_fault(3));
+  EXPECT_GT(injector.total_events(), 0u);
+  injector.reset();
+  EXPECT_EQ(injector.total_events(), 0u);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(injector.poll_dma_fault(3), first[static_cast<std::size_t>(i)])
+        << "poll " << i;
+  }
+}
+
+TEST(FaultInjector, EventsSortedBySiteUnitSequence) {
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.dma_fault_rate = 0.6;
+  plan.regcomm_stall_rate = 0.6;
+  FaultInjector injector(plan);
+  for (int cpe = 3; cpe >= 0; --cpe) {
+    for (int i = 0; i < 8; ++i) {
+      injector.poll_dma_fault(cpe);
+      injector.poll_regcomm_stall(cpe);
+    }
+  }
+  const auto events = injector.events();
+  ASSERT_GT(events.size(), 1u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    const auto key = [](const FaultEvent& e) {
+      return std::tuple(static_cast<int>(e.site), e.unit, e.sequence);
+    };
+    EXPECT_LT(key(events[i - 1]), key(events[i])) << "event " << i;
+  }
+}
+
+TEST(DmaFaults, TransientFaultsAreAbsorbedByRetries) {
+  // The first two DMA attempts on every CPE fault; with four attempts
+  // allowed the transfers all land and the data is untouched.
+  FaultPlan plan;
+  plan.fail_first_dma = 2;
+  FaultInjector injector(plan);
+  MeshExecutor exec(mesh_spec(2));
+  exec.set_fault_injector(&injector);
+  exec.set_retry_policy({/*max_attempts=*/4, /*backoff_cycles=*/16});
+  std::vector<double> global(4 * 32), result(4 * 32);
+  for (std::size_t i = 0; i < global.size(); ++i) {
+    global[i] = static_cast<double>(i);
+  }
+  const LaunchStats stats = run_round_trip(exec, global, result);
+  EXPECT_FALSE(stats.failed);
+  EXPECT_EQ(stats.dma_retries, 4u * 2u);  // 2 retried transfers per CPE
+  EXPECT_GT(stats.fault_events, 0u);
+  EXPECT_EQ(injector.count(FaultSite::kDmaTransfer), 4u * 2u);
+  EXPECT_EQ(result, global);
+}
+
+TEST(DmaFaults, ExhaustedRetriesMarkTheLaunchPersistentlyFailed) {
+  FaultPlan plan;
+  plan.fail_first_dma = 100;  // every attempt the policy allows faults
+  FaultInjector injector(plan);
+  MeshExecutor exec(mesh_spec(2));
+  exec.set_fault_injector(&injector);
+  exec.set_retry_policy({/*max_attempts=*/3, /*backoff_cycles=*/16});
+  std::vector<double> global(4 * 32, 1.0), result(4 * 32, 0.0);
+  const LaunchStats stats = run_round_trip(exec, global, result);
+  EXPECT_TRUE(stats.failed);
+  EXPECT_TRUE(stats.persistent_fault);
+  EXPECT_FALSE(stats.failure.empty());
+}
+
+TEST(DmaFaults, SingleFaultWithoutRetryPolicyIsTransient) {
+  // max_attempts=1 means the policy never retried: the failure is a
+  // one-shot transient, not an exhausted-retries persistent fault.
+  FaultPlan plan;
+  plan.fail_first_dma = 1;
+  FaultInjector injector(plan);
+  MeshExecutor exec(mesh_spec(2));
+  exec.set_fault_injector(&injector);
+  std::vector<double> global(4 * 32, 1.0), result(4 * 32, 0.0);
+  const LaunchStats stats = run_round_trip(exec, global, result);
+  EXPECT_TRUE(stats.failed);
+  EXPECT_FALSE(stats.persistent_fault);
+}
+
+TEST(DmaFaults, MisalignFaultsDegradeDmaBandwidth) {
+  std::vector<double> global(4 * 32, 1.0), result(4 * 32);
+  MeshExecutor clean(mesh_spec(2));
+  const double clean_seconds = run_round_trip(clean, global, result)
+                                   .dma_seconds;
+
+  FaultPlan plan;
+  plan.dma_misalign_rate = 1.0;
+  FaultInjector injector(plan);
+  MeshExecutor faulty(mesh_spec(2));
+  faulty.set_fault_injector(&injector);
+  const LaunchStats stats = run_round_trip(faulty, global, result);
+  EXPECT_FALSE(stats.failed);  // misalignment is slow, not wrong
+  EXPECT_GT(stats.dma_seconds, clean_seconds);
+  EXPECT_GT(injector.count(FaultSite::kDmaMisalign), 0u);
+  EXPECT_EQ(result, global);
+}
+
+TEST(LdmFaults, CapacityLossFailsAllocationsInTheDeadRegion) {
+  // 60 KB of each 64 KB arena is dead: an 8 KB allocation crosses the
+  // 4 KB boundary, reports the fault, and the launch is marked failed —
+  // but the kernel keeps running (it must drain its barriers).
+  FaultPlan plan;
+  plan.ldm_capacity_loss_bytes = 60 * 1024;
+  FaultInjector injector(plan);
+  MeshExecutor exec(mesh_spec(2));
+  exec.set_fault_injector(&injector);
+  std::atomic<int> completed{0};
+  const LaunchStats stats = exec.run([&](CpeContext& ctx) {
+    auto buf = ctx.ldm().alloc_doubles(1024);
+    buf[0] = 1.0;
+    completed.fetch_add(1);
+  });
+  EXPECT_TRUE(stats.failed);
+  EXPECT_TRUE(stats.persistent_fault);
+  EXPECT_EQ(injector.count(FaultSite::kLdmCapacity), 4u);
+  EXPECT_EQ(completed.load(), 4);
+}
+
+TEST(LdmFaults, BitFlipPoisonsOneWordOfAFreshAllocation) {
+  FaultPlan plan;
+  plan.ldm_bitflip_rate = 1.0;
+  FaultInjector injector(plan);
+  MeshExecutor exec(mesh_spec(2));
+  exec.set_fault_injector(&injector);
+  std::atomic<int> poisoned{0};
+  const LaunchStats stats = exec.run([&](CpeContext& ctx) {
+    auto buf = ctx.ldm().alloc_doubles(8);
+    if (std::isnan(buf[4])) poisoned.fetch_add(1);
+  });
+  EXPECT_TRUE(stats.failed);
+  EXPECT_EQ(poisoned.load(), 4);
+  EXPECT_EQ(injector.count(FaultSite::kLdmBitFlip), 4u);
+}
+
+TEST(RegcommFaults, StallsChargeExtraCycles) {
+  const auto ring_kernel = [](CpeContext& ctx) {
+    // Each CPE sends right around its row ring and receives one value.
+    const Vec4 v{1, 2, 3, 4};
+    ctx.put_row((ctx.col() + 1) % ctx.mesh_cols(), v);
+    ctx.get_row();
+  };
+  MeshExecutor clean(mesh_spec(2));
+  const std::uint64_t clean_cycles = clean.run(ring_kernel).max_compute_cycles;
+
+  FaultPlan plan;
+  plan.regcomm_stall_rate = 1.0;
+  plan.regcomm_stall_cycles = 5000;
+  FaultInjector injector(plan);
+  MeshExecutor faulty(mesh_spec(2));
+  faulty.set_fault_injector(&injector);
+  const LaunchStats stats = faulty.run(ring_kernel);
+  EXPECT_FALSE(stats.failed);  // a stall delays, it does not corrupt
+  EXPECT_GE(stats.max_compute_cycles, clean_cycles + 5000);
+  EXPECT_EQ(injector.count(FaultSite::kRegcommStall), 4u);
+}
+
+TEST(NocFaults, SeveredLinkFailsThePartitionedLaunchUpFront) {
+  FaultPlan plan;
+  plan.dead_noc_links = {1};
+  FaultInjector injector(plan);
+  EXPECT_FALSE(injector.poll_noc_link(0));
+  EXPECT_TRUE(injector.poll_noc_link(1));
+
+  NocSystem noc(mesh_spec(2));
+  noc.set_fault_injector(&injector);
+  try {
+    noc.run_partitioned(8, 2, [](int, RowPartition) {
+      return [](CpeContext&) {};
+    });
+    FAIL() << "expected LaunchFault";
+  } catch (const LaunchFault& e) {
+    EXPECT_TRUE(e.persistent());
+  }
+  EXPECT_GT(injector.count(FaultSite::kNocLink), 0u);
+}
+
+TEST(NocFaults, HealthyLinksStillRun) {
+  FaultPlan plan;
+  plan.dead_noc_links = {3};  // only CG 3 is dead; a 2-CG run is fine
+  FaultInjector injector(plan);
+  NocSystem noc(mesh_spec(2));
+  noc.set_fault_injector(&injector);
+  std::atomic<int> launches{0};
+  noc.run_partitioned(8, 2, [&](int, RowPartition) {
+    launches.fetch_add(1);
+    return [](CpeContext&) {};
+  });
+  EXPECT_EQ(launches.load(), 2);
+}
+
+}  // namespace
+}  // namespace swdnn::sim
