@@ -7,8 +7,10 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "src/conv/swconv.h"
+#include "src/util/stopwatch.h"
 #include "src/util/table.h"
 #include "workloads.h"
 
@@ -26,6 +28,79 @@ constexpr Row kPaperRows[] = {
     {"batch", 3, 0, 8, 256, 256, 27.1, 21.2, 422, 410},
     {"batch", 3, 0, 8, 128, 384, 25.7, 21.2, 407, 392},
 };
+
+/// Per-shape planning cost with and without the shape-keyed plan cache,
+/// written as machine-readable JSON for downstream tooling.
+struct CacheSample {
+  swdnn::conv::ConvShape shape;
+  std::string plan_kind;
+  double rank_ns = 0;    ///< one uncached PlanChooser::rank
+  double lookup_ns = 0;  ///< one warm PlanCache lookup, averaged
+};
+
+void write_plan_cache_json(swdnn::conv::SwConvolution& sw,
+                           const std::vector<swdnn::conv::ConvShape>& shapes,
+                           const char* path) {
+  using swdnn::util::Stopwatch;
+  constexpr int kRankReps = 5;
+  constexpr int kLookupReps = 20000;
+
+  std::vector<CacheSample> samples;
+  sw.clear_plan_cache();
+  for (const auto& shape : shapes) {
+    CacheSample s;
+    s.shape = shape;
+    // Uncached: the full candidate walk + model scoring, every call.
+    Stopwatch rank_timer;
+    for (int i = 0; i < kRankReps; ++i) (void)sw.chooser().rank(shape);
+    s.rank_ns = rank_timer.elapsed_seconds() * 1e9 / kRankReps;
+    // Cached: one miss to build the entry, then warm lookups.
+    const auto entry = sw.ranked_plans(shape).entry;
+    s.plan_kind = entry->has_executable()
+                      ? swdnn::perf::plan_kind_name(
+                            entry->best_executable().plan.kind)
+                      : "host-gemm";
+    Stopwatch lookup_timer;
+    for (int i = 0; i < kLookupReps; ++i) (void)sw.ranked_plans(shape);
+    s.lookup_ns = lookup_timer.elapsed_seconds() * 1e9 / kLookupReps;
+    samples.push_back(s);
+  }
+
+  const auto stats = sw.plan_cache_stats();
+  const double hit_rate =
+      stats.hits + stats.misses
+          ? static_cast<double>(stats.hits) /
+                static_cast<double>(stats.hits + stats.misses)
+          : 0.0;
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"plan_cache\",\n");
+  std::fprintf(f, "  \"cache_hits\": %llu,\n",
+               static_cast<unsigned long long>(stats.hits));
+  std::fprintf(f, "  \"cache_misses\": %llu,\n",
+               static_cast<unsigned long long>(stats.misses));
+  std::fprintf(f, "  \"cache_hit_rate\": %.6f,\n", hit_rate);
+  std::fprintf(f, "  \"shapes\": [\n");
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const CacheSample& s = samples[i];
+    std::fprintf(
+        f,
+        "    {\"shape\": \"%s\", \"chosen_plan\": \"%s\", "
+        "\"rank_ns_per_call\": %.1f, \"cached_lookup_ns_per_call\": %.1f, "
+        "\"speedup\": %.1f}%s\n",
+        s.shape.to_string().c_str(), s.plan_kind.c_str(), s.rank_ns,
+        s.lookup_ns, s.lookup_ns > 0 ? s.rank_ns / s.lookup_ns : 0.0,
+        i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (hit rate %.4f over %llu lookups)\n", path, hit_rate,
+              static_cast<unsigned long long>(stats.hits + stats.misses));
+}
 
 }  // namespace
 
@@ -79,5 +154,16 @@ int main() {
               "MBW = 18.2 GB/s in-kernel where our Table II-derived "
               "model cannot go below its 22 GB/s cap "
               "(see EXPERIMENTS.md).\n");
+
+  // Planning-cost companion: how much the shape-keyed plan cache saves
+  // per dispatch on the Table III shapes.
+  std::vector<swdnn::conv::ConvShape> shapes;
+  for (const Row& row : kPaperRows) {
+    const auto shape = swdnn::bench::paper_shape(row.ni, row.no);
+    bool seen = false;
+    for (const auto& s : shapes) seen |= (s == shape);
+    if (!seen) shapes.push_back(shape);
+  }
+  write_plan_cache_json(sw, shapes, "BENCH_plan_cache.json");
   return 0;
 }

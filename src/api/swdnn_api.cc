@@ -1,10 +1,14 @@
 #include "src/api/swdnn_api.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <exception>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "src/conv/backward.h"
 #include "src/conv/im2col.h"
@@ -15,23 +19,54 @@ namespace swdnn::api {
 struct Handle {
   arch::Sw26010Spec spec = arch::default_spec();
   conv::SwConvolution sw;
+
+  // Guards the per-call mutable state below. Held only for short
+  // bookkeeping sections, never across a simulated launch or a host
+  // GEMM, so concurrent calls through one handle overlap fully.
+  mutable std::mutex mutex;
   ExecutionRoute last_route = ExecutionRoute::kNone;
+  PlanAlgo last_plan = PlanAlgo::kNone;
   // Fixed-size buffer, never shared between handles: last_error_message()
   // stays valid and race-free under concurrent use of distinct handles.
   char last_error[256] = {0};
+  sim::EventTracer* tracer = nullptr;  // configuration-phase pointer
   std::unique_ptr<sim::FaultInjector> injector;
   sim::RetryPolicy retry;
   std::uint64_t host_fallbacks = 0;
   std::uint64_t dma_retries = 0;
+  std::uint64_t plan_fallbacks = 0;
 
   explicit Handle(const arch::Sw26010Spec& s) : spec(s), sw(s) {}
 };
 
 namespace {
 
-void set_error(Handle* handle, const char* message) {
+void set_error_locked(Handle* handle, const char* message) {
   std::snprintf(handle->last_error, sizeof(handle->last_error), "%s",
                 message);
+}
+
+void set_error(Handle* handle, const char* message) {
+  std::lock_guard<std::mutex> lock(handle->mutex);
+  set_error_locked(handle, message);
+}
+
+PlanAlgo to_plan_algo(perf::PlanKind kind) {
+  switch (kind) {
+    case perf::PlanKind::kDirect:
+      return PlanAlgo::kDirect;
+    case perf::PlanKind::kImageSizeAware:
+      return PlanAlgo::kImageSizeAware;
+    case perf::PlanKind::kBatchSizeAware:
+      return PlanAlgo::kBatchSizeAware;
+  }
+  return PlanAlgo::kNone;
+}
+
+void trace_dispatch(Handle* handle, const char* what) {
+  if (handle->tracer != nullptr) {
+    handle->tracer->record_instant(0, "plan_cache", what);
+  }
 }
 
 }  // namespace
@@ -52,6 +87,20 @@ const char* status_string(Status status) {
       return "SWDNN_STATUS_DEVICE_FAULT";
   }
   return "SWDNN_STATUS_UNKNOWN";
+}
+
+const char* plan_algo_name(PlanAlgo algo) {
+  switch (algo) {
+    case PlanAlgo::kNone:
+      return "none";
+    case PlanAlgo::kDirect:
+      return "direct";
+    case PlanAlgo::kImageSizeAware:
+      return "image-size-aware";
+    case PlanAlgo::kBatchSizeAware:
+      return "batch-size-aware";
+  }
+  return "none";
 }
 
 Status create(Handle** handle, const arch::Sw26010Spec* spec) {
@@ -145,28 +194,101 @@ Status convolution_forward(Handle* handle, const TensorDescriptor& x_desc,
         wrap(x, {shape.ri, shape.ci, shape.ni, shape.batch});
     tensor::Tensor filter = wrap(w, {shape.kr, shape.kc, shape.ni, shape.no});
     tensor::Tensor output({shape.ro(), shape.co(), shape.no, shape.batch});
-    try {
-      const conv::ForwardResult result =
-          handle->sw.forward(input, filter, output, shape);
-      handle->dma_retries += result.stats.dma_retries;
-      handle->last_route = ExecutionRoute::kSimulatedMesh;
-    } catch (const sim::LaunchFault& e) {
-      // A fault the tile-retry policy could not absorb: the mesh route
-      // is degraded, so recompute the whole call on the host. The
-      // partially written mesh output is discarded.
-      set_error(handle, e.what());
+
+    // One rank() per shape per handle: the winning plan and its ranked
+    // fallbacks come from the shape-keyed cache.
+    const perf::PlanCache::LookupResult lookup =
+        handle->sw.ranked_plans(shape);
+    trace_dispatch(handle, lookup.hit ? "hit" : "miss");
+    const perf::CachedPlan& plans = *lookup.entry;
+
+    // At most two mesh attempts: the cached winner, then the best
+    // ranked fallback — a plan with different LDM blocking can survive
+    // a fault that killed the winner.
+    std::string degrade_reason;
+    bool mesh_done = false;
+    const std::size_t attempts =
+        std::min<std::size_t>(plans.executable.size(), 2);
+    for (std::size_t a = 0; a < attempts && !mesh_done; ++a) {
+      const perf::PlanChoice& choice = plans.ranked[plans.executable[a]];
+      if (a > 0) {
+        output.zero();  // discard the faulted attempt's partial tiles
+        trace_dispatch(handle, "plan_fallback");
+      }
+      try {
+        const conv::ForwardResult result =
+            handle->sw.execute_choice(choice, input, filter, output, shape);
+        std::lock_guard<std::mutex> lock(handle->mutex);
+        handle->dma_retries += result.stats.dma_retries;
+        if (a > 0) {
+          ++handle->plan_fallbacks;
+          set_error_locked(handle, degrade_reason.c_str());
+        }
+        handle->last_route = ExecutionRoute::kSimulatedMesh;
+        handle->last_plan = to_plan_algo(choice.plan.kind);
+        mesh_done = true;
+      } catch (const sim::LaunchFault& e) {
+        degrade_reason = e.what();
+      }
+    }
+
+    if (!mesh_done) {
+      // Degradation is recorded, never silent: either every mesh
+      // attempt faulted (degrade_reason holds the diagnostic) or the
+      // shape has no mesh mapping at all. Anything else — bad_alloc,
+      // indexing bugs — propagates to the outer catch as
+      // kExecutionFailed instead of being masked by the host route.
+      if (degrade_reason.empty()) {
+        degrade_reason = "no mesh-executable plan for " + shape.to_string() +
+                         "; routed to host GEMM";
+      }
+      trace_dispatch(handle, "host_fallback");
+      output.zero();
+      conv::im2col_forward(input, filter, output, shape);
+      std::lock_guard<std::mutex> lock(handle->mutex);
+      set_error_locked(handle, degrade_reason.c_str());
       ++handle->host_fallbacks;
-      conv::im2col_forward(input, filter, output, shape);
       handle->last_route = ExecutionRoute::kHostGemm;
-    } catch (const std::exception&) {
-      // Shape does not map onto the mesh (divisibility): host fallback.
-      conv::im2col_forward(input, filter, output, shape);
-      handle->last_route = ExecutionRoute::kHostGemm;
+      handle->last_plan = PlanAlgo::kNone;
     }
     std::copy(output.data().begin(), output.data().end(), y);
   } catch (const std::exception& e) {
     set_error(handle, e.what());
     return Status::kExecutionFailed;
+  }
+  return Status::kSuccess;
+}
+
+Status convolution_forward_batch(Handle* handle, ForwardWorkItem* items,
+                                 int count, int num_threads) {
+  if (handle == nullptr || count < 0 || num_threads < 1 ||
+      (items == nullptr && count > 0)) {
+    return Status::kBadParam;
+  }
+  if (count == 0) return Status::kSuccess;
+
+  std::atomic<int> next{0};
+  const auto worker = [&]() {
+    for (int i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+      ForwardWorkItem& item = items[i];
+      item.status = convolution_forward(handle, item.x_desc, item.x,
+                                        item.w_desc, item.w, item.y_desc,
+                                        item.y);
+    }
+  };
+
+  const int workers = std::min(num_threads, count);
+  if (workers == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (int i = 0; i < count; ++i) {
+    if (items[i].status != Status::kSuccess) return items[i].status;
   }
   return Status::kSuccess;
 }
@@ -189,19 +311,33 @@ Status convolution_backward_data(Handle* handle,
     tensor::Tensor dout =
         wrap(dy, {shape.ro(), shape.co(), shape.no, shape.batch});
     tensor::Tensor din({shape.ri, shape.ci, shape.ni, shape.batch});
+    const auto host_fallback = [&](const char* reason) {
+      trace_dispatch(handle, "host_fallback");
+      din.zero();
+      conv::im2col_backward_data(dout, filter, din, shape);
+      std::lock_guard<std::mutex> lock(handle->mutex);
+      set_error_locked(handle, reason);
+      ++handle->host_fallbacks;
+      handle->last_route = ExecutionRoute::kHostGemm;
+      handle->last_plan = PlanAlgo::kNone;
+    };
     try {
       const conv::ForwardResult result =
           conv::swconv_backward_data(handle->sw, dout, filter, din, shape);
+      std::lock_guard<std::mutex> lock(handle->mutex);
       handle->dma_retries += result.stats.dma_retries;
       handle->last_route = ExecutionRoute::kSimulatedMesh;
+      handle->last_plan = to_plan_algo(result.choice.plan.kind);
     } catch (const sim::LaunchFault& e) {
-      set_error(handle, e.what());
-      ++handle->host_fallbacks;
-      conv::im2col_backward_data(dout, filter, din, shape);
-      handle->last_route = ExecutionRoute::kHostGemm;
-    } catch (const std::exception&) {
-      conv::im2col_backward_data(dout, filter, din, shape);
-      handle->last_route = ExecutionRoute::kHostGemm;
+      // A fault the tile-retry policy could not absorb: the mesh route
+      // is degraded, so recompute the whole call on the host. The
+      // partially written mesh output is discarded.
+      host_fallback(e.what());
+    } catch (const conv::MeshMappingError& e) {
+      // The backward shape does not map onto the mesh (divisibility):
+      // the host path is the designed route, but the reroute is
+      // recorded, not silent. Real bugs propagate to the outer catch.
+      host_fallback(e.what());
     }
     std::copy(din.data().begin(), din.data().end(), dx);
   } catch (const std::exception& e) {
@@ -233,6 +369,7 @@ Status convolution_backward_filter(Handle* handle,
     sim::MeshExecutor exec(handle->spec);
     exec.set_fault_injector(handle->injector.get());
     exec.set_retry_policy(handle->retry);
+    exec.set_tracer(handle->tracer);
     const sim::LaunchStats stats =
         conv::mesh_backward_filter(exec, input, dout, dfilter, shape);
     if (stats.failed) {
@@ -242,8 +379,11 @@ Status convolution_backward_filter(Handle* handle,
       return stats.persistent_fault ? Status::kDeviceFault
                                     : Status::kTransientFault;
     }
-    handle->dma_retries += stats.dma_retries;
-    handle->last_route = ExecutionRoute::kSimulatedMesh;
+    {
+      std::lock_guard<std::mutex> lock(handle->mutex);
+      handle->dma_retries += stats.dma_retries;
+      handle->last_route = ExecutionRoute::kSimulatedMesh;
+    }
     std::copy(dfilter.data().begin(), dfilter.data().end(), dw);
   } catch (const std::exception& e) {
     set_error(handle, e.what());
@@ -273,11 +413,37 @@ Status get_convolution_estimate(Handle* handle,
 }
 
 ExecutionRoute last_execution_route(const Handle* handle) {
-  return handle == nullptr ? ExecutionRoute::kNone : handle->last_route;
+  if (handle == nullptr) return ExecutionRoute::kNone;
+  std::lock_guard<std::mutex> lock(handle->mutex);
+  return handle->last_route;
+}
+
+PlanAlgo last_plan_algo(const Handle* handle) {
+  if (handle == nullptr) return PlanAlgo::kNone;
+  std::lock_guard<std::mutex> lock(handle->mutex);
+  return handle->last_plan;
 }
 
 const char* last_error_message(const Handle* handle) {
   return handle == nullptr ? "" : handle->last_error;
+}
+
+Status plan_cache_counters(const Handle* handle,
+                           PlanCacheCounters* counters) {
+  if (handle == nullptr || counters == nullptr) return Status::kBadParam;
+  const perf::PlanCacheStats stats = handle->sw.plan_cache_stats();
+  counters->hits = stats.hits;
+  counters->misses = stats.misses;
+  counters->evictions = stats.evictions;
+  counters->entries = stats.entries;
+  return Status::kSuccess;
+}
+
+Status set_event_tracer(Handle* handle, sim::EventTracer* tracer) {
+  if (handle == nullptr) return Status::kBadParam;
+  handle->tracer = tracer;
+  handle->sw.set_tracer(tracer);
+  return Status::kSuccess;
 }
 
 Status set_fault_plan(Handle* handle, const sim::FaultPlan* plan) {
@@ -285,14 +451,14 @@ Status set_fault_plan(Handle* handle, const sim::FaultPlan* plan) {
   if (plan == nullptr) {
     handle->injector.reset();
     handle->sw.set_fault_injector(nullptr);
-    handle->host_fallbacks = 0;
-    handle->dma_retries = 0;
-    return Status::kSuccess;
+  } else {
+    handle->injector = std::make_unique<sim::FaultInjector>(*plan);
+    handle->sw.set_fault_injector(handle->injector.get());
   }
-  handle->injector = std::make_unique<sim::FaultInjector>(*plan);
-  handle->sw.set_fault_injector(handle->injector.get());
+  std::lock_guard<std::mutex> lock(handle->mutex);
   handle->host_fallbacks = 0;
   handle->dma_retries = 0;
+  handle->plan_fallbacks = 0;
   return Status::kSuccess;
 }
 
@@ -307,8 +473,12 @@ Status set_retry_policy(Handle* handle, int max_attempts,
 Status fault_counters(const Handle* handle, FaultCounters* counters) {
   if (handle == nullptr || counters == nullptr) return Status::kBadParam;
   *counters = FaultCounters{};
-  counters->host_fallbacks = handle->host_fallbacks;
-  counters->dma_retries = handle->dma_retries;
+  {
+    std::lock_guard<std::mutex> lock(handle->mutex);
+    counters->host_fallbacks = handle->host_fallbacks;
+    counters->dma_retries = handle->dma_retries;
+    counters->plan_fallbacks = handle->plan_fallbacks;
+  }
   if (handle->injector != nullptr) {
     const sim::FaultInjector& fi = *handle->injector;
     counters->dma_transfer_faults = fi.count(sim::FaultSite::kDmaTransfer);

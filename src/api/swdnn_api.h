@@ -21,19 +21,34 @@
 // same, only the execution substrate differs (query the chosen route
 // with last_execution_route()).
 //
-// Threading contract: a Handle is not synchronized — at most one thread
-// may use a given handle at a time. Distinct handles are fully
-// independent: every piece of per-call state (last_execution_route,
-// last_error_message, fault counters, retry policy) lives inside the
-// handle itself, never in shared or static storage, so concurrent use
-// of different handles from different threads is safe. The free
-// functions that take no handle (status_string, descriptor setters,
-// get_convolution_output_descriptor) are pure and thread-safe.
+// Threading contract: a Handle is concurrency-safe for the execution
+// and query entry points — N worker threads may issue
+// convolution_forward / convolution_backward_* / get_convolution_estimate
+// calls through one shared handle simultaneously, the serving-front-end
+// shape (convolution_forward_batch packages exactly that dispatch).
+// Per-handle mutable state (last_execution_route, the error buffer,
+// fault counters, the plan cache) is internally guarded; the last_*
+// queries report the most recently *completed* call, which under
+// concurrency is whichever finished last. The configuration calls
+// (set_fault_plan, set_retry_policy, set_event_tracer) reconfigure the
+// execution engine and must not race with in-flight calls on the same
+// handle — configure first, then dispatch. Distinct handles remain
+// fully independent, and the free functions that take no handle
+// (status_string, descriptor setters, get_convolution_output_descriptor)
+// are pure and thread-safe.
+//
+// Plan dispatch: the first call on a handle with a given shape ranks
+// the candidate plans once (perf::PlanChooser) and caches the ranked
+// result keyed by shape; every subsequent call with that shape
+// dispatches straight from the cache. Cache behaviour is observable via
+// plan_cache_counters() and last_plan_algo(), and — when an
+// EventTracer is attached — as "plan_cache" trace events.
 
 #include <cstdint>
 
 #include "src/arch/spec.h"
 #include "src/sim/fault.h"
+#include "src/sim/trace.h"
 
 namespace swdnn::api {
 
@@ -84,11 +99,32 @@ Status get_convolution_output_descriptor(const TensorDescriptor& input,
                                          TensorDescriptor& output);
 
 /// y = conv(x, w). Buffers must hold exactly the descriptor's element
-/// counts.
+/// counts. Thread-safe on a shared handle.
 Status convolution_forward(Handle* handle, const TensorDescriptor& x_desc,
                            const double* x, const FilterDescriptor& w_desc,
                            const double* w, const TensorDescriptor& y_desc,
                            double* y);
+
+/// One request of a batched dispatch: descriptors, buffers, and the
+/// per-request outcome slot.
+struct ForwardWorkItem {
+  TensorDescriptor x_desc;
+  const double* x = nullptr;
+  FilterDescriptor w_desc;
+  const double* w = nullptr;
+  TensorDescriptor y_desc;
+  double* y = nullptr;
+  Status status = Status::kSuccess;  ///< filled per item
+};
+
+/// Concurrent dispatch of `count` independent forward convolutions
+/// through one handle: `num_threads` workers (clamped to count) pull
+/// items off a shared queue and run convolution_forward on each — the
+/// serving front-end's fan-out, sharing the handle's plan cache and
+/// counters. Every item's own `status` is filled; the call returns the
+/// first non-success item status, else kSuccess.
+Status convolution_forward_batch(Handle* handle, ForwardWorkItem* items,
+                                 int count, int num_threads);
 
 /// dx = conv_backward_data(dy, w).
 Status convolution_backward_data(Handle* handle,
@@ -116,6 +152,43 @@ Status get_convolution_estimate(Handle* handle,
 
 /// Which substrate executed the last convolution call on this handle.
 ExecutionRoute last_execution_route(const Handle* handle);
+
+// --- Plan cache observability ---------------------------------------------
+
+/// The paper's Table III plan families, as seen at the API boundary.
+enum class PlanAlgo {
+  kNone = 0,        ///< no plan ran (host route, or no call yet)
+  kDirect,          ///< direct-gload strawman
+  kImageSizeAware,  ///< Algorithm 1
+  kBatchSizeAware,  ///< Algorithm 2
+};
+
+const char* plan_algo_name(PlanAlgo algo);
+
+/// The PlanKind of the cached plan that executed the last mesh-routed
+/// convolution on this handle (kNone when the last call took the host
+/// route or nothing ran yet).
+PlanAlgo last_plan_algo(const Handle* handle);
+
+struct PlanCacheCounters {
+  std::uint64_t hits = 0;       ///< dispatches served from the cache
+  std::uint64_t misses = 0;     ///< PlanChooser::rank invocations
+  std::uint64_t evictions = 0;  ///< LRU entries dropped at capacity
+  std::uint64_t entries = 0;    ///< shapes currently cached
+};
+
+/// Fills `counters` with the handle's shape-keyed plan-cache counters.
+Status plan_cache_counters(const Handle* handle,
+                           PlanCacheCounters* counters);
+
+/// Attaches an event tracer to the handle (nullptr detaches): every
+/// simulated-mesh launch streams its DMA/bus/sync events into it, and
+/// the dispatch layer adds "plan_cache" instants (hit / miss /
+/// plan_fallback / host_fallback). The tracer must outlive the calls it
+/// observes and may be shared across threads (EventTracer locks
+/// internally). Configuration-phase call: do not race with in-flight
+/// convolutions on this handle.
+Status set_event_tracer(Handle* handle, sim::EventTracer* tracer);
 
 /// Human-readable message of the last failure (kExecutionFailed,
 /// kTransientFault, kDeviceFault, or an absorbed fault that forced a
@@ -154,6 +227,8 @@ struct FaultCounters {
   std::uint64_t noc_link_faults = 0;
   std::uint64_t dma_retries = 0;     ///< tile transfers re-issued
   std::uint64_t host_fallbacks = 0;  ///< calls degraded to the host path
+  std::uint64_t plan_fallbacks = 0;  ///< calls rescued by a ranked
+                                     ///< fallback plan after a fault
 };
 
 /// Fills `counters` with the faults injected and recoveries performed

@@ -14,7 +14,7 @@ std::int64_t resolve_ro_end(const ConvShape& shape, std::int64_t ro_end) {
 }
 
 void require(bool ok, const std::string& what) {
-  if (!ok) throw std::invalid_argument("mesh compatibility: " + what);
+  if (!ok) throw MeshMappingError("mesh compatibility: " + what);
 }
 
 }  // namespace
@@ -37,7 +37,7 @@ void check_mesh_compatibility(const ConvShape& shape,
     require(shape.batch % p == 0,
             "batch must divide by the mesh dimension");
   } else {
-    throw std::invalid_argument("direct plan has no mesh kernel");
+    throw MeshMappingError("direct plan has no mesh kernel");
   }
 }
 

@@ -22,6 +22,8 @@
 // path (see DESIGN.md §5); paper-scale shapes go through the
 // performance model instead.
 
+#include <stdexcept>
+
 #include "src/conv/shape.h"
 #include "src/perf/plan.h"
 #include "src/sim/executor.h"
@@ -29,10 +31,21 @@
 
 namespace swdnn::conv {
 
-/// Throws std::invalid_argument unless the shape/plan divide cleanly
-/// over a `mesh_dim` x `mesh_dim` mesh: Ni, No, and the batch tile
-/// (block_b for the image plan, B for the batch plan) must be multiples
-/// of mesh_dim, batch a multiple of block_b (image plan), and Co a
+/// A shape/plan pair the mesh kernels cannot run: a divisibility rule
+/// broken, a stride the paper's kernels do not implement, or no
+/// mesh-executable candidate at all. Derives from std::invalid_argument
+/// so existing catch sites keep working, but lets drivers distinguish
+/// "this shape has no mesh mapping — take the host route" from a real
+/// execution bug that must surface.
+class MeshMappingError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Throws MeshMappingError unless the shape/plan divide cleanly over a
+/// `mesh_dim` x `mesh_dim` mesh: Ni, No, and the batch tile (block_b
+/// for the image plan, B for the batch plan) must be multiples of
+/// mesh_dim, batch a multiple of block_b (image plan), and Co a
 /// multiple of block_co.
 void check_mesh_compatibility(const ConvShape& shape,
                               const perf::ConvPlan& plan, int mesh_dim);

@@ -35,22 +35,34 @@ bool executable_on_mesh(const ConvShape& shape, const perf::ConvPlan& plan,
 SwConvolution::SwConvolution(const arch::Sw26010Spec& spec)
     : spec_(spec), chooser_(spec) {}
 
+perf::PlanCache::LookupResult SwConvolution::ranked_plans(
+    const ConvShape& shape) const {
+  return plan_cache_.lookup(shape, [this](const ConvShape& s) {
+    perf::CachedPlan entry;
+    entry.ranked = chooser_.rank(s);
+    for (std::size_t i = 0; i < entry.ranked.size(); ++i) {
+      if (executable_on_mesh(s, entry.ranked[i].plan, spec_.mesh_rows)) {
+        entry.executable.push_back(i);
+      }
+    }
+    return entry;
+  });
+}
+
 perf::PlanChoice SwConvolution::plan_for(const ConvShape& shape,
                                          bool require_executable) const {
-  const auto ranked = chooser_.rank(shape);
+  const auto entry = ranked_plans(shape).entry;
   if (!require_executable) {
-    if (ranked.empty()) {
+    if (entry->ranked.empty()) {
       throw std::runtime_error("no feasible plan for " + shape.to_string());
     }
-    return ranked.front();
+    return entry->ranked.front();
   }
-  for (const auto& choice : ranked) {
-    if (executable_on_mesh(shape, choice.plan, spec_.mesh_rows)) {
-      return choice;
-    }
-  }
-  throw std::runtime_error("no mesh-executable plan for " +
+  if (!entry->has_executable()) {
+    throw MeshMappingError("no mesh-executable plan for " +
                            shape.to_string());
+  }
+  return entry->best_executable();
 }
 
 perf::PerfEstimate SwConvolution::estimate(const ConvShape& shape) const {
@@ -69,9 +81,18 @@ ForwardResult SwConvolution::forward(const tensor::Tensor& input,
   } else {
     choice = plan_for(shape, /*require_executable=*/true);
   }
+  return execute_choice(choice, input, filter, output, shape);
+}
+
+ForwardResult SwConvolution::execute_choice(const perf::PlanChoice& choice,
+                                            const tensor::Tensor& input,
+                                            const tensor::Tensor& filter,
+                                            tensor::Tensor& output,
+                                            const ConvShape& shape) {
   sim::MeshExecutor exec(spec_);
   exec.set_fault_injector(injector_);
   exec.set_retry_policy(retry_);
+  exec.set_tracer(tracer_);
   sim::LaunchStats stats;
   if (choice.plan.kind == perf::PlanKind::kImageSizeAware) {
     stats = run_image_size_aware(exec, input, filter, output, shape,
@@ -98,6 +119,7 @@ sim::MultiCgStats SwConvolution::forward_multi_cg(
   sim::MeshExecutor exec(spec_);
   exec.set_fault_injector(injector_);
   exec.set_retry_policy(retry_);
+  exec.set_tracer(tracer_);
   for (std::size_t cg = 0; cg < parts.size(); ++cg) {
     const auto& part = parts[cg];
     if (injector_ != nullptr &&

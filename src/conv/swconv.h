@@ -18,6 +18,7 @@
 #include "src/conv/ldm_blocked.h"
 #include "src/conv/shape.h"
 #include "src/perf/chooser.h"
+#include "src/perf/plan_cache.h"
 #include "src/sim/noc.h"
 
 namespace swdnn::conv {
@@ -33,12 +34,20 @@ class SwConvolution {
       const arch::Sw26010Spec& spec = arch::default_spec());
 
   /// Functional forward on one simulated core group. Overwrites
-  /// `output`. Uses `plan` if given, else the model's choice (adjusted
-  /// to mesh-divisibility if needed).
+  /// `output`. Uses `plan` if given, else the cached model choice
+  /// (adjusted to mesh-divisibility if needed).
   ForwardResult forward(const tensor::Tensor& input,
                         const tensor::Tensor& filter, tensor::Tensor& output,
                         const ConvShape& shape,
                         std::optional<perf::ConvPlan> plan = std::nullopt);
+
+  /// Executes an already-resolved plan choice (a cached winner or one
+  /// of its ranked fallbacks) without re-consulting chooser or model.
+  ForwardResult execute_choice(const perf::PlanChoice& choice,
+                               const tensor::Tensor& input,
+                               const tensor::Tensor& filter,
+                               tensor::Tensor& output,
+                               const ConvShape& shape);
 
   /// Functional forward with output rows partitioned across `num_cgs`
   /// core groups (the paper's §III-D scaling scheme).
@@ -48,9 +57,24 @@ class SwConvolution {
       std::optional<perf::ConvPlan> plan = std::nullopt);
 
   /// Best plan per the performance model, constrained to plans the mesh
-  /// kernels can execute for this shape.
+  /// kernels can execute for this shape. Served from the plan cache:
+  /// the chooser ranks a shape once, repeats are O(1) lookups. Throws
+  /// MeshMappingError when require_executable finds no mesh route.
   perf::PlanChoice plan_for(const ConvShape& shape,
                             bool require_executable = false) const;
+
+  /// Cached ranked plans for the shape (never null): ranks via the
+  /// chooser on first sight, hits the shape-keyed cache afterwards.
+  /// Thread-safe; LookupResult.hit feeds the observability counters.
+  perf::PlanCache::LookupResult ranked_plans(const ConvShape& shape) const;
+
+  /// Hit/miss/eviction counters of this object's plan cache.
+  perf::PlanCacheStats plan_cache_stats() const {
+    return plan_cache_.stats();
+  }
+
+  /// Drops every cached plan and zeroes the cache counters.
+  void clear_plan_cache() { plan_cache_.clear(); }
 
   /// Level-3 closed-form estimate for the best plan.
   perf::PerfEstimate estimate(const ConvShape& shape) const;
@@ -81,11 +105,25 @@ class SwConvolution {
   void set_retry_policy(const sim::RetryPolicy& policy) { retry_ = policy; }
   const sim::RetryPolicy& retry_policy() const { return retry_; }
 
+  /// Attaches an event tracer to every simulated launch this object
+  /// issues (nullptr detaches); the tracer must outlive the launches.
+  void set_tracer(sim::EventTracer* tracer) { tracer_ = tracer; }
+  sim::EventTracer* tracer() const { return tracer_; }
+
+  // Threading: forward/execute_choice/plan_for/ranked_plans may run
+  // concurrently from many threads on one SwConvolution (each launch
+  // owns a private MeshExecutor; the plan cache locks internally; the
+  // attached tracer/injector are themselves thread-safe). The setters
+  // (set_fault_injector, set_retry_policy, set_tracer) are
+  // configuration-phase calls and must not race with in-flight work.
+
  private:
   arch::Sw26010Spec spec_;  // by value: callers may pass temporaries
   perf::PlanChooser chooser_;
   sim::FaultInjector* injector_ = nullptr;
   sim::RetryPolicy retry_;
+  sim::EventTracer* tracer_ = nullptr;
+  mutable perf::PlanCache plan_cache_;
 };
 
 }  // namespace swdnn::conv

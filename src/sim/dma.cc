@@ -4,16 +4,26 @@
 
 namespace swdnn::sim {
 
+std::uint64_t DmaEngine::cost_cycles(std::uint64_t bytes, double bw_gbs,
+                                     double clock_ghz) {
+  // bytes / (GB/s) = ns; cycles = ns * GHz. The Table II bandwidth is a
+  // per-core-group aggregate, so the cycles computed here represent the
+  // engine-occupancy share of this request.
+  if (!(bw_gbs > 0.0)) return kSaturatedCycles;  // also catches NaN
+  const double cycles = std::ceil(static_cast<double>(bytes) / bw_gbs *
+                                  clock_ghz);
+  // Doubles at or above 2^64 (including +inf from clock/bytes extremes)
+  // cannot be cast to uint64_t without UB.
+  if (!(cycles < 18446744073709551616.0)) return kSaturatedCycles;
+  return cycles < 0.0 ? 0 : static_cast<std::uint64_t>(cycles);
+}
+
 std::uint64_t DmaEngine::record(std::uint64_t bytes, std::int64_t block_bytes,
                                 perf::DmaDirection dir, bool aligned) {
   const double bw_gbs = perf::dma_table().bandwidth_gbs(block_bytes, dir,
                                                         aligned);
-  // bytes / (GB/s) = ns; cycles = ns * GHz. The Table II bandwidth is a
-  // per-core-group aggregate, so the cycles computed here represent the
-  // engine-occupancy share of this request.
-  const double ns = static_cast<double>(bytes) / bw_gbs;
-  const auto cycles =
-      static_cast<std::uint64_t>(std::ceil(ns * spec_.cpe_clock_ghz));
+  const std::uint64_t cycles =
+      cost_cycles(bytes, bw_gbs, spec_.cpe_clock_ghz);
 
   if (dir == perf::DmaDirection::kGet) {
     get_bytes_.fetch_add(bytes, std::memory_order_relaxed);

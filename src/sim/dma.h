@@ -36,6 +36,18 @@ class DmaEngine {
   std::uint64_t record(std::uint64_t bytes, std::int64_t block_bytes,
                        perf::DmaDirection dir, bool aligned);
 
+  /// Cycle cost of moving `bytes` at `bw_gbs` on a `clock_ghz` CPE,
+  /// saturating instead of overflowing: a zero, negative, or NaN
+  /// bandwidth (a corrupted table entry, a fault plan zeroing a link)
+  /// yields kSaturatedCycles, and a finite cost too large for uint64_t
+  /// clamps — never the UB of casting inf to an integer. Exposed for
+  /// the unit tests.
+  static std::uint64_t cost_cycles(std::uint64_t bytes, double bw_gbs,
+                                   double clock_ghz);
+
+  /// The defined "this transfer never completes" cost.
+  static constexpr std::uint64_t kSaturatedCycles = UINT64_MAX;
+
   DmaTotals totals() const;
 
   /// Seconds the recorded traffic needs on one core group, assuming the

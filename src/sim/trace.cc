@@ -1,10 +1,59 @@
 #include "src/sim/trace.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
 namespace swdnn::sim {
+
+namespace {
+
+/// JSON string escaping per RFC 8259: quote, backslash, and control
+/// characters. Event names routinely carry free text ("get 256B",
+/// fault diagnostics with quoted details) — emitting them raw produces
+/// traces chrome://tracing refuses to load.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 void EventTracer::record(int cpe, std::string category, std::string name,
                          std::uint64_t begin_cycle,
@@ -12,6 +61,11 @@ void EventTracer::record(int cpe, std::string category, std::string name,
   std::lock_guard<std::mutex> lock(mutex_);
   events_.push_back(TraceEvent{cpe, std::move(category), std::move(name),
                                begin_cycle, end_cycle});
+}
+
+void EventTracer::record_instant(int cpe, std::string category,
+                                 std::string name, std::uint64_t cycle) {
+  record(cpe, std::move(category), std::move(name), cycle, cycle);
 }
 
 std::vector<TraceEvent> EventTracer::events() const {
@@ -39,11 +93,14 @@ std::string EventTracer::to_chrome_json(double clock_ghz) const {
     if (!first) out << ",";
     first = false;
     const double ts = static_cast<double>(e.begin_cycle) * cycles_to_us;
-    const double dur =
-        static_cast<double>(e.end_cycle - e.begin_cycle) * cycles_to_us;
-    out << "{\"name\":\"" << e.name << "\",\"cat\":\"" << e.category
-        << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << e.cpe << ",\"ts\":" << ts
-        << ",\"dur\":" << dur << "}";
+    // An inverted interval (end < begin) would wrap the unsigned
+    // subtraction into a ~10^19-cycle duration; clamp it to zero.
+    const std::uint64_t cycles =
+        e.end_cycle >= e.begin_cycle ? e.end_cycle - e.begin_cycle : 0;
+    const double dur = static_cast<double>(cycles) * cycles_to_us;
+    out << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+        << json_escape(e.category) << "\",\"ph\":\"X\",\"pid\":0,\"tid\":"
+        << e.cpe << ",\"ts\":" << ts << ",\"dur\":" << dur << "}";
   }
   out << "]}";
   return out.str();

@@ -18,7 +18,7 @@ namespace swdnn::sim {
 
 struct TraceEvent {
   int cpe = 0;
-  std::string category;  ///< "dma", "bus", "sync", "compute"
+  std::string category;  ///< "dma", "bus", "sync", "compute", "plan_cache"
   std::string name;
   std::uint64_t begin_cycle = 0;
   std::uint64_t end_cycle = 0;
@@ -29,6 +29,11 @@ class EventTracer {
   /// Thread-safe append (CPE threads record concurrently).
   void record(int cpe, std::string category, std::string name,
               std::uint64_t begin_cycle, std::uint64_t end_cycle);
+
+  /// Zero-duration marker — dispatch-level happenings with no cycle
+  /// extent, e.g. the API's "plan_cache" hit/miss/fallback events.
+  void record_instant(int cpe, std::string category, std::string name,
+                      std::uint64_t cycle = 0);
 
   std::vector<TraceEvent> events() const;
   std::size_t size() const;

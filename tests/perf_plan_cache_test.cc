@@ -1,0 +1,211 @@
+// The shape-keyed plan cache: rank-once memoization, LRU eviction,
+// counters, and concurrent lookup through one cache.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/conv/shape.h"
+#include "src/perf/plan_cache.h"
+
+namespace swdnn::perf {
+namespace {
+
+conv::ConvShape shape_with_batch(std::int64_t batch) {
+  return conv::ConvShape::from_output(batch, 4, 8, 8, 8, 3, 3);
+}
+
+// A builder that tags each entry with the shape's batch so tests can
+// tell entries apart, and counts how often it ran.
+PlanCache::Builder counting_builder(std::atomic<int>& calls) {
+  return [&calls](const conv::ConvShape& s) {
+    calls.fetch_add(1);
+    CachedPlan entry;
+    PlanChoice choice;
+    choice.plan.block_b = s.batch;  // marker
+    entry.ranked.push_back(choice);
+    entry.executable.push_back(0);
+    return entry;
+  };
+}
+
+TEST(PlanCache, BuildsOncePerShapeAndCountsHits) {
+  PlanCache cache(8);
+  std::atomic<int> calls{0};
+  const auto builder = counting_builder(calls);
+  const conv::ConvShape shape = shape_with_batch(32);
+
+  const auto first = cache.lookup(shape, builder);
+  EXPECT_FALSE(first.hit);
+  ASSERT_NE(first.entry, nullptr);
+  EXPECT_TRUE(first.entry->has_executable());
+
+  for (int i = 0; i < 4; ++i) {
+    const auto again = cache.lookup(shape, builder);
+    EXPECT_TRUE(again.hit);
+    EXPECT_EQ(again.entry, first.entry);  // same memoized object
+  }
+  EXPECT_EQ(calls.load(), 1);
+
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 4u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.capacity, 8u);
+}
+
+TEST(PlanCache, DistinctShapesGetDistinctEntries) {
+  PlanCache cache(8);
+  std::atomic<int> calls{0};
+  const auto builder = counting_builder(calls);
+  const auto a = cache.lookup(shape_with_batch(4), builder);
+  const auto b = cache.lookup(shape_with_batch(8), builder);
+  EXPECT_EQ(calls.load(), 2);
+  EXPECT_NE(a.entry, b.entry);
+  EXPECT_EQ(a.entry->best_executable().plan.block_b, 4);
+  EXPECT_EQ(b.entry->best_executable().plan.block_b, 8);
+}
+
+TEST(PlanCache, EvictsLeastRecentlyUsedAtCapacity) {
+  PlanCache cache(2);
+  std::atomic<int> calls{0};
+  const auto builder = counting_builder(calls);
+  const auto s1 = shape_with_batch(1);
+  const auto s2 = shape_with_batch(2);
+  const auto s3 = shape_with_batch(3);
+
+  cache.lookup(s1, builder);
+  cache.lookup(s2, builder);
+  cache.lookup(s1, builder);  // refresh s1: s2 is now LRU
+  cache.lookup(s3, builder);  // evicts s2
+
+  EXPECT_NE(cache.peek(s1), nullptr);
+  EXPECT_EQ(cache.peek(s2), nullptr);
+  EXPECT_NE(cache.peek(s3), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+
+  // The evicted shape rebuilds on next sight.
+  const auto again = cache.lookup(s2, builder);
+  EXPECT_FALSE(again.hit);
+  EXPECT_EQ(calls.load(), 4);
+}
+
+TEST(PlanCache, EvictedEntriesStayValidForHolders) {
+  PlanCache cache(1);
+  std::atomic<int> calls{0};
+  const auto builder = counting_builder(calls);
+  const auto held = cache.lookup(shape_with_batch(16), builder).entry;
+  cache.lookup(shape_with_batch(32), builder);  // evicts the held entry
+  EXPECT_EQ(cache.peek(shape_with_batch(16)), nullptr);
+  // shared_ptr keeps the evicted plan alive for its holder.
+  EXPECT_EQ(held->best_executable().plan.block_b, 16);
+}
+
+TEST(PlanCache, PeekDoesNotPerturbCountersOrLruOrder) {
+  PlanCache cache(2);
+  std::atomic<int> calls{0};
+  const auto builder = counting_builder(calls);
+  const auto s1 = shape_with_batch(1);
+  const auto s2 = shape_with_batch(2);
+  cache.lookup(s1, builder);
+  cache.lookup(s2, builder);
+  cache.peek(s1);  // must NOT refresh s1 in the LRU order
+  cache.lookup(shape_with_batch(3), builder);  // evicts true LRU = s1
+  EXPECT_EQ(cache.peek(s1), nullptr);
+  EXPECT_NE(cache.peek(s2), nullptr);
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 3u);
+}
+
+TEST(PlanCache, ThrowingBuilderCachesNothing) {
+  PlanCache cache(4);
+  const conv::ConvShape shape = shape_with_batch(64);
+  EXPECT_THROW(cache.lookup(shape,
+                            [](const conv::ConvShape&) -> CachedPlan {
+                              throw std::runtime_error("model blew up");
+                            }),
+               std::runtime_error);
+  EXPECT_EQ(cache.peek(shape), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+
+  // A later, healthy builder still gets its chance.
+  std::atomic<int> calls{0};
+  const auto ok = cache.lookup(shape, counting_builder(calls));
+  EXPECT_FALSE(ok.hit);
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(PlanCache, ClearDropsEntriesAndResetsCounters) {
+  PlanCache cache(4);
+  std::atomic<int> calls{0};
+  const auto builder = counting_builder(calls);
+  cache.lookup(shape_with_batch(4), builder);
+  cache.lookup(shape_with_batch(4), builder);
+  cache.clear();
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(cache.peek(shape_with_batch(4)), nullptr);
+}
+
+TEST(PlanCache, ConcurrentFirstSightRanksExactlyOnce) {
+  // N threads race on the same cold shape: the builder must still run
+  // exactly once, and every thread must get the same entry.
+  PlanCache cache(8);
+  std::atomic<int> calls{0};
+  const auto builder = counting_builder(calls);
+  const conv::ConvShape shape = shape_with_batch(128);
+
+  constexpr int kThreads = 8;
+  std::vector<PlanCache::Entry> seen(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int rep = 0; rep < 100; ++rep) {
+        seen[t] = cache.lookup(shape, builder).entry;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(calls.load(), 1);
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, kThreads * 100u - 1u);
+}
+
+TEST(PlanCache, ConcurrentMixedShapesStayConsistent) {
+  PlanCache cache(4);  // smaller than the shape set: eviction under load
+  std::atomic<int> calls{0};
+  const auto builder = counting_builder(calls);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int rep = 0; rep < 50; ++rep) {
+        const auto shape = shape_with_batch(1 + (t + rep) % 6);
+        const auto got = cache.lookup(shape, builder);
+        ASSERT_NE(got.entry, nullptr);
+        EXPECT_EQ(got.entry->best_executable().plan.block_b,
+                  shape.batch);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * 50u);
+  EXPECT_LE(stats.entries, 4u);
+}
+
+}  // namespace
+}  // namespace swdnn::perf

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "src/perf/dma_table.h"
 #include "src/sim/dma.h"
 
@@ -100,6 +103,44 @@ TEST(DmaEngine, SmallBlocksCostMoreTime) {
   small.record(1 << 16, 64, DmaDirection::kGet, true);
   big.record(1 << 16, 4096, DmaDirection::kGet, true);
   EXPECT_GT(small.modeled_seconds(), big.modeled_seconds());
+}
+
+TEST(DmaEngine, ZeroBandwidthSaturatesInsteadOfUndefinedBehaviour) {
+  // Regression: bytes / 0.0 produced inf, and casting inf to uint64_t
+  // is UB. A zero-bandwidth edge (fault plan, corrupted table) must
+  // yield the defined saturating cost.
+  EXPECT_EQ(DmaEngine::cost_cycles(1024, 0.0, 1.45),
+            DmaEngine::kSaturatedCycles);
+  EXPECT_EQ(DmaEngine::cost_cycles(0, 0.0, 1.45),
+            DmaEngine::kSaturatedCycles);
+}
+
+TEST(DmaEngine, NegativeAndNanBandwidthSaturate) {
+  EXPECT_EQ(DmaEngine::cost_cycles(1024, -3.0, 1.45),
+            DmaEngine::kSaturatedCycles);
+  EXPECT_EQ(DmaEngine::cost_cycles(1024, std::nan(""), 1.45),
+            DmaEngine::kSaturatedCycles);
+}
+
+TEST(DmaEngine, OverflowingCycleCountsClampToSaturation) {
+  // A finite but astronomically slow transfer must clamp, not wrap.
+  EXPECT_EQ(DmaEngine::cost_cycles(UINT64_MAX, 1e-12, 1000.0),
+            DmaEngine::kSaturatedCycles);
+}
+
+TEST(DmaEngine, InfiniteBandwidthIsFree) {
+  EXPECT_EQ(DmaEngine::cost_cycles(1 << 20,
+                                   std::numeric_limits<double>::infinity(),
+                                   1.45),
+            0u);
+}
+
+TEST(DmaEngine, CostCyclesMatchesTheBandwidthFormula) {
+  // 1 MB at 29.79 GB/s on a 1.45 GHz clock.
+  const std::uint64_t bytes = 1 << 20;
+  const std::uint64_t cycles = DmaEngine::cost_cycles(bytes, 29.79, 1.45);
+  EXPECT_EQ(cycles, static_cast<std::uint64_t>(
+                        std::ceil(bytes / 29.79 * 1.45)));
 }
 
 }  // namespace

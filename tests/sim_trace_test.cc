@@ -51,6 +51,48 @@ TEST(Tracer, EmptyTraceIsValidJson) {
   EXPECT_EQ(tracer.to_chrome_json(1.45), "{\"traceEvents\":[]}");
 }
 
+TEST(Tracer, ChromeJsonEscapesQuotesBackslashesAndControlChars) {
+  // Regression: names/categories used to be emitted raw, so a quote or
+  // backslash in an event name produced JSON chrome://tracing rejects.
+  EventTracer tracer;
+  tracer.record(0, "dma\\bus", "get \"tile 3\"\n\tdone", 0, 10);
+  const std::string json = tracer.to_chrome_json(1.45);
+  EXPECT_NE(json.find("\"name\":\"get \\\"tile 3\\\"\\n\\tdone\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"dma\\\\bus\""), std::string::npos);
+  // No raw control characters may survive into the output.
+  for (const char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+}
+
+TEST(Tracer, ChromeJsonEscapesLowControlCharsAsUnicode) {
+  EventTracer tracer;
+  tracer.record(0, "sync", std::string("bar\x01rier", 8), 0, 1);
+  EXPECT_NE(tracer.to_chrome_json(1.45).find("bar\\u0001rier"),
+            std::string::npos);
+}
+
+TEST(Tracer, ChromeJsonClampsInvertedIntervalsToZeroDuration) {
+  // Regression: end < begin wrapped the unsigned subtraction into a
+  // ~10^19-cycle duration.
+  EventTracer tracer;
+  tracer.record(2, "dma", "clock skew", 100, 40);
+  const std::string json = tracer.to_chrome_json(1.0);
+  EXPECT_NE(json.find("\"dur\":0"), std::string::npos);
+  EXPECT_EQ(json.find("e+"), std::string::npos);  // no astronomical values
+}
+
+TEST(Tracer, RecordInstantHasZeroExtent) {
+  EventTracer tracer;
+  tracer.record_instant(0, "plan_cache", "hit", 7);
+  ASSERT_EQ(tracer.size(), 1u);
+  const auto events = tracer.events();
+  EXPECT_EQ(events[0].begin_cycle, 7u);
+  EXPECT_EQ(events[0].end_cycle, 7u);
+  EXPECT_EQ(events[0].category, "plan_cache");
+}
+
 TEST(Tracer, WritesFile) {
   EventTracer tracer;
   tracer.record(0, "dma", "put 1024B", 10, 50);
