@@ -366,6 +366,32 @@ Status convolution_backward_filter(Handle* handle,
     tensor::Tensor dout =
         wrap(dy, {shape.ro(), shape.co(), shape.no, shape.batch});
     tensor::Tensor dfilter({shape.kr, shape.kc, shape.ni, shape.no});
+
+    // Shapes with no mesh-executable plan are the host-GEMM territory
+    // the forward and backward-data paths already route around; send
+    // the filter gradient to the host too — recorded, never silent —
+    // so a compiled network gets a complete training step for any
+    // shape. Mesh-executable shapes keep the mesh-only contract below
+    // (a fault surfaces as kTransientFault/kDeviceFault).
+    const perf::PlanCache::LookupResult lookup =
+        handle->sw.ranked_plans(shape);
+    trace_dispatch(handle, lookup.hit ? "hit" : "miss");
+    if (!lookup.entry->has_executable()) {
+      trace_dispatch(handle, "host_fallback");
+      conv::im2col_backward_filter(input, dout, dfilter, shape);
+      const std::string reason = "no mesh-executable plan for " +
+                                 shape.to_string() + "; routed to host GEMM";
+      {
+        std::lock_guard<std::mutex> lock(handle->mutex);
+        set_error_locked(handle, reason.c_str());
+        ++handle->host_fallbacks;
+        handle->last_route = ExecutionRoute::kHostGemm;
+        handle->last_plan = PlanAlgo::kNone;
+      }
+      std::copy(dfilter.data().begin(), dfilter.data().end(), dw);
+      return Status::kSuccess;
+    }
+
     sim::MeshExecutor exec(handle->spec);
     exec.set_fault_injector(handle->injector.get());
     exec.set_retry_policy(handle->retry);
@@ -385,6 +411,29 @@ Status convolution_backward_filter(Handle* handle,
       handle->last_route = ExecutionRoute::kSimulatedMesh;
     }
     std::copy(dfilter.data().begin(), dfilter.data().end(), dw);
+  } catch (const std::exception& e) {
+    set_error(handle, e.what());
+    return Status::kExecutionFailed;
+  }
+  return Status::kSuccess;
+}
+
+Status convolution_plan_warmup(Handle* handle,
+                               const TensorDescriptor& x_desc,
+                               const FilterDescriptor& w_desc) {
+  if (handle == nullptr) return Status::kBadParam;
+  TensorDescriptor y_desc;
+  const Status s = get_convolution_output_descriptor(x_desc, w_desc, y_desc);
+  if (s != Status::kSuccess) return s;
+  conv::ConvShape shape;
+  const Status rs = resolve_shape(x_desc, w_desc, y_desc, shape);
+  if (rs != Status::kSuccess) return rs;
+  try {
+    // backward-data dispatches the transposed problem through the same
+    // cache, so a full warm-up covers both keys a training step uses.
+    const bool built =
+        handle->sw.warm_plans({shape, conv::backward_data_shape(shape)}) > 0;
+    trace_dispatch(handle, built ? "warm" : "warm_cached");
   } catch (const std::exception& e) {
     set_error(handle, e.what());
     return Status::kExecutionFailed;

@@ -143,6 +143,16 @@ Status convolution_backward_filter(Handle* handle,
                                    const FilterDescriptor& dw_desc,
                                    double* dw);
 
+/// Compile-time plan warm-up: ranks the plans for this convolution
+/// configuration into the handle's shape-keyed cache without counting
+/// as a hit or a miss, so a compiled network's first batch dispatches
+/// warm and serve-time hit rates measure serve traffic only. Emits a
+/// "plan_cache" trace instant ("warm" when an entry was built,
+/// "warm_cached" when the shape was already resident).
+Status convolution_plan_warmup(Handle* handle,
+                               const TensorDescriptor& x_desc,
+                               const FilterDescriptor& w_desc);
+
 /// Modeled throughput (Gflop/s, whole chip) for this configuration —
 /// the planning query a framework integration uses for layer timing.
 Status get_convolution_estimate(Handle* handle,

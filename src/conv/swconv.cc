@@ -35,9 +35,8 @@ bool executable_on_mesh(const ConvShape& shape, const perf::ConvPlan& plan,
 SwConvolution::SwConvolution(const arch::Sw26010Spec& spec)
     : spec_(spec), chooser_(spec) {}
 
-perf::PlanCache::LookupResult SwConvolution::ranked_plans(
-    const ConvShape& shape) const {
-  return plan_cache_.lookup(shape, [this](const ConvShape& s) {
+perf::PlanCache::Builder SwConvolution::cache_builder() const {
+  return [this](const ConvShape& s) {
     perf::CachedPlan entry;
     entry.ranked = chooser_.rank(s);
     for (std::size_t i = 0; i < entry.ranked.size(); ++i) {
@@ -46,7 +45,21 @@ perf::PlanCache::LookupResult SwConvolution::ranked_plans(
       }
     }
     return entry;
-  });
+  };
+}
+
+perf::PlanCache::LookupResult SwConvolution::ranked_plans(
+    const ConvShape& shape) const {
+  return plan_cache_.lookup(shape, cache_builder());
+}
+
+std::size_t SwConvolution::warm_plans(const std::vector<ConvShape>& shapes) {
+  std::size_t built = 0;
+  const auto builder = cache_builder();
+  for (const ConvShape& shape : shapes) {
+    if (plan_cache_.warm(shape, builder)) ++built;
+  }
+  return built;
 }
 
 perf::PlanChoice SwConvolution::plan_for(const ConvShape& shape,

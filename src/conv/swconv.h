@@ -68,6 +68,13 @@ class SwConvolution {
   /// Thread-safe; LookupResult.hit feeds the observability counters.
   perf::PlanCache::LookupResult ranked_plans(const ConvShape& shape) const;
 
+  /// Compile-time plan warm-up: ranks each shape into the plan cache
+  /// without touching the hit/miss counters, so a network's first
+  /// training batch dispatches on cache hits and serve-time hit rates
+  /// measure serve traffic only. Returns how many entries were built
+  /// (already-cached shapes are skipped).
+  std::size_t warm_plans(const std::vector<ConvShape>& shapes);
+
   /// Hit/miss/eviction counters of this object's plan cache.
   perf::PlanCacheStats plan_cache_stats() const {
     return plan_cache_.stats();
@@ -118,6 +125,10 @@ class SwConvolution {
   // configuration-phase calls and must not race with in-flight work.
 
  private:
+  /// The plan-cache builder closure shared by ranked_plans and
+  /// warm_plans: chooser rank + mesh-executability filter.
+  perf::PlanCache::Builder cache_builder() const;
+
   arch::Sw26010Spec spec_;  // by value: callers may pass temporaries
   perf::PlanChooser chooser_;
   sim::FaultInjector* injector_ = nullptr;

@@ -6,6 +6,7 @@
 #include "src/conv/backward.h"
 #include "src/conv/im2col.h"
 #include "src/conv/reference.h"
+#include "src/dnn/backend_context.h"
 
 namespace swdnn::dnn {
 
@@ -79,6 +80,69 @@ std::vector<ParamGrad> Convolution::params() {
   std::vector<ParamGrad> out = {ParamGrad{&filter_, &d_filter_}};
   if (with_bias_) out.push_back(ParamGrad{&bias_, &d_bias_});
   return out;
+}
+
+bool Convolution::use_api() const {
+  return context_ != nullptr && shape_.stride_r == 1 && shape_.stride_c == 1;
+}
+
+std::vector<std::int64_t> Convolution::infer_shape(
+    const std::vector<std::int64_t>& input_dims) {
+  if (input_dims !=
+      std::vector<std::int64_t>{shape_.ri, shape_.ci, shape_.ni,
+                                shape_.batch}) {
+    throw std::invalid_argument("Convolution::infer_shape: expected [" +
+                                std::to_string(shape_.ri) + "][" +
+                                std::to_string(shape_.ci) + "][" +
+                                std::to_string(shape_.ni) + "][" +
+                                std::to_string(shape_.batch) + "] input");
+  }
+  return {shape_.ro(), shape_.co(), shape_.no, shape_.batch};
+}
+
+void Convolution::plan(const std::vector<std::int64_t>& input_dims) {
+  (void)infer_shape(input_dims);  // revalidate
+  if (use_api()) context_->warm_conv_plan(shape_);
+}
+
+void Convolution::forward_view(const tensor::TensorView& input,
+                               tensor::TensorView& output) {
+  if (!use_api()) {
+    Layer::forward_view(input, output);
+    return;
+  }
+  input_view_ = input;  // liveness: the planner pins it to our backward
+  context_->conv_forward(shape_, input.data().data(), filter_.data().data(),
+                         output.data().data());
+  if (with_bias_) {
+    for (std::int64_t ro = 0; ro < shape_.ro(); ++ro)
+      for (std::int64_t co = 0; co < shape_.co(); ++co)
+        for (std::int64_t no = 0; no < shape_.no; ++no)
+          for (std::int64_t b = 0; b < shape_.batch; ++b)
+            output.at(ro, co, no, b) += bias_.at(no);
+  }
+}
+
+void Convolution::backward_view(const tensor::TensorView& d_output,
+                                tensor::TensorView& d_input) {
+  if (!use_api()) {
+    Layer::backward_view(d_output, d_input);
+    return;
+  }
+  if (with_bias_) {
+    d_bias_.zero();
+    for (std::int64_t ro = 0; ro < shape_.ro(); ++ro)
+      for (std::int64_t co = 0; co < shape_.co(); ++co)
+        for (std::int64_t no = 0; no < shape_.no; ++no)
+          for (std::int64_t b = 0; b < shape_.batch; ++b)
+            d_bias_.at(no) += d_output.at(ro, co, no, b);
+  }
+  context_->conv_backward_filter(shape_, input_view_.data().data(),
+                                 d_output.data().data(),
+                                 d_filter_.data().data());
+  context_->conv_backward_data(shape_, filter_.data().data(),
+                               d_output.data().data(),
+                               d_input.data().data());
 }
 
 }  // namespace swdnn::dnn

@@ -36,6 +36,22 @@ class Convolution : public Layer {
   tensor::Tensor backward(const tensor::Tensor& d_output) override;
   std::vector<ParamGrad> params() override;
 
+  // Compiled path: all three heavy ops dispatch through the shared
+  // BackendContext handle (plan cache + fault ladder + tracer) instead
+  // of calling conv:: backends directly; the arena keeps this layer's
+  // input alive until its backward step, so no copy-cache is taken.
+  // Strided shapes sit outside the API's configuration space and keep
+  // the eager kernels via the default view adapters.
+  std::vector<std::int64_t> infer_shape(
+      const std::vector<std::int64_t>& input_dims) override;
+  bool backward_needs_input() const override { return true; }
+  void bind(BackendContext* context) override { context_ = context; }
+  void plan(const std::vector<std::int64_t>& input_dims) override;
+  void forward_view(const tensor::TensorView& input,
+                    tensor::TensorView& output) override;
+  void backward_view(const tensor::TensorView& d_output,
+                     tensor::TensorView& d_input) override;
+
   const tensor::Tensor& filter() const { return filter_; }
   tensor::Tensor& mutable_filter() { return filter_; }
   const conv::ConvShape& shape() const { return shape_; }
@@ -53,6 +69,13 @@ class Convolution : public Layer {
   tensor::Tensor d_bias_;
   tensor::Tensor cached_input_;
   conv::SwConvolution sw_;
+
+  /// True when the compiled path can route this layer through the API
+  /// boundary (bound context + stride-1 shape).
+  bool use_api() const;
+
+  BackendContext* context_ = nullptr;     // set by bind()
+  tensor::TensorView input_view_;         // the arena keeps it live
 };
 
 }  // namespace swdnn::dnn

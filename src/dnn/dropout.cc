@@ -31,6 +31,40 @@ tensor::Tensor Dropout::forward(const tensor::Tensor& input) {
   return out;
 }
 
+void Dropout::plan(const std::vector<std::int64_t>& input_dims) {
+  mask_ = tensor::Tensor(input_dims);
+}
+
+void Dropout::forward_view(const tensor::TensorView& input,
+                           tensor::TensorView& output) {
+  if (mask_.dims() != input.dims()) mask_ = tensor::Tensor(input.dims());
+  auto in = input.data();
+  auto m = mask_.data();
+  auto o = output.data();
+  if (!training_ || drop_probability_ == 0.0) {
+    mask_.fill(1.0);
+    std::copy(in.begin(), in.end(), o.begin());
+    return;
+  }
+  const double keep_scale = 1.0 / (1.0 - drop_probability_);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const bool keep = rng_.uniform(0.0, 1.0) >= drop_probability_;
+    m[i] = keep ? keep_scale : 0.0;
+    o[i] = in[i] * m[i];
+  }
+}
+
+void Dropout::backward_view(const tensor::TensorView& d_output,
+                            tensor::TensorView& d_input) {
+  if (d_output.size() != mask_.size()) {
+    throw std::invalid_argument("Dropout::backward_view before forward_view");
+  }
+  auto g = d_output.data();
+  auto m = mask_.data();
+  auto o = d_input.data();
+  for (std::size_t i = 0; i < g.size(); ++i) o[i] = g[i] * m[i];
+}
+
 tensor::Tensor Dropout::backward(const tensor::Tensor& d_output) {
   if (d_output.dims() != mask_.dims()) {
     throw std::invalid_argument("Dropout::backward before forward");

@@ -20,6 +20,16 @@ class Dropout : public Layer {
   bool training() const { return training_; }
   void set_mode(bool training) override { training_ = training; }
 
+  // Compiled path: the mask is presized at plan() time and the RNG is
+  // consumed exactly as in the eager path (one draw per element in
+  // train mode), so compiled and eager runs from equal seeds see the
+  // same random stream.
+  void plan(const std::vector<std::int64_t>& input_dims) override;
+  void forward_view(const tensor::TensorView& input,
+                    tensor::TensorView& output) override;
+  void backward_view(const tensor::TensorView& d_output,
+                     tensor::TensorView& d_input) override;
+
  private:
   double drop_probability_;
   bool training_ = true;

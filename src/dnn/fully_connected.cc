@@ -6,6 +6,7 @@
 
 #include "src/conv/gemm.h"
 #include "src/conv/mesh_gemm_driver.h"
+#include "src/dnn/backend_context.h"
 
 namespace swdnn::dnn {
 
@@ -102,6 +103,90 @@ tensor::Tensor FullyConnected::backward(const tensor::Tensor& d_output) {
 
 std::vector<ParamGrad> FullyConnected::params() {
   return {ParamGrad{&weights_, &d_weights_}, ParamGrad{&bias_, &d_bias_}};
+}
+
+std::vector<std::int64_t> FullyConnected::infer_shape(
+    const std::vector<std::int64_t>& input_dims) {
+  if (input_dims.empty()) {
+    throw std::invalid_argument("FullyConnected::infer_shape: empty shape");
+  }
+  std::int64_t features = 1;
+  for (std::size_t i = 0; i + 1 < input_dims.size(); ++i) {
+    features *= input_dims[i];
+  }
+  if (features != in_features_) {
+    throw std::invalid_argument(
+        "FullyConnected: expected " + std::to_string(in_features_) +
+        " input features, got " + std::to_string(features));
+  }
+  return {out_features_, input_dims.back()};
+}
+
+void FullyConnected::plan(const std::vector<std::int64_t>& input_dims) {
+  (void)infer_shape(input_dims);  // revalidate
+  in_dims_ = input_dims;
+  const std::int64_t batch = input_dims.back();
+  if (context_ == nullptr) return;
+  api_shape_ =
+      BackendContext::fc_shape(in_features_, out_features_, batch);
+  w_t_.assign(static_cast<std::size_t>(in_features_ * out_features_), 0.0);
+  dw_t_.assign(w_t_.size(), 0.0);
+  context_->warm_conv_plan(api_shape_);
+}
+
+void FullyConnected::forward_view(const tensor::TensorView& input,
+                                  tensor::TensorView& output) {
+  if (context_ == nullptr) {
+    Layer::forward_view(input, output);
+    return;
+  }
+  input_view_ = input;  // liveness: the planner pins it to our backward
+  // Filter layout at the API boundary is [1][1][in][out]: the
+  // transpose of the [out][in] storage, restaged whenever the
+  // optimizer may have stepped the weights (i.e. every forward).
+  for (std::int64_t o = 0; o < out_features_; ++o) {
+    for (std::int64_t i = 0; i < in_features_; ++i) {
+      w_t_[static_cast<std::size_t>(i * out_features_ + o)] =
+          weights_.at(o, i);
+    }
+  }
+  context_->conv_forward(api_shape_, input.data().data(), w_t_.data(),
+                         output.data().data());
+  const std::int64_t batch = api_shape_.batch;
+  for (std::int64_t o = 0; o < out_features_; ++o) {
+    for (std::int64_t b = 0; b < batch; ++b) output.at(o, b) += bias_.at(o);
+  }
+}
+
+void FullyConnected::backward_view(const tensor::TensorView& d_output,
+                                   tensor::TensorView& d_input) {
+  if (context_ == nullptr) {
+    Layer::backward_view(d_output, d_input);
+    return;
+  }
+  const std::int64_t batch = api_shape_.batch;
+  // db[o] = sum_b dOut[o][b], accumulated in the eager loop's order.
+  d_bias_.zero();
+  for (std::int64_t o = 0; o < out_features_; ++o) {
+    for (std::int64_t b = 0; b < batch; ++b) {
+      d_bias_.at(o) += d_output.at(o, b);
+    }
+  }
+  // dW through the API's backward-filter: the result comes back in the
+  // [1][1][in][out] filter layout and is transposed into [out][in].
+  context_->conv_backward_filter(api_shape_, input_view_.data().data(),
+                                 d_output.data().data(), dw_t_.data());
+  for (std::int64_t o = 0; o < out_features_; ++o) {
+    for (std::int64_t i = 0; i < in_features_; ++i) {
+      d_weights_.at(o, i) =
+          dw_t_[static_cast<std::size_t>(i * out_features_ + o)];
+    }
+  }
+  // dx = W^T dOut through backward-data; the flat [in][B] result is the
+  // row-major content of whatever rank the input view carries.
+  context_->conv_backward_data(api_shape_, w_t_.data(),
+                               d_output.data().data(),
+                               d_input.data().data());
 }
 
 }  // namespace swdnn::dnn

@@ -3,6 +3,7 @@
 // classifier stage). A rank-4 [R][C][N][B] input is accepted and viewed
 // as [R*C*N][B] — row-major flattening is exactly that reshape.
 
+#include "src/conv/shape.h"
 #include "src/dnn/layer.h"
 #include "src/util/rng.h"
 
@@ -23,6 +24,21 @@ class FullyConnected : public Layer {
   tensor::Tensor backward(const tensor::Tensor& d_output) override;
   std::vector<ParamGrad> params() override;
 
+  // Compiled path: the layer is a 1x1 convolution at the API boundary
+  // ([1][1][in][B] activations, [1][1][in][out] filter — the filter
+  // layout is the transpose of the [out][in] storage, staged through
+  // presized scratch), so the GEMM rides the shared handle's plan
+  // cache and fault ladder instead of calling conv:: directly.
+  std::vector<std::int64_t> infer_shape(
+      const std::vector<std::int64_t>& input_dims) override;
+  bool backward_needs_input() const override { return true; }
+  void bind(BackendContext* context) override { context_ = context; }
+  void plan(const std::vector<std::int64_t>& input_dims) override;
+  void forward_view(const tensor::TensorView& input,
+                    tensor::TensorView& output) override;
+  void backward_view(const tensor::TensorView& d_output,
+                     tensor::TensorView& d_input) override;
+
   const tensor::Tensor& weights() const { return weights_; }
   const tensor::Tensor& bias() const { return bias_; }
 
@@ -36,6 +52,12 @@ class FullyConnected : public Layer {
   tensor::Tensor d_bias_;
   tensor::Tensor cached_input_;        ///< flattened [in][B]
   std::vector<std::int64_t> in_dims_;  ///< original input dims
+
+  BackendContext* context_ = nullptr;      // set by bind()
+  conv::ConvShape api_shape_;              // the 1x1-conv view; plan() fills
+  std::vector<double> w_t_;                // [in][out] transposed weights
+  std::vector<double> dw_t_;               // [in][out] transposed gradient
+  tensor::TensorView input_view_;          // the arena keeps it live
 };
 
 }  // namespace swdnn::dnn

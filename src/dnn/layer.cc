@@ -1,0 +1,27 @@
+#include "src/dnn/layer.h"
+
+#include <stdexcept>
+
+namespace swdnn::dnn {
+
+std::vector<std::int64_t> Layer::infer_shape(
+    const std::vector<std::int64_t>& input_dims) {
+  if (input_dims.empty()) {
+    throw std::invalid_argument(name() + ": empty input shape");
+  }
+  return input_dims;
+}
+
+void Layer::forward_view(const tensor::TensorView& input,
+                         tensor::TensorView& output) {
+  tensor::Tensor out = forward(input.to_tensor());
+  output.copy_from(out);
+}
+
+void Layer::backward_view(const tensor::TensorView& d_output,
+                          tensor::TensorView& d_input) {
+  tensor::Tensor din = backward(d_output.to_tensor());
+  d_input.copy_from(din);
+}
+
+}  // namespace swdnn::dnn

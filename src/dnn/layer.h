@@ -6,14 +6,28 @@
 // implement forward AND backward. Data layout between image layers is
 // the canonical [R][C][N][B]; classifier layers view activations as
 // [features][B] (the row-major flatten of the first three dims).
+//
+// Layers participate in two execution regimes:
+//   * Eager: forward(Tensor) / backward(Tensor), one fresh output tensor
+//     per call — the seed behaviour, kept as the differential baseline.
+//   * Compiled: Network::compile() drives infer_shape -> plan -> bind
+//     once, then steady-state steps call forward_view/backward_view on
+//     arena-backed TensorViews. The default view hooks adapt the eager
+//     implementations, so simple layers get the compiled path for free;
+//     heavy layers (conv, FC) override them to dispatch through the
+//     shared BackendContext and to run allocation-free.
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/tensor/arena.h"
 #include "src/tensor/tensor.h"
 
 namespace swdnn::dnn {
+
+class BackendContext;
 
 /// A trainable parameter with its gradient, as exposed to optimizers.
 struct ParamGrad {
@@ -40,6 +54,45 @@ class Layer {
   /// Train/eval mode switch. Most layers ignore it; stochastic layers
   /// (Dropout) change behaviour. Network::set_training fans it out.
   virtual void set_mode(bool training) { (void)training; }
+
+  // --- compile-time hooks -------------------------------------------
+
+  /// Output dims for the given input dims; throws std::invalid_argument
+  /// when the input shape is unacceptable. Default: shape-preserving
+  /// (correct for activations, dropout, LRN, softmax).
+  virtual std::vector<std::int64_t> infer_shape(
+      const std::vector<std::int64_t>& input_dims);
+
+  /// Whether backward() re-reads the *input* activation (conv, FC). The
+  /// liveness planner extends the input tensor's lifetime to this
+  /// layer's backward step only when true; layers that cache what they
+  /// need internally (relu mask, pool argmax, softmax output) leave it
+  /// false so their inputs die early and the arena can reuse the bytes.
+  virtual bool backward_needs_input() const { return false; }
+
+  /// Binds the layer to the shared backend context. Called once per
+  /// compile, before plan(). Default: no-op (host-only layers).
+  virtual void bind(BackendContext* context) { (void)context; }
+
+  /// One-time shape-specific preparation: presize internal caches, warm
+  /// the backend plan cache. Called once per compile with the layer's
+  /// input dims. Default: no-op.
+  virtual void plan(const std::vector<std::int64_t>& input_dims) {
+    (void)input_dims;
+  }
+
+  // --- compiled execution -------------------------------------------
+
+  /// Compiled forward: read `input`, write `output` (both arena views).
+  /// Default adapts the eager forward (copies in/out) so every layer is
+  /// compilable; overrides run in place without allocating.
+  virtual void forward_view(const tensor::TensorView& input,
+                            tensor::TensorView& output);
+
+  /// Compiled backward: read `d_output`, write `d_input`, accumulate
+  /// parameter gradients. Default adapts the eager backward.
+  virtual void backward_view(const tensor::TensorView& d_output,
+                             tensor::TensorView& d_input);
 };
 
 using LayerPtr = std::unique_ptr<Layer>;

@@ -1,13 +1,132 @@
 #include "src/dnn/network.h"
 
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "src/dnn/backend_context.h"
+#include "src/sim/trace.h"
+
 namespace swdnn::dnn {
 
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Network::Network() = default;
+Network::~Network() = default;
+// Moves are safe even when compiled: the arena's buffer and the owned
+// context keep their addresses, so views and the raw context_ pointer
+// stay valid.
+Network::Network(Network&&) noexcept = default;
+Network& Network::operator=(Network&&) noexcept = default;
+
 Layer& Network::add(LayerPtr layer) {
+  uncompile();  // the graph no longer matches the layer list
   layers_.push_back(std::move(layer));
   return *layers_.back();
 }
 
+const CompiledStats& Network::compile(
+    const std::vector<std::int64_t>& input_dims,
+    const CompileOptions& options) {
+  if (layers_.empty()) {
+    throw std::logic_error("Network::compile: no layers");
+  }
+  uncompile();
+
+  // 1. Shape inference: every activation's dims, input first. A bad
+  // stack (mismatched features, non-divisible pooling) fails here,
+  // before any math runs.
+  std::vector<std::vector<std::int64_t>> dims;
+  dims.reserve(layers_.size() + 1);
+  dims.push_back(input_dims);
+  for (auto& layer : layers_) {
+    dims.push_back(layer->infer_shape(dims.back()));
+  }
+
+  // 2. One backend context for every heavy layer: shared if the caller
+  // provides one (data-parallel replicas), else owned.
+  if (options.context != nullptr) {
+    context_ = options.context;
+  } else {
+    owned_context_ = std::make_unique<BackendContext>(options.spec);
+    context_ = owned_context_.get();
+  }
+  tracer_ = options.tracer;
+  if (tracer_ != nullptr) context_->set_event_tracer(tracer_);
+  for (auto& layer : layers_) layer->bind(context_);
+  for (std::size_t i = 0; i < layers_.size(); ++i) layers_[i]->plan(dims[i]);
+
+  // 3. Liveness. The timeline is t = 0..2L-1: forward of layer i at
+  // t = i, backward of layer i at t = 2L-1-i. Activation i (input of
+  // layer i, output of layer i-1) is produced at t = i-1 (the network
+  // input at t = 0) and read by layer i's forward; it must survive to
+  // layer i's *backward* only when that layer re-reads its input there
+  // (conv/FC). Layers that cache internally (relu mask, pool argmax,
+  // softmax output) let their input die right after forward — that
+  // early death is where the arena's reuse comes from. Gradient j is
+  // written by layer j's backward at t = 2L-1-j and read at t = 2L-j
+  // (the next backward step, or the caller's copy-out for j = 0).
+  const int L = static_cast<int>(layers_.size());
+  act_slots_.clear();
+  grad_slots_.clear();
+  for (int i = 0; i <= L; ++i) {
+    const int begin = i == 0 ? 0 : i - 1;
+    const int end =
+        i == L ? L - 1
+               : (layers_[static_cast<std::size_t>(i)]->backward_needs_input()
+                      ? 2 * L - 1 - i
+                      : i);
+    act_slots_.push_back(
+        arena_.request(dims[static_cast<std::size_t>(i)], begin, end));
+  }
+  for (int j = 0; j <= L; ++j) {
+    grad_slots_.push_back(arena_.request(dims[static_cast<std::size_t>(j)],
+                                         2 * L - 1 - j, 2 * L - j));
+  }
+  arena_.plan();  // packs, allocates, and alias-checks
+
+  act_views_.clear();
+  grad_views_.clear();
+  for (std::size_t i = 0; i <= static_cast<std::size_t>(L); ++i) {
+    act_views_.push_back(arena_.view(act_slots_[i]));
+    grad_views_.push_back(arena_.view(grad_slots_[i]));
+  }
+
+  stats_ = CompiledStats{};
+  stats_.arena_peak_bytes = arena_.peak_bytes();
+  stats_.arena_naive_bytes = arena_.naive_bytes();
+  stats_.arena_slots = arena_.num_slots();
+  stats_.arena_allocations = arena_.allocations();
+  stats_.activation_dims = std::move(dims);
+  compiled_ = true;
+  return stats_;
+}
+
+void Network::uncompile() {
+  compiled_ = false;
+  arena_.reset();
+  act_slots_.clear();
+  grad_slots_.clear();
+  act_views_.clear();
+  grad_views_.clear();
+  stats_ = CompiledStats{};
+  context_ = nullptr;
+  owned_context_.reset();
+  tracer_ = nullptr;
+}
+
 tensor::Tensor Network::forward(const tensor::Tensor& input) {
+  if (compiled_ && !run_eager_) return forward_compiled(input);
   tensor::Tensor activation = input;
   for (auto& layer : layers_) {
     activation = layer->forward(activation);
@@ -16,6 +135,7 @@ tensor::Tensor Network::forward(const tensor::Tensor& input) {
 }
 
 tensor::Tensor Network::backward(const tensor::Tensor& d_output) {
+  if (compiled_ && !run_eager_) return backward_compiled(d_output);
   tensor::Tensor grad = d_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
     grad = (*it)->backward(grad);
@@ -23,7 +143,52 @@ tensor::Tensor Network::backward(const tensor::Tensor& d_output) {
   return grad;
 }
 
+tensor::Tensor Network::forward_compiled(const tensor::Tensor& input) {
+  if (input.dims() != stats_.activation_dims.front()) {
+    throw std::invalid_argument(
+        "Network::forward: input dims do not match the compiled shape " +
+        input.shape_string());
+  }
+  act_views_.front().copy_from(input);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const std::uint64_t begin = now_ns();
+    layers_[i]->forward_view(act_views_[i], act_views_[i + 1]);
+    trace_layer(i, "fwd", act_views_[i].size() * 8,
+                act_views_[i + 1].size() * 8, begin, now_ns());
+  }
+  return act_views_.back().to_tensor();
+}
+
+tensor::Tensor Network::backward_compiled(const tensor::Tensor& d_output) {
+  if (d_output.dims() != stats_.activation_dims.back()) {
+    throw std::invalid_argument(
+        "Network::backward: gradient dims do not match the compiled shape " +
+        d_output.shape_string());
+  }
+  grad_views_.back().copy_from(d_output);
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    const std::uint64_t begin = now_ns();
+    layers_[i]->backward_view(grad_views_[i + 1], grad_views_[i]);
+    trace_layer(i, "bwd", grad_views_[i + 1].size() * 8,
+                grad_views_[i].size() * 8, begin, now_ns());
+  }
+  return grad_views_.front().to_tensor();
+}
+
+void Network::trace_layer(std::size_t layer_index, const char* phase,
+                          std::int64_t bytes_in, std::int64_t bytes_out,
+                          std::uint64_t begin_ns, std::uint64_t end_ns) {
+  if (tracer_ == nullptr) return;
+  char name[128];
+  std::snprintf(name, sizeof(name), "%s#%zu %s in=%lldB out=%lldB",
+                layers_[layer_index]->name().c_str(), layer_index, phase,
+                static_cast<long long>(bytes_in),
+                static_cast<long long>(bytes_out));
+  tracer_->record(/*cpe=*/0, "layer", name, begin_ns, end_ns);
+}
+
 void Network::set_training(bool training) {
+  training_ = training;
   for (auto& layer : layers_) layer->set_mode(training);
 }
 

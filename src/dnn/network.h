@@ -1,16 +1,76 @@
 #pragma once
-// Sequential layer container.
+// Sequential layer container with a compile-then-execute mode.
+//
+// Eager mode is the seed behaviour: forward/backward walk the layer
+// vector, every layer minting fresh tensors. compile(input_dims) turns
+// the same network into an execution graph in the swCaffe/swTVM sense:
+//   1. shape inference propagates the input dims through every layer's
+//      infer_shape, catching shape bugs before any math runs;
+//   2. a liveness pass places every activation and gradient into the
+//      workspace arena (tensor::Arena) — tensors with disjoint
+//      lifetimes share bytes, so the packed peak sits far below the
+//      one-buffer-per-tensor footprint;
+//   3. every layer binds to one shared BackendContext and plans
+//      (presizing caches, warming the API plan cache), so a compiled
+//      step dispatches its heavy ops on plan-cache hits from batch one
+//      and allocates nothing.
+// forward/backward transparently run the compiled path once compiled;
+// set_run_eager(true) is the escape hatch that forces the eager loop
+// on a compiled network (differential testing, debugging).
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "src/dnn/layer.h"
+#include "src/tensor/arena.h"
+
+namespace swdnn::arch {
+struct Sw26010Spec;
+}  // namespace swdnn::arch
+
+namespace swdnn::sim {
+class EventTracer;
+}  // namespace swdnn::sim
 
 namespace swdnn::dnn {
 
+class BackendContext;
+
+struct CompileOptions {
+  /// Shared backend context (e.g. across data-parallel replicas);
+  /// nullptr = the network owns a private one.
+  BackendContext* context = nullptr;
+  /// Machine spec for an owned context; ignored when `context` is set.
+  /// nullptr = the real SW26010 numbers.
+  const arch::Sw26010Spec* spec = nullptr;
+  /// Tracer for per-layer "layer" spans and backend events; also
+  /// attached to the context. nullptr = no tracing.
+  sim::EventTracer* tracer = nullptr;
+};
+
+/// What compile() decided, for observability and tests.
+struct CompiledStats {
+  std::int64_t arena_peak_bytes = 0;   ///< packed workspace footprint
+  std::int64_t arena_naive_bytes = 0;  ///< one-buffer-per-tensor baseline
+  std::size_t arena_slots = 0;
+  std::uint64_t arena_allocations = 0;
+  /// Inferred dims of every activation: [0] = input, [i+1] = output of
+  /// layer i.
+  std::vector<std::vector<std::int64_t>> activation_dims;
+};
+
 class Network {
  public:
+  Network();
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+  Network(Network&&) noexcept;
+  Network& operator=(Network&&) noexcept;
+
   /// Appends a layer; returns a reference for inline configuration.
+  /// Invalidates any previous compile().
   Layer& add(LayerPtr layer);
 
   /// Convenience: constructs the layer in place.
@@ -18,9 +78,32 @@ class Network {
   L& emplace(Args&&... args) {
     auto layer = std::make_unique<L>(std::forward<Args>(args)...);
     L& ref = *layer;
-    layers_.push_back(std::move(layer));
+    add(std::move(layer));
     return ref;
   }
+
+  /// Builds the execution graph for this input shape: shape inference,
+  /// arena liveness packing, backend binding and plan warm-up. Throws
+  /// std::invalid_argument on a shape error. Re-compiling with a new
+  /// shape is allowed (the arena is re-planned).
+  const CompiledStats& compile(const std::vector<std::int64_t>& input_dims,
+                               const CompileOptions& options = {});
+
+  bool compiled() const { return compiled_; }
+  const CompiledStats& compiled_stats() const { return stats_; }
+
+  /// Drops the compiled graph (arena, bindings); eager behaviour only.
+  void uncompile();
+
+  /// Escape hatch: when true, forward/backward use the eager loop even
+  /// on a compiled network. Differential tests flip this to compare
+  /// both paths on one set of weights.
+  void set_run_eager(bool run_eager) { run_eager_ = run_eager; }
+  bool run_eager() const { return run_eager_; }
+
+  /// The backend context heavy layers dispatch through (null before
+  /// compile()); shared or owned per CompileOptions.
+  BackendContext* context() { return context_; }
 
   tensor::Tensor forward(const tensor::Tensor& input);
 
@@ -34,12 +117,36 @@ class Network {
   /// Switches every layer between train and eval behaviour (dropout
   /// masks on/off etc.).
   void set_training(bool training);
+  bool training() const { return training_; }
 
   std::size_t num_layers() const { return layers_.size(); }
   Layer& layer(std::size_t i) { return *layers_.at(i); }
 
  private:
+  tensor::Tensor forward_compiled(const tensor::Tensor& input);
+  tensor::Tensor backward_compiled(const tensor::Tensor& d_output);
+
+  /// Emits one "layer" duration span (phase, bytes in/out encoded in
+  /// the name) when a tracer is attached.
+  void trace_layer(std::size_t layer_index, const char* phase,
+                   std::int64_t bytes_in, std::int64_t bytes_out,
+                   std::uint64_t begin_ns, std::uint64_t end_ns);
+
   std::vector<LayerPtr> layers_;
+  bool training_ = true;
+
+  // Compiled-graph state.
+  bool compiled_ = false;
+  bool run_eager_ = false;
+  tensor::Arena arena_;
+  std::vector<std::size_t> act_slots_;   // activation i -> arena slot
+  std::vector<std::size_t> grad_slots_;  // gradient of activation i
+  std::vector<tensor::TensorView> act_views_;
+  std::vector<tensor::TensorView> grad_views_;
+  CompiledStats stats_;
+  BackendContext* context_ = nullptr;
+  std::unique_ptr<BackendContext> owned_context_;
+  sim::EventTracer* tracer_ = nullptr;
 };
 
 }  // namespace swdnn::dnn

@@ -28,6 +28,15 @@ tensor::Tensor ZeroPad2d::forward(const tensor::Tensor& input) {
   return out;
 }
 
+std::vector<std::int64_t> ZeroPad2d::infer_shape(
+    const std::vector<std::int64_t>& input_dims) {
+  if (input_dims.size() != 4) {
+    throw std::invalid_argument("ZeroPad2d: expects [R][C][N][B]");
+  }
+  return {input_dims[0] + top_ + bottom_, input_dims[1] + left_ + right_,
+          input_dims[2], input_dims[3]};
+}
+
 tensor::Tensor ZeroPad2d::backward(const tensor::Tensor& d_output) {
   if (input_dims_.empty()) {
     throw std::invalid_argument("ZeroPad2d::backward before forward");

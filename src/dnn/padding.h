@@ -21,6 +21,8 @@ class ZeroPad2d : public Layer {
   std::string name() const override { return "zeropad"; }
   tensor::Tensor forward(const tensor::Tensor& input) override;
   tensor::Tensor backward(const tensor::Tensor& d_output) override;
+  std::vector<std::int64_t> infer_shape(
+      const std::vector<std::int64_t>& input_dims) override;
 
  private:
   std::int64_t top_, bottom_, left_, right_;

@@ -15,6 +15,16 @@ class MaxPooling : public Layer {
   tensor::Tensor forward(const tensor::Tensor& input) override;
   tensor::Tensor backward(const tensor::Tensor& d_output) override;
 
+  // Compiled path: argmax caches are presized at plan() time; backward
+  // reads only the argmax offsets, so the input dies after forward.
+  std::vector<std::int64_t> infer_shape(
+      const std::vector<std::int64_t>& input_dims) override;
+  void plan(const std::vector<std::int64_t>& input_dims) override;
+  void forward_view(const tensor::TensorView& input,
+                    tensor::TensorView& output) override;
+  void backward_view(const tensor::TensorView& d_output,
+                     tensor::TensorView& d_input) override;
+
  private:
   std::int64_t window_;
   tensor::Tensor argmax_r_;  ///< winning row offset per output element
@@ -31,6 +41,14 @@ class AvgPooling : public Layer {
   std::string name() const override { return "avgpool"; }
   tensor::Tensor forward(const tensor::Tensor& input) override;
   tensor::Tensor backward(const tensor::Tensor& d_output) override;
+
+  std::vector<std::int64_t> infer_shape(
+      const std::vector<std::int64_t>& input_dims) override;
+  void plan(const std::vector<std::int64_t>& input_dims) override;
+  void forward_view(const tensor::TensorView& input,
+                    tensor::TensorView& output) override;
+  void backward_view(const tensor::TensorView& d_output,
+                     tensor::TensorView& d_input) override;
 
  private:
   std::int64_t window_;

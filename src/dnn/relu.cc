@@ -18,6 +18,34 @@ tensor::Tensor Relu::forward(const tensor::Tensor& input) {
   return out;
 }
 
+void Relu::plan(const std::vector<std::int64_t>& input_dims) {
+  mask_ = tensor::Tensor(input_dims);
+}
+
+void Relu::forward_view(const tensor::TensorView& input,
+                        tensor::TensorView& output) {
+  if (mask_.dims() != input.dims()) mask_ = tensor::Tensor(input.dims());
+  auto in = input.data();
+  auto m = mask_.data();
+  auto o = output.data();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const bool on = in[i] > 0.0;
+    m[i] = on ? 1.0 : 0.0;
+    o[i] = on ? in[i] : 0.0;
+  }
+}
+
+void Relu::backward_view(const tensor::TensorView& d_output,
+                         tensor::TensorView& d_input) {
+  if (d_output.size() != mask_.size()) {
+    throw std::invalid_argument("Relu::backward_view before forward_view");
+  }
+  auto d = d_output.data();
+  auto m = mask_.data();
+  auto o = d_input.data();
+  for (std::size_t i = 0; i < d.size(); ++i) o[i] = d[i] * m[i];
+}
+
 tensor::Tensor Relu::backward(const tensor::Tensor& d_output) {
   if (d_output.dims() != mask_.dims()) {
     throw std::invalid_argument("Relu::backward before forward");

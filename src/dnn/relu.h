@@ -11,6 +11,15 @@ class Relu : public Layer {
   tensor::Tensor forward(const tensor::Tensor& input) override;
   tensor::Tensor backward(const tensor::Tensor& d_output) override;
 
+  // Compiled path: the mask is presized at plan() time, so the
+  // steady-state step is allocation-free and the input dies right
+  // after this layer's forward (backward reads only the mask).
+  void plan(const std::vector<std::int64_t>& input_dims) override;
+  void forward_view(const tensor::TensorView& input,
+                    tensor::TensorView& output) override;
+  void backward_view(const tensor::TensorView& d_output,
+                     tensor::TensorView& d_input) override;
+
  private:
   tensor::Tensor mask_;  ///< 1 where input > 0
 };

@@ -13,6 +13,17 @@ class Softmax : public Layer {
   tensor::Tensor forward(const tensor::Tensor& logits) override;
   tensor::Tensor backward(const tensor::Tensor& d_output) override;
 
+  // Compiled path: the output cache is presized at plan() time;
+  // backward reads only the cached probabilities, so the logits die
+  // right after this layer's forward.
+  std::vector<std::int64_t> infer_shape(
+      const std::vector<std::int64_t>& input_dims) override;
+  void plan(const std::vector<std::int64_t>& input_dims) override;
+  void forward_view(const tensor::TensorView& input,
+                    tensor::TensorView& output) override;
+  void backward_view(const tensor::TensorView& d_output,
+                     tensor::TensorView& d_input) override;
+
  private:
   tensor::Tensor cached_output_;
 };

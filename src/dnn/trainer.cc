@@ -8,6 +8,29 @@
 
 namespace swdnn::dnn {
 
+namespace {
+
+/// RAII train/eval switch: flips the network into `mode` and restores
+/// the prior mode on scope exit (exceptions included), so an eval pass
+/// can never leave a training loop running with dropout disabled — or
+/// vice versa.
+class TrainingModeGuard {
+ public:
+  TrainingModeGuard(Network& net, bool mode)
+      : net_(net), prior_(net.training()) {
+    net_.set_training(mode);
+  }
+  ~TrainingModeGuard() { net_.set_training(prior_); }
+  TrainingModeGuard(const TrainingModeGuard&) = delete;
+  TrainingModeGuard& operator=(const TrainingModeGuard&) = delete;
+
+ private:
+  Network& net_;
+  bool prior_;
+};
+
+}  // namespace
+
 SyntheticBars::SyntheticBars(std::int64_t image_size, int num_classes,
                              double noise, std::uint64_t seed)
     : image_size_(image_size),
@@ -116,6 +139,10 @@ Trainer::ResilientStep Trainer::train_step_resilient(const Batch& batch) {
 
 double Trainer::evaluate(SyntheticBars& data, std::int64_t batch_size,
                          int batches) {
+  // Accuracy must be measured with deterministic layers: dropout left
+  // stochastic here both corrupts the measurement and (before the
+  // guard) leaked eval mode into subsequent training steps.
+  const TrainingModeGuard eval_guard(net_, /*mode=*/false);
   std::int64_t correct = 0;
   for (int s = 0; s < batches; ++s) {
     const Batch batch = data.sample(batch_size);

@@ -21,6 +21,17 @@ DataParallelTrainer::DataParallelTrainer(
   }
 }
 
+void DataParallelTrainer::compile(
+    const std::vector<std::int64_t>& shard_input_dims,
+    const arch::Sw26010Spec* spec) {
+  shared_context_ = std::make_unique<dnn::BackendContext>(spec);
+  dnn::CompileOptions options;
+  options.context = shared_context_.get();
+  for (auto& replica : replicas_) {
+    replica->compile(shard_input_dims, options);
+  }
+}
+
 DataParallelTrainer::StepResult DataParallelTrainer::train_step(
     const std::vector<dnn::Batch>& shards) {
   if (shards.size() != replicas_.size()) {

@@ -11,15 +11,21 @@
 // Replicas must be constructed identically (same architecture, same
 // seed); synchronize() can assert and repair drift.
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "src/dnn/backend_context.h"
 #include "src/dnn/loss.h"
 #include "src/dnn/network.h"
 #include "src/dnn/sgd.h"
 #include "src/dnn/trainer.h"
 #include "src/parallel/allreduce.h"
+
+namespace swdnn::arch {
+struct Sw26010Spec;
+}  // namespace swdnn::arch
 
 namespace swdnn::parallel {
 
@@ -36,6 +42,17 @@ class DataParallelTrainer {
   int nodes() const { return static_cast<int>(replicas_.size()); }
   dnn::Network& replica(int node) { return *replicas_.at(
       static_cast<std::size_t>(node)); }
+
+  /// Compiles every replica for its per-node shard shape against ONE
+  /// shared BackendContext (one Handle, one plan cache): replicas run
+  /// identical shapes, so the first replica's plan warm-up serves all
+  /// of them, and fault/fallback accounting aggregates in one place.
+  /// `spec` = nullptr uses the real SW26010 numbers.
+  void compile(const std::vector<std::int64_t>& shard_input_dims,
+               const arch::Sw26010Spec* spec = nullptr);
+
+  /// The context all replicas dispatch through (null before compile()).
+  dnn::BackendContext* shared_context() { return shared_context_.get(); }
 
   /// One synchronous step: per-node forward/backward on its shard,
   /// gradient all-reduce (average), identical optimizer step on every
@@ -77,6 +94,7 @@ class DataParallelTrainer {
   std::vector<dnn::Sgd> optimizers_;
   std::vector<bool> alive_;
   InterconnectSpec interconnect_;
+  std::unique_ptr<dnn::BackendContext> shared_context_;
 };
 
 }  // namespace swdnn::parallel

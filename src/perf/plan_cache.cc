@@ -61,6 +61,25 @@ PlanCache::LookupResult PlanCache::lookup(const conv::ConvShape& shape,
   return LookupResult{std::move(entry), /*hit=*/false};
 }
 
+bool PlanCache::warm(const conv::ConvShape& shape, const Builder& build) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = table_.find(shape);
+  if (it != table_.end()) {
+    touch(it->second);
+    return false;
+  }
+  auto entry = std::make_shared<const CachedPlan>(build(shape));
+  if (table_.size() >= capacity_) {
+    const conv::ConvShape& victim = lru_.back();
+    table_.erase(victim);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(shape);
+  table_.emplace(shape, Slot{std::move(entry), lru_.begin()});
+  return true;
+}
+
 PlanCache::Entry PlanCache::peek(const conv::ConvShape& shape) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = table_.find(shape);

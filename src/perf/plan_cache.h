@@ -78,6 +78,13 @@ class PlanCache {
   /// the hit/miss counters or the LRU order.
   Entry peek(const conv::ConvShape& shape) const;
 
+  /// Counter-neutral pre-population for compile-time warm-up: builds
+  /// and inserts the entry if absent, touching neither hits_ nor
+  /// misses_, so the hit-rate observed at serve time reflects serve
+  /// traffic only. Returns true if an entry was built, false if the
+  /// shape was already cached.
+  bool warm(const conv::ConvShape& shape, const Builder& build);
+
   PlanCacheStats stats() const;
   void clear();
 

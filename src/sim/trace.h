@@ -18,7 +18,8 @@ namespace swdnn::sim {
 
 struct TraceEvent {
   int cpe = 0;
-  std::string category;  ///< "dma", "bus", "sync", "compute", "plan_cache"
+  std::string category;  ///< "dma", "bus", "sync", "compute",
+                         ///< "plan_cache", "layer"
   std::string name;
   std::uint64_t begin_cycle = 0;
   std::uint64_t end_cycle = 0;

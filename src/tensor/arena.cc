@@ -1,0 +1,201 @@
+#include "src/tensor/arena.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace swdnn::tensor {
+
+namespace {
+
+std::int64_t product(const std::vector<std::int64_t>& dims) {
+  std::int64_t n = 1;
+  for (std::int64_t d : dims) n *= d;
+  return n;
+}
+
+bool time_overlap(const ArenaSlot& a, const ArenaSlot& b) {
+  return a.live_begin <= b.live_end && b.live_begin <= a.live_end;
+}
+
+bool address_overlap(const ArenaSlot& a, const ArenaSlot& b) {
+  if (a.offset < 0 || b.offset < 0) return false;
+  return a.offset < b.offset + b.elements && b.offset < a.offset + a.elements;
+}
+
+}  // namespace
+
+TensorView::TensorView(double* data, std::vector<std::int64_t> dims)
+    : data_(data), dims_(std::move(dims)) {
+  if (data_ == nullptr) throw std::invalid_argument("TensorView: null data");
+  if (dims_.empty() || dims_.size() > 5) {
+    throw std::invalid_argument("TensorView: rank must be 1..5");
+  }
+  for (std::int64_t d : dims_) {
+    if (d <= 0) throw std::invalid_argument("TensorView: dims must be > 0");
+  }
+  strides_.assign(dims_.size(), 1);
+  for (int i = static_cast<int>(dims_.size()) - 2; i >= 0; --i) {
+    strides_[i] = strides_[i + 1] * dims_[i + 1];
+  }
+  size_ = product(dims_);
+}
+
+std::int64_t TensorView::offset(std::initializer_list<std::int64_t> idx) const {
+  if (static_cast<std::int64_t>(idx.size()) != rank()) {
+    throw std::invalid_argument("TensorView: index rank mismatch");
+  }
+  std::int64_t off = 0;
+  std::size_t i = 0;
+  for (std::int64_t v : idx) {
+    off += v * strides_[i];
+    ++i;
+  }
+  return off;
+}
+
+void TensorView::zero() {
+  std::fill(data_, data_ + size_, 0.0);
+}
+
+void TensorView::copy_from(const Tensor& src) {
+  if (src.size() != size_) {
+    throw std::invalid_argument("TensorView::copy_from: size mismatch");
+  }
+  std::memcpy(data_, src.data().data(), static_cast<std::size_t>(size_) * 8);
+}
+
+void TensorView::copy_from(const TensorView& src) {
+  if (src.size_ != size_) {
+    throw std::invalid_argument("TensorView::copy_from: size mismatch");
+  }
+  std::memcpy(data_, src.data_, static_cast<std::size_t>(size_) * 8);
+}
+
+void TensorView::copy_to(Tensor& dst) const {
+  if (dst.size() != size_) {
+    throw std::invalid_argument("TensorView::copy_to: size mismatch");
+  }
+  std::memcpy(dst.data().data(), data_, static_cast<std::size_t>(size_) * 8);
+}
+
+Tensor TensorView::to_tensor() const {
+  Tensor t(dims_);
+  copy_to(t);
+  return t;
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> find_alias(
+    const std::vector<ArenaSlot>& slots) {
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    for (std::size_t j = i + 1; j < slots.size(); ++j) {
+      if (time_overlap(slots[i], slots[j]) &&
+          address_overlap(slots[i], slots[j])) {
+        return std::make_pair(i, j);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t Arena::request(std::vector<std::int64_t> dims, int live_begin,
+                           int live_end) {
+  if (planned_) {
+    throw std::logic_error("Arena::request: arena already planned");
+  }
+  if (live_end < live_begin) {
+    throw std::invalid_argument("Arena::request: live_end < live_begin");
+  }
+  ArenaSlot slot;
+  slot.elements = product(dims);
+  if (slot.elements <= 0 || dims.empty()) {
+    throw std::invalid_argument("Arena::request: empty shape");
+  }
+  slot.dims = std::move(dims);
+  slot.live_begin = live_begin;
+  slot.live_end = live_end;
+  slots_.push_back(std::move(slot));
+  return slots_.size() - 1;
+}
+
+void Arena::plan() {
+  if (planned_) throw std::logic_error("Arena::plan: already planned");
+
+  // Place big, early slots first: first-fit on a size-descending order
+  // is the classic heuristic for interval packing and keeps small late
+  // tensors filling gaps left between the large early ones.
+  std::vector<std::size_t> order(slots_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    if (slots_[a].elements != slots_[b].elements) {
+      return slots_[a].elements > slots_[b].elements;
+    }
+    if (slots_[a].live_begin != slots_[b].live_begin) {
+      return slots_[a].live_begin < slots_[b].live_begin;
+    }
+    return a < b;
+  });
+
+  peak_elements_ = 0;
+  for (std::size_t id : order) {
+    ArenaSlot& slot = slots_[id];
+    // Gather already-placed slots whose lifetimes overlap this one;
+    // only those constrain where it may land.
+    std::vector<const ArenaSlot*> busy;
+    for (const ArenaSlot& other : slots_) {
+      if (&other == &slot || other.offset < 0) continue;
+      if (time_overlap(slot, other)) busy.push_back(&other);
+    }
+    std::sort(busy.begin(), busy.end(),
+              [](const ArenaSlot* a, const ArenaSlot* b) {
+                return a->offset < b->offset;
+              });
+    std::int64_t candidate = 0;
+    for (const ArenaSlot* other : busy) {
+      if (candidate + slot.elements <= other->offset) break;
+      candidate = std::max(candidate, other->offset + other->elements);
+    }
+    slot.offset = candidate;
+    peak_elements_ = std::max(peak_elements_, candidate + slot.elements);
+  }
+
+  if (buffer_.size() != static_cast<std::size_t>(peak_elements_)) {
+    buffer_.assign(static_cast<std::size_t>(peak_elements_), 0.0);
+    ++allocations_;
+  }
+  planned_ = true;
+  validate();
+}
+
+TensorView Arena::view(std::size_t id) {
+  if (!planned_) throw std::logic_error("Arena::view: call plan() first");
+  const ArenaSlot& slot = slots_.at(id);
+  return TensorView(buffer_.data() + slot.offset, slot.dims);
+}
+
+std::int64_t Arena::naive_bytes() const {
+  std::int64_t total = 0;
+  for (const ArenaSlot& slot : slots_) total += slot.elements * 8;
+  return total;
+}
+
+void Arena::validate() const {
+  if (const auto alias = find_alias(slots_)) {
+    throw std::logic_error("Arena::validate: slots " +
+                           std::to_string(alias->first) + " and " +
+                           std::to_string(alias->second) +
+                           " are live simultaneously but overlap in the "
+                           "packed buffer");
+  }
+}
+
+void Arena::reset() {
+  slots_.clear();
+  planned_ = false;
+  // buffer_ and peak_elements_ are retained: a re-plan that lands on
+  // the same footprint (shape-stable re-compiles) reallocates nothing.
+}
+
+}  // namespace swdnn::tensor

@@ -1,0 +1,149 @@
+#pragma once
+// Workspace arena for compiled network execution.
+//
+// A compiled Network knows every activation and gradient tensor it will
+// ever materialize, with the exact timeline step each one is produced
+// and last consumed. The arena turns that knowledge into one contiguous
+// buffer: each logical tensor becomes a slot with a liveness interval,
+// the packer assigns offsets so slots that are live at the same time
+// never share addresses, and slots with disjoint lifetimes reuse the
+// same bytes. Peak footprint is the packed buffer size, reported next
+// to the one-buffer-per-tensor baseline so the saving is measurable
+// (swCaffe's layer-wise memory planning made the same move on the real
+// machine, where 8 GB per node makes packing non-optional).
+//
+// TensorView is the execution-side handle: a non-owning dims+strides
+// window over arena storage with the same accessor surface as Tensor,
+// so compiled layer kernels read and write arena bytes directly instead
+// of allocating fresh tensors per step.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace swdnn::tensor {
+
+/// Non-owning row-major view over externally-owned storage. The storage
+/// (an Arena buffer) must outlive the view.
+class TensorView {
+ public:
+  TensorView() = default;
+  TensorView(double* data, std::vector<std::int64_t> dims);
+
+  bool valid() const { return data_ != nullptr; }
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+  std::int64_t rank() const { return static_cast<std::int64_t>(dims_.size()); }
+  std::int64_t dim(std::int64_t i) const { return dims_.at(i); }
+  std::int64_t size() const { return size_; }
+
+  std::span<double> data() { return {data_, static_cast<std::size_t>(size_)}; }
+  std::span<const double> data() const {
+    return {data_, static_cast<std::size_t>(size_)};
+  }
+
+  double& at(std::int64_t i0) { return data_[offset({i0})]; }
+  double& at(std::int64_t i0, std::int64_t i1) {
+    return data_[offset({i0, i1})];
+  }
+  double& at(std::int64_t i0, std::int64_t i1, std::int64_t i2) {
+    return data_[offset({i0, i1, i2})];
+  }
+  double& at(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+             std::int64_t i3) {
+    return data_[offset({i0, i1, i2, i3})];
+  }
+  double at(std::int64_t i0) const { return data_[offset({i0})]; }
+  double at(std::int64_t i0, std::int64_t i1) const {
+    return data_[offset({i0, i1})];
+  }
+  double at(std::int64_t i0, std::int64_t i1, std::int64_t i2) const {
+    return data_[offset({i0, i1, i2})];
+  }
+  double at(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+            std::int64_t i3) const {
+    return data_[offset({i0, i1, i2, i3})];
+  }
+
+  void zero();
+
+  /// Element-count-checked copies between views and owning tensors.
+  void copy_from(const Tensor& src);
+  void copy_from(const TensorView& src);
+  void copy_to(Tensor& dst) const;
+
+  /// Owning snapshot with this view's dims.
+  Tensor to_tensor() const;
+
+ private:
+  std::int64_t offset(std::initializer_list<std::int64_t> idx) const;
+
+  double* data_ = nullptr;
+  std::int64_t size_ = 0;
+  std::vector<std::int64_t> dims_;
+  std::vector<std::int64_t> strides_;
+};
+
+/// One planned tensor: its shape, liveness interval (inclusive timeline
+/// steps), and the offset the packer assigned.
+struct ArenaSlot {
+  std::vector<std::int64_t> dims;
+  std::int64_t elements = 0;
+  int live_begin = 0;
+  int live_end = 0;
+  std::int64_t offset = -1;  ///< elements into the buffer; -1 = unplaced
+};
+
+/// The alias checker: first pair of slots that are live simultaneously
+/// yet overlap in the packed address space, or nullopt when the packing
+/// is sound. Pure function so tests can feed it hand-built layouts.
+std::optional<std::pair<std::size_t, std::size_t>> find_alias(
+    const std::vector<ArenaSlot>& slots);
+
+class Arena {
+ public:
+  /// Registers a tensor live over [live_begin, live_end] (inclusive).
+  /// Returns the slot id used to fetch its view after plan().
+  std::size_t request(std::vector<std::int64_t> dims, int live_begin,
+                      int live_end);
+
+  /// Packs every requested slot (greedy first-fit: slots that overlap
+  /// in time get disjoint address ranges, disjoint lifetimes share) and
+  /// allocates the buffer. Runs the alias checker on the result.
+  void plan();
+
+  bool planned() const { return planned_; }
+  std::size_t num_slots() const { return slots_.size(); }
+  const ArenaSlot& slot(std::size_t id) const { return slots_.at(id); }
+
+  /// View over a planned slot's address range.
+  TensorView view(std::size_t id);
+
+  /// Packed buffer footprint.
+  std::int64_t peak_bytes() const { return peak_elements_ * 8; }
+  /// The one-buffer-per-tensor baseline: sum of every slot's size.
+  std::int64_t naive_bytes() const;
+  /// Buffer (re)allocations performed — constant after plan() proves a
+  /// steady-state step allocates nothing from the arena.
+  std::uint64_t allocations() const { return allocations_; }
+
+  /// Re-runs the alias checker; throws std::logic_error naming the
+  /// offending slot pair if the packing is unsound.
+  void validate() const;
+
+  /// Drops all slots (for re-compilation). The buffer is retained so a
+  /// re-plan at the same footprint reallocates nothing.
+  void reset();
+
+ private:
+  std::vector<ArenaSlot> slots_;
+  std::vector<double> buffer_;
+  std::int64_t peak_elements_ = 0;
+  std::uint64_t allocations_ = 0;
+  bool planned_ = false;
+};
+
+}  // namespace swdnn::tensor

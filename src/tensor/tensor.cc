@@ -1,12 +1,21 @@
 #include "src/tensor/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
 
 namespace swdnn::tensor {
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+std::uint64_t allocation_count() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
 
 Tensor::Tensor(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
   if (dims_.empty() || dims_.size() > 5) {
@@ -19,10 +28,26 @@ Tensor::Tensor(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
   const std::int64_t total = std::accumulate(
       dims_.begin(), dims_.end(), std::int64_t{1}, std::multiplies<>());
   data_.assign(static_cast<std::size_t>(total), 0.0);
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
 }
 
 Tensor::Tensor(std::initializer_list<std::int64_t> dims)
     : Tensor(std::vector<std::int64_t>(dims)) {}
+
+Tensor::Tensor(const Tensor& other)
+    : dims_(other.dims_), strides_(other.strides_), data_(other.data_) {
+  if (!data_.empty()) g_allocations.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this != &other) {
+    dims_ = other.dims_;
+    strides_ = other.strides_;
+    data_ = other.data_;
+    if (!data_.empty()) g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *this;
+}
 
 void Tensor::init_strides() {
   strides_.assign(dims_.size(), 1);

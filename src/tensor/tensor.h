@@ -23,6 +23,13 @@ class Tensor {
   explicit Tensor(std::vector<std::int64_t> dims);
   Tensor(std::initializer_list<std::int64_t> dims);
 
+  // Copies count as fresh allocations (see allocation_count); moves are
+  // free and therefore do not.
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
   const std::vector<std::int64_t>& dims() const { return dims_; }
   std::int64_t rank() const { return static_cast<std::int64_t>(dims_.size()); }
   std::int64_t dim(std::int64_t i) const { return dims_.at(i); }
@@ -88,5 +95,11 @@ class Tensor {
 
   void init_strides();
 };
+
+/// Process-wide count of tensor buffer allocations (constructions and
+/// copies; moves excluded). The graph benchmarks diff this across a
+/// training step to show the compiled path's steady state allocates
+/// nothing, where the eager path mints fresh tensors per layer.
+std::uint64_t allocation_count();
 
 }  // namespace swdnn::tensor
