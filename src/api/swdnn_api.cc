@@ -36,6 +36,13 @@ struct Handle {
   std::uint64_t dma_retries = 0;
   std::uint64_t plan_fallbacks = 0;
 
+  // Persistent executor for launches the handle issues directly (the
+  // backward-filter path); its worker pool survives across calls.
+  // Launches serialize on bwd_exec_mutex; convolution_forward launches
+  // go through `sw`, which owns its own executor.
+  std::mutex bwd_exec_mutex;
+  std::unique_ptr<sim::MeshExecutor> bwd_exec;
+
   explicit Handle(const arch::Sw26010Spec& s) : spec(s), sw(s) {}
 };
 
@@ -392,7 +399,11 @@ Status convolution_backward_filter(Handle* handle,
       return Status::kSuccess;
     }
 
-    sim::MeshExecutor exec(handle->spec);
+    std::lock_guard<std::mutex> launch_lock(handle->bwd_exec_mutex);
+    if (handle->bwd_exec == nullptr) {
+      handle->bwd_exec = std::make_unique<sim::MeshExecutor>(handle->spec);
+    }
+    sim::MeshExecutor& exec = *handle->bwd_exec;
     exec.set_fault_injector(handle->injector.get());
     exec.set_retry_policy(handle->retry);
     exec.set_tracer(handle->tracer);

@@ -58,9 +58,10 @@ sim::LaunchStats mesh_gemm(sim::MeshExecutor& exec,
                           : mesh_gemm_default_k_chunk(spec, m, k, n);
   const std::int64_t k_t = ceil_div(k_chunk, p);
   const bool accumulate = options.accumulate;
+  const BusPathMode bus_mode = options.bus_mode;
 
-  auto kernel = [&a, &b, &out, m, k, n, m_t, n_t, k_t, k_chunk,
-                 accumulate](sim::CpeContext& ctx) {
+  auto kernel = [&a, &b, &out, m, k, n, m_t, n_t, k_t, k_chunk, accumulate,
+                 bus_mode](sim::CpeContext& ctx) {
     const std::int64_t i = ctx.row();
     const std::int64_t j = ctx.col();
     auto a_tile = ctx.ldm().alloc_doubles(static_cast<std::size_t>(k_t * m_t));
@@ -106,7 +107,7 @@ sim::LaunchStats mesh_gemm(sim::MeshExecutor& exec,
       load_tile(b, b_tile, n, k0 + i * k_t, k_t, j * n_t, n_t);
       mesh_gemm_accumulate(ctx, a_tile, b_tile, out_tile, a_recv, b_recv,
                            static_cast<int>(m_t), static_cast<int>(k_t),
-                           static_cast<int>(n_t));
+                           static_cast<int>(n_t), bus_mode);
     }
 
     // Write back the in-bounds part of the tile; on meshes larger than

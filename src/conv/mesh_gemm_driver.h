@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <span>
 
+#include "src/conv/regcomm_gemm.h"
 #include "src/sim/executor.h"
 
 namespace swdnn::conv {
@@ -27,6 +28,7 @@ struct MeshGemmOptions {
   bool accumulate = false;      ///< add into `out` instead of overwriting
   std::int64_t k_chunk = 0;     ///< contraction chunk per LDM pass;
                                 ///< 0 = choose from the LDM budget
+  BusPathMode bus_mode = BusPathMode::kBulkSpan;  ///< host bus strategy
 };
 
 /// Runs the distributed GEMM. Any m, k, n >= 1 work on any square mesh:

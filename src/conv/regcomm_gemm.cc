@@ -22,33 +22,55 @@ void unpack(const sim::Vec4& v, std::span<double> out, std::size_t offset) {
 }
 }  // namespace
 
-void bus_broadcast_row(sim::CpeContext& ctx, std::span<const double> data) {
+void bus_broadcast_row(sim::CpeContext& ctx, std::span<const double> data,
+                       BusPathMode mode) {
+  if (mode == BusPathMode::kBulkSpan) {
+    ctx.bcast_row_span(data);
+    return;
+  }
   for (std::size_t off = 0; off < data.size(); off += 4) {
     ctx.bcast_row(pack(data, off));
   }
 }
 
-void bus_recv_row(sim::CpeContext& ctx, std::span<double> out) {
+void bus_recv_row(sim::CpeContext& ctx, std::span<double> out,
+                  BusPathMode mode) {
+  if (mode == BusPathMode::kBulkSpan) {
+    ctx.recv_row_span(out);
+    return;
+  }
   for (std::size_t off = 0; off < out.size(); off += 4) {
     unpack(ctx.get_row(), out, off);
   }
 }
 
-void bus_broadcast_col(sim::CpeContext& ctx, std::span<const double> data) {
+void bus_broadcast_col(sim::CpeContext& ctx, std::span<const double> data,
+                       BusPathMode mode) {
+  if (mode == BusPathMode::kBulkSpan) {
+    ctx.bcast_col_span(data);
+    return;
+  }
   for (std::size_t off = 0; off < data.size(); off += 4) {
     ctx.bcast_col(pack(data, off));
   }
 }
 
-void bus_recv_col(sim::CpeContext& ctx, std::span<double> out) {
+void bus_recv_col(sim::CpeContext& ctx, std::span<double> out,
+                  BusPathMode mode) {
+  if (mode == BusPathMode::kBulkSpan) {
+    ctx.recv_col_span(out);
+    return;
+  }
   for (std::size_t off = 0; off < out.size(); off += 4) {
     unpack(ctx.get_col(), out, off);
   }
 }
 
-void local_gemm_accumulate(sim::CpeContext& ctx, std::span<const double> w,
-                           std::span<const double> di, std::span<double> out,
-                           int m_tile, int k_tile, int n_tile) {
+void local_gemm_accumulate_ref(sim::CpeContext& ctx,
+                               std::span<const double> w,
+                               std::span<const double> di,
+                               std::span<double> out, int m_tile, int k_tile,
+                               int n_tile) {
   // w is [k][m] (channel-major, the filter's natural DMA order), di is
   // [k][n], out is [m][n]: a rank-k_tile sequence of outer products —
   // the register-blocked kernel shape of Fig. 5.
@@ -66,34 +88,109 @@ void local_gemm_accumulate(sim::CpeContext& ctx, std::span<const double> w,
                    static_cast<std::uint64_t>(n_tile));
 }
 
+void local_gemm_accumulate(sim::CpeContext& ctx, std::span<const double> w,
+                           std::span<const double> di, std::span<double> out,
+                           int m_tile, int k_tile, int n_tile) {
+  // 4x4 register blocking over the output tile: the k loop becomes the
+  // innermost loop of each block, so the 16 accumulators live in
+  // registers across the whole contraction instead of `out` being
+  // streamed through memory k_tile times. Every out[m][n] still sees
+  // out + w[0][m]*di[0][n] + w[1][m]*di[1][n] + ... in that exact
+  // order, which keeps the result bitwise identical to the reference
+  // loop (no reassociation, and the flop charge below is unchanged).
+  constexpr int kBlock = 4;
+  const int m_full = m_tile - m_tile % kBlock;
+  const int n_full = n_tile - n_tile % kBlock;
+  for (int m0 = 0; m0 < m_full; m0 += kBlock) {
+    for (int n0 = 0; n0 < n_full; n0 += kBlock) {
+      double acc[kBlock][kBlock];
+      for (int i = 0; i < kBlock; ++i) {
+        for (int j = 0; j < kBlock; ++j) {
+          acc[i][j] = out[static_cast<std::size_t>(m0 + i) * n_tile + n0 + j];
+        }
+      }
+      for (int k = 0; k < k_tile; ++k) {
+        const double* wk = w.data() + static_cast<std::size_t>(k) * m_tile;
+        const double* dik = di.data() + static_cast<std::size_t>(k) * n_tile;
+        for (int i = 0; i < kBlock; ++i) {
+          const double wv = wk[m0 + i];
+          for (int j = 0; j < kBlock; ++j) {
+            acc[i][j] += wv * dik[n0 + j];
+          }
+        }
+      }
+      for (int i = 0; i < kBlock; ++i) {
+        for (int j = 0; j < kBlock; ++j) {
+          out[static_cast<std::size_t>(m0 + i) * n_tile + n0 + j] = acc[i][j];
+        }
+      }
+    }
+  }
+  // Tails (m_tile or n_tile not a multiple of 4): per-element k-ordered
+  // accumulation, still the reference order.
+  if (n_full < n_tile) {
+    for (int m = 0; m < m_full; ++m) {
+      for (int n = n_full; n < n_tile; ++n) {
+        double acc = out[static_cast<std::size_t>(m) * n_tile + n];
+        for (int k = 0; k < k_tile; ++k) {
+          acc += w[static_cast<std::size_t>(k) * m_tile + m] *
+                 di[static_cast<std::size_t>(k) * n_tile + n];
+        }
+        out[static_cast<std::size_t>(m) * n_tile + n] = acc;
+      }
+    }
+  }
+  if (m_full < m_tile) {
+    for (int m = m_full; m < m_tile; ++m) {
+      for (int n = 0; n < n_tile; ++n) {
+        double acc = out[static_cast<std::size_t>(m) * n_tile + n];
+        for (int k = 0; k < k_tile; ++k) {
+          acc += w[static_cast<std::size_t>(k) * m_tile + m] *
+                 di[static_cast<std::size_t>(k) * n_tile + n];
+        }
+        out[static_cast<std::size_t>(m) * n_tile + n] = acc;
+      }
+    }
+  }
+  ctx.charge_flops(2ull * static_cast<std::uint64_t>(m_tile) *
+                   static_cast<std::uint64_t>(k_tile) *
+                   static_cast<std::uint64_t>(n_tile));
+}
+
 void mesh_gemm_accumulate(sim::CpeContext& ctx,
                           std::span<const double> w_local,
                           std::span<const double> di_local,
                           std::span<double> do_local,
                           std::span<double> w_recv, std::span<double> di_recv,
-                          int m_tile, int k_tile, int n_tile) {
+                          int m_tile, int k_tile, int n_tile,
+                          BusPathMode mode) {
   const int p = ctx.mesh_rows();
   for (int t = 0; t < p; ++t) {
     // W phase on the row buses: column t fans its tiles out.
     std::span<const double> w_cur;
     if (ctx.col() == t) {
-      bus_broadcast_row(ctx, w_local);
+      bus_broadcast_row(ctx, w_local, mode);
       w_cur = w_local;
     } else {
-      bus_recv_row(ctx, w_recv);
+      bus_recv_row(ctx, w_recv, mode);
       w_cur = w_recv;
     }
     // Di phase on the column buses: row t fans its tiles down.
     std::span<const double> di_cur;
     if (ctx.row() == t) {
-      bus_broadcast_col(ctx, di_local);
+      bus_broadcast_col(ctx, di_local, mode);
       di_cur = di_local;
     } else {
-      bus_recv_col(ctx, di_recv);
+      bus_recv_col(ctx, di_recv, mode);
       di_cur = di_recv;
     }
-    local_gemm_accumulate(ctx, w_cur, di_cur, do_local, m_tile, k_tile,
-                          n_tile);
+    if (mode == BusPathMode::kBulkSpan) {
+      local_gemm_accumulate(ctx, w_cur, di_cur, do_local, m_tile, k_tile,
+                            n_tile);
+    } else {
+      local_gemm_accumulate_ref(ctx, w_cur, di_cur, do_local, m_tile, k_tile,
+                                n_tile);
+    }
     // Keep bus traffic of consecutive steps from interleaving: the
     // transfer buffers are FIFO per bus, and step t+1 has a different
     // sender.

@@ -13,6 +13,14 @@
 // accumulates Do(i,j) += W(i,t) * Di(t,j). After P steps each CPE holds
 // its finished Do block — and the input/filter data crossed the memory
 // interface exactly once.
+//
+// Two host-side implementations of the bus traffic exist, selected by
+// BusPathMode. Both model the same machine: per-message fault polls,
+// trace events, cycle charges, and message counts are identical, and
+// tile payloads arrive bitwise equal. kBulkSpan moves each tile under
+// one transfer-buffer lock (the fast path); kVec4Reference loops over
+// the scalar 256-bit primitives exactly as the original implementation
+// did, and is kept as the oracle the equivalence tests compare against.
 
 #include <span>
 
@@ -20,16 +28,27 @@
 
 namespace swdnn::conv {
 
+/// Host-side strategy for moving tiles over the simulated buses.
+/// Observationally equivalent by construction; see header comment.
+enum class BusPathMode {
+  kBulkSpan,       ///< whole-tile transfers, one lock per tile (fast)
+  kVec4Reference,  ///< per-Vec4 loop over put/get (legacy oracle)
+};
+
 /// Broadcasts `data` to every other CPE on the caller's row, as ceil(n/4)
 /// 256-bit bus messages.
-void bus_broadcast_row(sim::CpeContext& ctx, std::span<const double> data);
+void bus_broadcast_row(sim::CpeContext& ctx, std::span<const double> data,
+                       BusPathMode mode = BusPathMode::kBulkSpan);
 
 /// Receives `out.size()` doubles from the caller's row transfer buffer.
-void bus_recv_row(sim::CpeContext& ctx, std::span<double> out);
+void bus_recv_row(sim::CpeContext& ctx, std::span<double> out,
+                  BusPathMode mode = BusPathMode::kBulkSpan);
 
 /// Column-bus variants.
-void bus_broadcast_col(sim::CpeContext& ctx, std::span<const double> data);
-void bus_recv_col(sim::CpeContext& ctx, std::span<double> out);
+void bus_broadcast_col(sim::CpeContext& ctx, std::span<const double> data,
+                       BusPathMode mode = BusPathMode::kBulkSpan);
+void bus_recv_col(sim::CpeContext& ctx, std::span<double> out,
+                  BusPathMode mode = BusPathMode::kBulkSpan);
 
 /// One full mesh contraction: Do(i,j) += sum_t W(i,t)*Di(t,j).
 ///
@@ -46,12 +65,25 @@ void mesh_gemm_accumulate(sim::CpeContext& ctx,
                           std::span<const double> di_local,
                           std::span<double> do_local,
                           std::span<double> w_recv, std::span<double> di_recv,
-                          int m_tile, int k_tile, int n_tile);
+                          int m_tile, int k_tile, int n_tile,
+                          BusPathMode mode = BusPathMode::kBulkSpan);
 
 /// Local tile update used by each mesh step: do[m][n] += sum_k
-/// w[k][m]*di[k][n], charging the FMA flops to the context.
+/// w[k][m]*di[k][n], charging the FMA flops to the context. Register-
+/// blocked over 4x4 output sub-tiles (Fig. 5's blocking, expressed on
+/// the host): each output element still receives its k-sequence of
+/// additions in the original order, so results are bitwise identical to
+/// local_gemm_accumulate_ref.
 void local_gemm_accumulate(sim::CpeContext& ctx, std::span<const double> w,
                            std::span<const double> di, std::span<double> out,
                            int m_tile, int k_tile, int n_tile);
+
+/// The original naive k->m->n loop, kept as the bitwise oracle for the
+/// blocked kernel.
+void local_gemm_accumulate_ref(sim::CpeContext& ctx,
+                               std::span<const double> w,
+                               std::span<const double> di,
+                               std::span<double> out, int m_tile, int k_tile,
+                               int n_tile);
 
 }  // namespace swdnn::conv

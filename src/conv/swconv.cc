@@ -35,6 +35,16 @@ bool executable_on_mesh(const ConvShape& shape, const perf::ConvPlan& plan,
 SwConvolution::SwConvolution(const arch::Sw26010Spec& spec)
     : spec_(spec), chooser_(spec) {}
 
+sim::MeshExecutor& SwConvolution::shared_executor() const {
+  if (exec_ == nullptr) {
+    exec_ = std::make_unique<sim::MeshExecutor>(spec_);
+  }
+  exec_->set_fault_injector(injector_);
+  exec_->set_retry_policy(retry_);
+  exec_->set_tracer(tracer_);
+  return *exec_;
+}
+
 perf::PlanCache::Builder SwConvolution::cache_builder() const {
   return [this](const ConvShape& s) {
     perf::CachedPlan entry;
@@ -102,10 +112,8 @@ ForwardResult SwConvolution::execute_choice(const perf::PlanChoice& choice,
                                             const tensor::Tensor& filter,
                                             tensor::Tensor& output,
                                             const ConvShape& shape) {
-  sim::MeshExecutor exec(spec_);
-  exec.set_fault_injector(injector_);
-  exec.set_retry_policy(retry_);
-  exec.set_tracer(tracer_);
+  std::lock_guard<std::mutex> launch_lock(exec_mutex_);
+  sim::MeshExecutor& exec = shared_executor();
   sim::LaunchStats stats;
   if (choice.plan.kind == perf::PlanKind::kImageSizeAware) {
     stats = run_image_size_aware(exec, input, filter, output, shape,
@@ -129,10 +137,8 @@ sim::MultiCgStats SwConvolution::forward_multi_cg(
   const auto parts = sim::partition_output_rows(shape.ro(), num_cgs);
   sim::MultiCgStats stats;
   stats.launch_overhead_seconds = 2e-6;
-  sim::MeshExecutor exec(spec_);
-  exec.set_fault_injector(injector_);
-  exec.set_retry_policy(retry_);
-  exec.set_tracer(tracer_);
+  std::lock_guard<std::mutex> launch_lock(exec_mutex_);
+  sim::MeshExecutor& exec = shared_executor();
   for (std::size_t cg = 0; cg < parts.size(); ++cg) {
     const auto& part = parts[cg];
     if (injector_ != nullptr &&

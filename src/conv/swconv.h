@@ -13,6 +13,8 @@
 //                            (Table III's `meas` column).
 //   * estimate()           — level-3 closed-form model (Table III `mdl`).
 
+#include <memory>
+#include <mutex>
 #include <optional>
 
 #include "src/conv/ldm_blocked.h"
@@ -118,16 +120,23 @@ class SwConvolution {
   sim::EventTracer* tracer() const { return tracer_; }
 
   // Threading: forward/execute_choice/plan_for/ranked_plans may run
-  // concurrently from many threads on one SwConvolution (each launch
-  // owns a private MeshExecutor; the plan cache locks internally; the
-  // attached tracer/injector are themselves thread-safe). The setters
-  // (set_fault_injector, set_retry_policy, set_tracer) are
-  // configuration-phase calls and must not race with in-flight work.
+  // concurrently from many threads on one SwConvolution (launches share
+  // one persistent MeshExecutor — its 64-thread worker pool is created
+  // once and reused — and serialize on an internal mutex; the plan
+  // cache locks internally; the attached tracer/injector are themselves
+  // thread-safe). The setters (set_fault_injector, set_retry_policy,
+  // set_tracer) are configuration-phase calls and must not race with
+  // in-flight work.
 
  private:
   /// The plan-cache builder closure shared by ranked_plans and
   /// warm_plans: chooser rank + mesh-executability filter.
   perf::PlanCache::Builder cache_builder() const;
+
+  /// The shared executor, created on first launch. Callers must hold
+  /// exec_mutex_ for the whole launch; the method (re)applies the
+  /// currently attached injector/retry/tracer configuration.
+  sim::MeshExecutor& shared_executor() const;
 
   arch::Sw26010Spec spec_;  // by value: callers may pass temporaries
   perf::PlanChooser chooser_;
@@ -135,6 +144,8 @@ class SwConvolution {
   sim::RetryPolicy retry_;
   sim::EventTracer* tracer_ = nullptr;
   mutable perf::PlanCache plan_cache_;
+  mutable std::mutex exec_mutex_;  ///< serializes launches on exec_
+  mutable std::unique_ptr<sim::MeshExecutor> exec_;
 };
 
 }  // namespace swdnn::conv

@@ -57,8 +57,10 @@ tensor::Tensor FullyConnected::forward(const tensor::Tensor& input) {
             weights_.at(o, i);
       }
     }
-    sim::MeshExecutor exec;
-    conv::mesh_gemm(exec, w_t, cached_input_.data(), out.data(),
+    if (mesh_exec_ == nullptr) {
+      mesh_exec_ = std::make_unique<sim::MeshExecutor>();
+    }
+    conv::mesh_gemm(*mesh_exec_, w_t, cached_input_.data(), out.data(),
                     out_features_, in_features_, batch);
   } else {
     conv::gemm_blocked(out_features_, batch, in_features_, weights_.data(),

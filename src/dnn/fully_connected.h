@@ -3,8 +3,11 @@
 // classifier stage). A rank-4 [R][C][N][B] input is accepted and viewed
 // as [R*C*N][B] — row-major flattening is exactly that reshape.
 
+#include <memory>
+
 #include "src/conv/shape.h"
 #include "src/dnn/layer.h"
+#include "src/sim/executor.h"
 #include "src/util/rng.h"
 
 namespace swdnn::dnn {
@@ -52,6 +55,9 @@ class FullyConnected : public Layer {
   tensor::Tensor d_bias_;
   tensor::Tensor cached_input_;        ///< flattened [in][B]
   std::vector<std::int64_t> in_dims_;  ///< original input dims
+  /// Persistent executor for the mesh-GEMM backend (created on first
+  /// use; its worker pool is reused across training steps).
+  std::unique_ptr<sim::MeshExecutor> mesh_exec_;
 
   BackendContext* context_ = nullptr;      // set by bind()
   conv::ConvShape api_shape_;              // the 1x1-conv view; plan() fills

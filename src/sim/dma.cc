@@ -18,12 +18,32 @@ std::uint64_t DmaEngine::cost_cycles(std::uint64_t bytes, double bw_gbs,
   return cycles < 0.0 ? 0 : static_cast<std::uint64_t>(cycles);
 }
 
-std::uint64_t DmaEngine::record(std::uint64_t bytes, std::int64_t block_bytes,
-                                perf::DmaDirection dir, bool aligned) {
+std::uint64_t DmaEngine::cost(std::uint64_t bytes, std::int64_t block_bytes,
+                              perf::DmaDirection dir, bool aligned) const {
   const double bw_gbs = perf::dma_table().bandwidth_gbs(block_bytes, dir,
                                                         aligned);
-  const std::uint64_t cycles =
-      cost_cycles(bytes, bw_gbs, spec_.cpe_clock_ghz);
+  return cost_cycles(bytes, bw_gbs, spec_.cpe_clock_ghz);
+}
+
+void DmaEngine::add_shard(const DmaShard& shard) {
+  get_bytes_.fetch_add(shard.get_bytes, std::memory_order_relaxed);
+  put_bytes_.fetch_add(shard.put_bytes, std::memory_order_relaxed);
+  requests_.fetch_add(shard.requests, std::memory_order_relaxed);
+  misaligned_.fetch_add(shard.misaligned_requests, std::memory_order_relaxed);
+  total_cycles_.fetch_add(shard.cycles, std::memory_order_relaxed);
+}
+
+void DmaEngine::reset() {
+  get_bytes_.store(0, std::memory_order_relaxed);
+  put_bytes_.store(0, std::memory_order_relaxed);
+  requests_.store(0, std::memory_order_relaxed);
+  misaligned_.store(0, std::memory_order_relaxed);
+  total_cycles_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t DmaEngine::record(std::uint64_t bytes, std::int64_t block_bytes,
+                                perf::DmaDirection dir, bool aligned) {
+  const std::uint64_t cycles = cost(bytes, block_bytes, dir, aligned);
 
   if (dir == perf::DmaDirection::kGet) {
     get_bytes_.fetch_add(bytes, std::memory_order_relaxed);

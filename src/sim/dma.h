@@ -26,6 +26,32 @@ struct DmaTotals {
   std::uint64_t misaligned_requests = 0;
 };
 
+/// Per-CPE accounting shard. Each CPE thread owns one exclusively
+/// during a launch (plain fields, no atomics); the executor folds the
+/// shards into the shared engine once per launch, so 64 threads never
+/// contend on the engine's counters per transfer.
+struct DmaShard {
+  std::uint64_t get_bytes = 0;
+  std::uint64_t put_bytes = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t misaligned_requests = 0;
+  std::uint64_t cycles = 0;
+
+  void add(std::uint64_t bytes, perf::DmaDirection dir, bool aligned,
+           std::uint64_t cost_cycles) {
+    if (dir == perf::DmaDirection::kGet) {
+      get_bytes += bytes;
+    } else {
+      put_bytes += bytes;
+    }
+    ++requests;
+    if (!aligned) ++misaligned_requests;
+    cycles += cost_cycles;
+  }
+
+  void reset() { *this = DmaShard{}; }
+};
+
 class DmaEngine {
  public:
   explicit DmaEngine(const arch::Sw26010Spec& spec) : spec_(spec) {}
@@ -35,6 +61,19 @@ class DmaEngine {
   /// charged at that bandwidth. `aligned` reflects the 128 B rule.
   std::uint64_t record(std::uint64_t bytes, std::int64_t block_bytes,
                        perf::DmaDirection dir, bool aligned);
+
+  /// Pure cost of one request in CPE cycles — same arithmetic as
+  /// record(), no accumulation. The hot path charges costs into a
+  /// per-CPE DmaShard and folds once per launch via add_shard().
+  std::uint64_t cost(std::uint64_t bytes, std::int64_t block_bytes,
+                     perf::DmaDirection dir, bool aligned) const;
+
+  /// Folds one CPE's launch shard into the shared totals.
+  void add_shard(const DmaShard& shard);
+
+  /// Zeroes every counter (launch-boundary reset of a persistent
+  /// engine).
+  void reset();
 
   /// Cycle cost of moving `bytes` at `bw_gbs` on a `clock_ghz` CPE,
   /// saturating instead of overflowing: a zero, negative, or NaN

@@ -2,13 +2,10 @@
 
 #include "src/arch/isa.h"
 
-#include <barrier>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
-#include <thread>
-#include <vector>
 
 namespace swdnn::sim {
 
@@ -22,7 +19,7 @@ void trace_event(MeshExecutor& exec, CpeCell& cell, int cpe,
                  const char* category, std::string name,
                  std::uint64_t duration_cycles) {
   if (EventTracer* tracer = exec.tracer()) {
-    const std::uint64_t now = cell.compute_cycles.load();
+    const std::uint64_t now = cell.compute_cycles;
     tracer->record(cpe, category, std::move(name), now,
                    now + duration_cycles);
   }
@@ -37,6 +34,18 @@ void CpeContext::fail_launch(const std::string& message, bool persistent) {
     exec_.failure_ = message;
   }
   trace_event(exec_, cell(), id(), "fault", message, 1);
+}
+
+// Computes the Table II cost of one request and accounts it into this
+// CPE's private shard; the executor folds the shards into the shared
+// engine once per launch (contention relief: no shared atomics on the
+// per-transfer path).
+std::uint64_t CpeContext::record_dma(std::uint64_t bytes,
+                                     std::int64_t block_bytes,
+                                     perf::DmaDirection dir, bool aligned) {
+  const std::uint64_t cost = dma_.cost(bytes, block_bytes, dir, aligned);
+  cell().dma.add(bytes, dir, aligned, cost);
+  return cost;
 }
 
 // Polls the attached fault campaign for one DMA tile transfer and
@@ -59,8 +68,8 @@ bool CpeContext::dma_attempt(std::uint64_t bytes, std::int64_t block_bytes,
     if (attempt == max_attempts) break;
     // Retry the tile: back off, then re-occupy the engine for the
     // repeated transfer.
-    charge_cycles(rp.backoff_cycles << (attempt - 1));
-    dma_.record(bytes, block_bytes, dir, aligned);
+    charge_cycles(retry_backoff_cycles(rp, attempt));
+    record_dma(bytes, block_bytes, dir, aligned);
     exec_.dma_retries_.fetch_add(1, std::memory_order_relaxed);
   }
   fail_launch("persistent DMA fault on CPE " + std::to_string(id()) +
@@ -84,7 +93,7 @@ void CpeContext::dma_get(std::span<const double> src, std::span<double> dst) {
   const std::int64_t bytes = static_cast<std::int64_t>(src.size_bytes());
   const bool aligned = dma_aligned(bytes);
   const std::uint64_t cost =
-      dma_.record(src.size_bytes(), bytes, perf::DmaDirection::kGet, aligned);
+      record_dma(src.size_bytes(), bytes, perf::DmaDirection::kGet, aligned);
   trace_event(exec_, cell(), id(), "dma",
               "get " + std::to_string(bytes) + "B", cost);
   if (!dma_attempt(src.size_bytes(), bytes, perf::DmaDirection::kGet,
@@ -98,7 +107,7 @@ void CpeContext::dma_put(std::span<const double> src, std::span<double> dst) {
   const std::int64_t bytes = static_cast<std::int64_t>(src.size_bytes());
   const bool aligned = dma_aligned(bytes);
   const std::uint64_t cost =
-      dma_.record(src.size_bytes(), bytes, perf::DmaDirection::kPut, aligned);
+      record_dma(src.size_bytes(), bytes, perf::DmaDirection::kPut, aligned);
   trace_event(exec_, cell(), id(), "dma",
               "put " + std::to_string(bytes) + "B", cost);
   if (!dma_attempt(src.size_bytes(), bytes, perf::DmaDirection::kPut,
@@ -114,7 +123,7 @@ void CpeContext::dma_get_strided(const double* src_base, std::int64_t nblocks,
                                  std::span<double> dst) {
   const std::int64_t block_bytes = block_elems * 8;
   const bool aligned = dma_aligned(block_bytes);
-  const std::uint64_t cost = dma_.record(
+  const std::uint64_t cost = record_dma(
       static_cast<std::uint64_t>(nblocks * block_bytes), block_bytes,
       perf::DmaDirection::kGet, aligned);
   trace_event(exec_, cell(), id(), "dma",
@@ -137,7 +146,7 @@ void CpeContext::dma_put_strided(std::span<const double> src, double* dst_base,
                                  std::int64_t stride_elems) {
   const std::int64_t block_bytes = block_elems * 8;
   const bool aligned = dma_aligned(block_bytes);
-  const std::uint64_t cost = dma_.record(
+  const std::uint64_t cost = record_dma(
       static_cast<std::uint64_t>(nblocks * block_bytes), block_bytes,
       perf::DmaDirection::kPut, aligned);
   trace_event(exec_, cell(), id(), "dma",
@@ -168,14 +177,14 @@ void CpeContext::maybe_stall_bus() {
 void CpeContext::put_row(int dst_col, const Vec4& value) {
   maybe_stall_bus();
   mesh_.cell(row_, dst_col).row_buffer.put(value);
-  cell().regcomm_messages.fetch_add(1, std::memory_order_relaxed);
+  cell().regcomm_messages += 1;
   charge_cycles(1);  // a put issues in one cycle on P1
 }
 
 void CpeContext::put_col(int dst_row, const Vec4& value) {
   maybe_stall_bus();
   mesh_.cell(dst_row, col_).col_buffer.put(value);
-  cell().regcomm_messages.fetch_add(1, std::memory_order_relaxed);
+  cell().regcomm_messages += 1;
   charge_cycles(1);
 }
 
@@ -187,9 +196,7 @@ void CpeContext::bcast_row(const Vec4& value) {
     mesh_.cell(row_, c).row_buffer.put(value);
   }
   // Hardware multicast: one bus transaction regardless of fan-out.
-  cell().regcomm_messages.fetch_add(
-      static_cast<std::uint64_t>(mesh_.cols() - 1),
-      std::memory_order_relaxed);
+  cell().regcomm_messages += static_cast<std::uint64_t>(mesh_.cols() - 1);
   charge_cycles(1);
 }
 
@@ -200,9 +207,7 @@ void CpeContext::bcast_col(const Vec4& value) {
     if (r == row_) continue;
     mesh_.cell(r, col_).col_buffer.put(value);
   }
-  cell().regcomm_messages.fetch_add(
-      static_cast<std::uint64_t>(mesh_.rows() - 1),
-      std::memory_order_relaxed);
+  cell().regcomm_messages += static_cast<std::uint64_t>(mesh_.rows() - 1);
   charge_cycles(1);
 }
 
@@ -218,84 +223,216 @@ Vec4 CpeContext::get_col() {
   return cell().col_buffer.get();
 }
 
+// The bulk primitives charge per-message accounting in exactly the
+// order the Vec4 loop does — one stall poll, one trace event, one
+// message count, one issue cycle per 256-bit message — so fault
+// placement, traces, and LaunchStats are bitwise what the reference
+// path produces. Only the transfer-buffer traffic is batched.
+
+void CpeContext::bcast_row_span(std::span<const double> data) {
+  const std::size_t messages = (data.size() + 3) / 4;
+  const auto fanout = static_cast<std::uint64_t>(mesh_.cols() - 1);
+  for (std::size_t m = 0; m < messages; ++m) {
+    maybe_stall_bus();
+    trace_event(exec_, cell(), id(), "bus", "bcast-row", 1);
+    cell().regcomm_messages += fanout;
+    charge_cycles(1);
+  }
+  for (int c = 0; c < mesh_.cols(); ++c) {
+    if (c == col_) continue;
+    mesh_.cell(row_, c).row_buffer.put_packed(data);
+  }
+}
+
+void CpeContext::bcast_col_span(std::span<const double> data) {
+  const std::size_t messages = (data.size() + 3) / 4;
+  const auto fanout = static_cast<std::uint64_t>(mesh_.rows() - 1);
+  for (std::size_t m = 0; m < messages; ++m) {
+    maybe_stall_bus();
+    trace_event(exec_, cell(), id(), "bus", "bcast-col", 1);
+    cell().regcomm_messages += fanout;
+    charge_cycles(1);
+  }
+  for (int r = 0; r < mesh_.rows(); ++r) {
+    if (r == row_) continue;
+    mesh_.cell(r, col_).col_buffer.put_packed(data);
+  }
+}
+
+void CpeContext::recv_row_span(std::span<double> out) {
+  if (out.empty()) return;
+  const std::uint64_t messages = (out.size() + 3) / 4;
+  charge_cycles(messages *
+                static_cast<std::uint64_t>(
+                    arch::op_info(arch::Opcode::kGetr).latency_cycles));
+  cell().row_buffer.get_unpacked(out);
+}
+
+void CpeContext::recv_col_span(std::span<double> out) {
+  if (out.empty()) return;
+  const std::uint64_t messages = (out.size() + 3) / 4;
+  charge_cycles(messages *
+                static_cast<std::uint64_t>(
+                    arch::op_info(arch::Opcode::kGetc).latency_cycles));
+  cell().col_buffer.get_unpacked(out);
+}
+
 void CpeContext::sync() {
   trace_event(exec_, cell(), id(), "sync", "barrier", 1);
-  auto* barrier = static_cast<std::barrier<>*>(exec_.barrier_);
-  barrier->arrive_and_wait();
+  exec_.barrier_.arrive_and_wait();
 }
 
 void CpeContext::charge_flops(std::uint64_t flops) {
-  cell().flops.fetch_add(flops, std::memory_order_relaxed);
+  cell().flops += flops;
   const auto per_cycle =
       static_cast<std::uint64_t>(spec().flops_per_cycle_per_cpe());
-  cell().compute_cycles.fetch_add((flops + per_cycle - 1) / per_cycle,
-                                  std::memory_order_relaxed);
+  charge_cycles((flops + per_cycle - 1) / per_cycle);
 }
 
 void CpeContext::charge_cycles(std::uint64_t cycles) {
-  cell().compute_cycles.fetch_add(cycles, std::memory_order_relaxed);
+  std::uint64_t& cc = cell().compute_cycles;
+  cc = cycles > UINT64_MAX - cc ? UINT64_MAX : cc + cycles;
 }
 
-MeshExecutor::MeshExecutor(const arch::Sw26010Spec& spec) : spec_(spec) {}
+MeshExecutor::MeshExecutor(const arch::Sw26010Spec& spec)
+    : spec_(spec), mesh_(spec_), dma_(spec_), barrier_(mesh_.num_cpes()) {}
 
-LaunchStats MeshExecutor::run(const Kernel& kernel) {
-  CpeMesh mesh(spec_);
-  DmaEngine dma(spec_);
-  std::barrier<> barrier(mesh.num_cpes());
-  barrier_ = &barrier;
+MeshExecutor::~MeshExecutor() { shutdown_pool(); }
 
+void MeshExecutor::prepare_launch() {
+  mesh_.reset_for_launch();
+  dma_.reset();
   failed_.store(false);
   persistent_.store(false);
   dma_retries_.store(0);
   failure_.clear();
-  const std::uint64_t faults_before =
-      injector_ != nullptr ? injector_->total_events() : 0;
-  if (injector_ != nullptr) {
-    for (int r = 0; r < mesh.rows(); ++r) {
-      for (int c = 0; c < mesh.cols(); ++c) {
-        const int cpe = r * mesh.cols() + c;
-        mesh.cell(r, c).ldm.attach_faults(
-            injector_, cpe, [this](const std::string& msg) {
-              // LDM faults are always persistent for the launch: the
-              // arena stays degraded for its whole lifetime.
-              persistent_.store(true, std::memory_order_relaxed);
-              bool expected = false;
-              if (failed_.compare_exchange_strong(expected, true)) {
-                std::lock_guard<std::mutex> lock(failure_mutex_);
-                failure_ = msg;
-              }
-            });
+  // (Re-)attach or detach the fault campaign on every launch: the mesh
+  // persists across launches and across injector changes.
+  for (int r = 0; r < mesh_.rows(); ++r) {
+    for (int c = 0; c < mesh_.cols(); ++c) {
+      const int cpe = r * mesh_.cols() + c;
+      if (injector_ == nullptr) {
+        mesh_.cell(r, c).ldm.attach_faults(nullptr, cpe, nullptr);
+        continue;
+      }
+      mesh_.cell(r, c).ldm.attach_faults(
+          injector_, cpe, [this](const std::string& msg) {
+            // LDM faults are always persistent for the launch: the
+            // arena stays degraded for its whole lifetime.
+            persistent_.store(true, std::memory_order_relaxed);
+            bool expected = false;
+            if (failed_.compare_exchange_strong(expected, true)) {
+              std::lock_guard<std::mutex> lock(failure_mutex_);
+              failure_ = msg;
+            }
+          });
+    }
+  }
+}
+
+void MeshExecutor::execute_cell(const Kernel& kernel, int row, int col) {
+  CpeContext ctx(*this, mesh_, dma_, row, col);
+  try {
+    kernel(ctx);
+  } catch (const std::exception& e) {
+    // A throwing CPE kernel cannot be unwound safely: peers may be
+    // blocked on the barrier or on transfer buffers this CPE feeds.
+    std::fprintf(stderr, "fatal: CPE(%d,%d) kernel threw: %s\n", row, col,
+                 e.what());
+    std::abort();
+  }
+}
+
+void MeshExecutor::worker_loop(int row, int col) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const Kernel* kernel = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(pool_mutex_);
+      start_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      kernel = pending_;
+    }
+    execute_cell(*kernel, row, col);
+    {
+      std::lock_guard<std::mutex> lock(pool_mutex_);
+      if (++done_count_ == mesh_.num_cpes()) done_cv_.notify_all();
+    }
+  }
+}
+
+void MeshExecutor::run_on_pool(const Kernel& kernel) {
+  if (workers_.empty()) {
+    workers_.reserve(static_cast<std::size_t>(mesh_.num_cpes()));
+    for (int r = 0; r < mesh_.rows(); ++r) {
+      for (int c = 0; c < mesh_.cols(); ++c) {
+        workers_.emplace_back([this, r, c] { worker_loop(r, c); });
       }
     }
   }
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    pending_ = &kernel;
+    done_count_ = 0;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(pool_mutex_);
+    done_cv_.wait(lock, [&] { return done_count_ == mesh_.num_cpes(); });
+    pending_ = nullptr;
+  }
+}
 
+void MeshExecutor::run_spawned(const Kernel& kernel) {
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(mesh.num_cpes()));
-  for (int r = 0; r < mesh.rows(); ++r) {
-    for (int c = 0; c < mesh.cols(); ++c) {
-      threads.emplace_back([this, &mesh, &dma, &kernel, r, c] {
-        CpeContext ctx(*this, mesh, dma, r, c);
-        try {
-          kernel(ctx);
-        } catch (const std::exception& e) {
-          // A throwing CPE kernel cannot be unwound safely: peers may be
-          // blocked on the barrier or on transfer buffers this CPE feeds.
-          std::fprintf(stderr,
-                       "fatal: CPE(%d,%d) kernel threw: %s\n", r, c, e.what());
-          std::abort();
-        }
-      });
+  threads.reserve(static_cast<std::size_t>(mesh_.num_cpes()));
+  for (int r = 0; r < mesh_.rows(); ++r) {
+    for (int c = 0; c < mesh_.cols(); ++c) {
+      threads.emplace_back(
+          [this, &kernel, r, c] { execute_cell(kernel, r, c); });
     }
   }
   for (auto& t : threads) t.join();
-  barrier_ = nullptr;
+}
+
+void MeshExecutor::shutdown_pool() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+  workers_.clear();
+  shutdown_ = false;
+}
+
+LaunchStats MeshExecutor::run(const Kernel& kernel) {
+  prepare_launch();
+  const std::uint64_t faults_before =
+      injector_ != nullptr ? injector_->total_events() : 0;
+
+  if (use_pool_) {
+    run_on_pool(kernel);
+  } else {
+    run_spawned(kernel);
+  }
+
+  // Fold the per-CPE DMA shards into the shared engine: one pass per
+  // launch instead of one atomic round-trip per transfer.
+  for (int id = 0; id < mesh_.num_cpes(); ++id) {
+    dma_.add_shard(mesh_.cell_by_id(id).dma);
+  }
 
   LaunchStats stats;
-  stats.max_compute_cycles = mesh.max_compute_cycles();
-  stats.total_flops = mesh.total_flops();
-  stats.regcomm_messages = mesh.total_regcomm_messages();
-  stats.dma = dma.totals();
-  stats.dma_seconds = dma.modeled_seconds();
+  stats.max_compute_cycles = mesh_.max_compute_cycles();
+  stats.total_flops = mesh_.total_flops();
+  stats.regcomm_messages = mesh_.total_regcomm_messages();
+  stats.dma = dma_.totals();
+  stats.dma_seconds = dma_.modeled_seconds();
   stats.compute_seconds = static_cast<double>(stats.max_compute_cycles) /
                           (spec_.cpe_clock_ghz * 1e9);
   stats.failed = failed_.load();

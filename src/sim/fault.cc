@@ -26,6 +26,14 @@ int clamp_unit(int unit) {
 
 }  // namespace
 
+std::uint64_t retry_backoff_cycles(const RetryPolicy& policy, int attempt) {
+  const std::uint64_t base = policy.backoff_cycles;
+  if (base == 0 || attempt <= 1) return base;
+  const int shift = std::min(attempt - 1, 63);
+  if (base > (UINT64_MAX >> shift)) return UINT64_MAX;
+  return base << shift;
+}
+
 const char* fault_site_name(FaultSite site) {
   switch (site) {
     case FaultSite::kDmaTransfer:

@@ -82,6 +82,15 @@ struct RetryPolicy {
   std::uint64_t backoff_cycles = 16;
 };
 
+/// Backoff charged before re-issuing attempt `attempt` (1-based) of a
+/// faulting transfer: policy.backoff_cycles << (attempt - 1), with the
+/// exponent capped at 63 and the result saturating at UINT64_MAX. The
+/// naive shift is undefined behaviour once attempt exceeds 64 (any
+/// RetryPolicy with a large max_attempts), and silently wraps before
+/// that; a saturated backoff just pins the CPE's cycle counter, which
+/// charge_cycles also saturates.
+std::uint64_t retry_backoff_cycles(const RetryPolicy& policy, int attempt);
+
 /// Thrown by host-side drivers when a launch (or a NoC route) reports
 /// an injected fault it could not absorb. `persistent()` distinguishes
 /// exhausted-retries / dead-link faults from single transient hits.

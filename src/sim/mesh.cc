@@ -2,6 +2,16 @@
 
 namespace swdnn::sim {
 
+void CpeCell::reset_for_launch() {
+  compute_cycles = 0;
+  flops = 0;
+  regcomm_messages = 0;
+  dma.reset();
+  ldm.reset();
+  row_buffer.clear();
+  col_buffer.clear();
+}
+
 CpeMesh::CpeMesh(const arch::Sw26010Spec& spec)
     : spec_(spec), rows_(spec.mesh_rows), cols_(spec.mesh_cols) {
   cells_.reserve(static_cast<std::size_t>(rows_) * cols_);
@@ -10,23 +20,27 @@ CpeMesh::CpeMesh(const arch::Sw26010Spec& spec)
   }
 }
 
+void CpeMesh::reset_for_launch() {
+  for (auto& c : cells_) c->reset_for_launch();
+}
+
 std::uint64_t CpeMesh::max_compute_cycles() const {
   std::uint64_t best = 0;
   for (const auto& c : cells_) {
-    best = std::max(best, c->compute_cycles.load());
+    best = std::max(best, c->compute_cycles);
   }
   return best;
 }
 
 std::uint64_t CpeMesh::total_flops() const {
   std::uint64_t total = 0;
-  for (const auto& c : cells_) total += c->flops.load();
+  for (const auto& c : cells_) total += c->flops;
   return total;
 }
 
 std::uint64_t CpeMesh::total_regcomm_messages() const {
   std::uint64_t total = 0;
-  for (const auto& c : cells_) total += c->regcomm_messages.load();
+  for (const auto& c : cells_) total += c->regcomm_messages;
   return total;
 }
 

@@ -2,17 +2,26 @@
 // The 8x8 CPE mesh state for one simulated core group.
 //
 // Each cell owns its LDM arena, its two receive-side transfer buffers
-// (row bus and column bus), and its timing counters. The mesh is built
-// fresh for every kernel launch; geometry comes from the machine spec so
-// tests can run reduced meshes (e.g. 2x2 or 4x4, as the paper itself
-// does when illustrating Fig. 3).
+// (row bus and column bus), and its timing counters. The mesh is owned
+// by a MeshExecutor and reused across launches: reset_for_launch()
+// zeroes the counters, empties the buffers, and rewinds the LDM arenas
+// in place, so a launch never re-allocates the 64 x 64 KB of arena
+// memory. Geometry comes from the machine spec so tests can run reduced
+// meshes (e.g. 2x2 or 4x4, as the paper itself does when illustrating
+// Fig. 3).
+//
+// The timing counters are plain integers, not atomics: each cell is
+// written only by the CPE thread that owns it during a launch, and the
+// executor reads them only after the launch's completion handshake
+// (which synchronizes). This removes 64 threads' worth of contended
+// fetch_adds from the per-FMA-charge hot path.
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "src/arch/spec.h"
+#include "src/sim/dma.h"
 #include "src/sim/ldm.h"
 #include "src/sim/regcomm.h"
 
@@ -28,9 +37,14 @@ struct CpeCell {
   TransferBuffer row_buffer;  ///< messages arriving over the row bus
   TransferBuffer col_buffer;  ///< messages arriving over the column bus
 
-  std::atomic<std::uint64_t> compute_cycles{0};
-  std::atomic<std::uint64_t> flops{0};
-  std::atomic<std::uint64_t> regcomm_messages{0};
+  std::uint64_t compute_cycles = 0;
+  std::uint64_t flops = 0;
+  std::uint64_t regcomm_messages = 0;
+  DmaShard dma;  ///< this CPE's DMA traffic, folded once per launch
+
+  /// Launch-boundary reset: counters to zero, buffers emptied, LDM
+  /// arena rewound (the arena memory itself is retained).
+  void reset_for_launch();
 };
 
 class CpeMesh {
@@ -48,6 +62,9 @@ class CpeMesh {
   CpeCell& cell_by_id(int id) { return *cells_[id]; }
 
   const arch::Sw26010Spec& spec() const { return spec_; }
+
+  /// Resets every cell in place for the next launch.
+  void reset_for_launch();
 
   /// Largest per-CPE compute cycle count (the mesh finishes when its
   /// slowest CPE does).

@@ -67,10 +67,10 @@ MultiCgStats NocSystem::run_partitioned(
   }
   MultiCgStats stats;
   stats.launch_overhead_seconds = launch_overhead_seconds_;
-  MeshExecutor exec(spec_);
-  exec.set_fault_injector(injector_);
+  if (exec_ == nullptr) exec_ = std::make_unique<MeshExecutor>(spec_);
+  exec_->set_fault_injector(injector_);
   for (int cg = 0; cg < num_cgs; ++cg) {
-    stats.per_cg.push_back(exec.run(make_kernel(cg, parts[cg])));
+    stats.per_cg.push_back(exec_->run(make_kernel(cg, parts[cg])));
   }
   return stats;
 }

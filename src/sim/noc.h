@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/sim/executor.h"
@@ -75,6 +76,9 @@ class NocSystem {
   arch::Sw26010Spec spec_;  // by value: callers may pass temporaries
   double launch_overhead_seconds_;
   FaultInjector* injector_ = nullptr;
+  /// Persistent executor shared by all CG launches (created on first
+  /// run_partitioned; its worker pool is reused across calls).
+  std::unique_ptr<MeshExecutor> exec_;
 };
 
 }  // namespace swdnn::sim

@@ -20,6 +20,48 @@ Vec4 TransferBuffer::get() {
   return value;
 }
 
+void TransferBuffer::put_packed(std::span<const double> data) {
+  if (data.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t off = 0; off < data.size(); off += 4) {
+      Vec4 v;
+      for (int l = 0; l < 4; ++l) {
+        const std::size_t idx = off + static_cast<std::size_t>(l);
+        v.lane[l] = idx < data.size() ? data[idx] : 0.0;
+      }
+      queue_.push_back(v);
+    }
+  }
+  not_empty_.notify_one();
+}
+
+void TransferBuffer::get_unpacked(std::span<double> out) {
+  std::size_t off = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (off < out.size()) {
+    not_empty_.wait(lock, [this] { return !queue_.empty(); });
+    while (!queue_.empty() && off < out.size()) {
+      const Vec4 v = queue_.front();
+      queue_.pop_front();
+      for (int l = 0; l < 4; ++l) {
+        const std::size_t idx = off + static_cast<std::size_t>(l);
+        if (idx < out.size()) out[idx] = v.lane[l];
+      }
+      off += 4;
+    }
+    // Wake reference-path senders parked on the slot capacity before we
+    // wait for the rest of the span, or a mixed put/get_unpacked pair
+    // would deadlock at the buffer depth.
+    not_full_.notify_all();
+  }
+}
+
+void TransferBuffer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_.clear();
+}
+
 std::size_t TransferBuffer::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();

@@ -13,11 +13,24 @@
 // CPE owns two receive buffers: one fed by its row bus, one by its
 // column bus. Message order on one bus is FIFO per sender and, because a
 // bus serializes, FIFO globally per buffer.
+//
+// Two access disciplines share the queue:
+//   * the Vec4 reference path (put/get) — one lock acquisition and one
+//     condition-variable round-trip per 256-bit message, back-pressured
+//     at the hardware buffer depth; and
+//   * the bulk span path (put_packed/get_unpacked) — a whole tile's
+//     worth of messages moves under a single lock acquisition. Bulk
+//     puts deliberately ignore the slot capacity: blocking on a full
+//     buffer is host-scheduling behaviour only (no cycles are ever
+//     charged for it), so batching past the depth changes no modeled
+//     observable while eliminating the dominant host cost of the bus.
+//     Cycle and message accounting stay per-Vec4 in the caller.
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
+#include <span>
 
 namespace swdnn::sim {
 
@@ -52,6 +65,20 @@ class TransferBuffer {
 
   /// Blocking pop (receiver's Get into its register file).
   Vec4 get();
+
+  /// Bulk sender: packs `data` into ceil(n/4) Vec4 messages (trailing
+  /// lanes zero, matching the reference path's packing) and enqueues
+  /// them all under one lock acquisition. Never blocks on capacity —
+  /// see the header comment for why that is observationally safe.
+  void put_packed(std::span<const double> data);
+
+  /// Bulk receiver: pops ceil(n/4) messages under one lock acquisition
+  /// (waiting while the queue is empty) and unpacks them into `out`,
+  /// discarding the zero-padding lanes of the final message.
+  void get_unpacked(std::span<double> out);
+
+  /// Drops any buffered messages (launch-boundary reset).
+  void clear();
 
   /// Number of messages currently buffered (for tests).
   std::size_t size() const;

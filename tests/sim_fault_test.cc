@@ -9,9 +9,11 @@
 #include <cmath>
 #include <vector>
 
+#include "src/conv/mesh_gemm_driver.h"
 #include "src/sim/executor.h"
 #include "src/sim/fault.h"
 #include "src/sim/noc.h"
+#include "src/util/rng.h"
 
 namespace swdnn::sim {
 namespace {
@@ -270,6 +272,135 @@ TEST(NocFaults, SeveredLinkFailsThePartitionedLaunchUpFront) {
     EXPECT_TRUE(e.persistent());
   }
   EXPECT_GT(injector.count(FaultSite::kNocLink), 0u);
+}
+
+TEST(RetryBackoff, MatchesNaiveShiftInTheSafeRange) {
+  const RetryPolicy policy{/*max_attempts=*/8, /*backoff_cycles=*/16};
+  EXPECT_EQ(retry_backoff_cycles(policy, 1), 16u);
+  EXPECT_EQ(retry_backoff_cycles(policy, 2), 32u);
+  EXPECT_EQ(retry_backoff_cycles(policy, 5), 256u);
+}
+
+TEST(RetryBackoff, SaturatesInsteadOfOverflowing) {
+  // backoff_cycles << (attempt-1) is UB once the shift reaches 64 and
+  // silently wraps before that; the helper must saturate instead.
+  const RetryPolicy policy{/*max_attempts=*/200, /*backoff_cycles=*/16};
+  EXPECT_EQ(retry_backoff_cycles(policy, 60), 16ull << 59);  // 2^63: last fit
+  EXPECT_EQ(retry_backoff_cycles(policy, 61), UINT64_MAX);   // 2^64 wraps
+  EXPECT_EQ(retry_backoff_cycles(policy, 65), UINT64_MAX);   // shift == 64
+  EXPECT_EQ(retry_backoff_cycles(policy, 1000), UINT64_MAX);
+  const RetryPolicy zero{/*max_attempts=*/200, /*backoff_cycles=*/0};
+  EXPECT_EQ(retry_backoff_cycles(zero, 1000), 0u);
+  const RetryPolicy max{/*max_attempts=*/200, /*backoff_cycles=*/UINT64_MAX};
+  EXPECT_EQ(retry_backoff_cycles(max, 2), UINT64_MAX);
+}
+
+TEST(RetryBackoff, DeepRetryLaddersRunWithoutOverflow) {
+  // A policy deep enough that the old shift was undefined behaviour:
+  // the launch must complete (failed, retries exhausted) with the CPE
+  // cycle counters pinned at saturation rather than wrapped.
+  FaultPlan plan;
+  plan.fail_first_dma = 1000;  // every attempt faults
+  FaultInjector injector(plan);
+  MeshExecutor exec(mesh_spec(2));
+  exec.set_fault_injector(&injector);
+  exec.set_retry_policy({/*max_attempts=*/80, /*backoff_cycles=*/16});
+  std::vector<double> global(4 * 32, 1.0), result(4 * 32, 0.0);
+  const LaunchStats stats = run_round_trip(exec, global, result);
+  EXPECT_TRUE(stats.failed);
+  EXPECT_TRUE(stats.persistent_fault);
+  // Both the get and the put exhaust their 80 attempts on every CPE.
+  EXPECT_EQ(stats.dma_retries, 4u * 79u * 2u);
+  EXPECT_EQ(stats.max_compute_cycles, UINT64_MAX);  // saturated, not wrapped
+}
+
+// -- Fault equivalence of the bulk bus path ---------------------------------
+//
+// The bulk span primitives poll the stall site once per 256-bit message,
+// exactly like the Vec4 reference loop, so an identical campaign must
+// produce an identical event trace and identical stats on both paths.
+
+LaunchStats run_faulty_mesh_gemm(FaultInjector& injector, bool use_pool,
+                                 conv::BusPathMode mode,
+                                 std::vector<double>& out) {
+  util::Rng rng(21);
+  const std::int64_t m = 13, k = 29, n = 11;
+  std::vector<double> a(static_cast<std::size_t>(k * m));
+  std::vector<double> b(static_cast<std::size_t>(k * n));
+  rng.fill_normal(a, 0.0, 1.0);
+  rng.fill_normal(b, 0.0, 1.0);
+  out.assign(static_cast<std::size_t>(m * n), 0.0);
+  MeshExecutor exec(mesh_spec(4));
+  exec.set_use_worker_pool(use_pool);
+  exec.set_fault_injector(&injector);
+  exec.set_retry_policy({/*max_attempts=*/4, /*backoff_cycles=*/8});
+  conv::MeshGemmOptions options;
+  options.bus_mode = mode;
+  return conv::mesh_gemm(exec, a, b, out, m, k, n, options);
+}
+
+void expect_same_events(const std::vector<FaultEvent>& a,
+                        const std::vector<FaultEvent>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].site, b[i].site) << "event " << i;
+    EXPECT_EQ(a[i].unit, b[i].unit) << "event " << i;
+    EXPECT_EQ(a[i].sequence, b[i].sequence) << "event " << i;
+    EXPECT_EQ(a[i].detail, b[i].detail) << "event " << i;
+  }
+}
+
+TEST(BulkPathFaults, StallCampaignIdenticalOnBulkAndReferencePaths) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.regcomm_stall_rate = 0.1;
+  plan.regcomm_stall_cycles = 128;
+  FaultInjector injector(plan);
+
+  std::vector<double> out_bulk, out_ref;
+  const LaunchStats bulk = run_faulty_mesh_gemm(
+      injector, /*use_pool=*/true, conv::BusPathMode::kBulkSpan, out_bulk);
+  const auto events_bulk = injector.events();
+  injector.reset();  // replay the identical campaign on the oracle path
+  const LaunchStats ref =
+      run_faulty_mesh_gemm(injector, /*use_pool=*/false,
+                           conv::BusPathMode::kVec4Reference, out_ref);
+  const auto events_ref = injector.events();
+
+  ASSERT_GT(events_bulk.size(), 0u);
+  expect_same_events(events_bulk, events_ref);
+  EXPECT_EQ(out_bulk, out_ref);
+  EXPECT_EQ(bulk.max_compute_cycles, ref.max_compute_cycles);
+  EXPECT_EQ(bulk.regcomm_messages, ref.regcomm_messages);
+  EXPECT_EQ(bulk.fault_events, ref.fault_events);
+}
+
+TEST(BulkPathFaults, DmaAndLdmCampaignIdenticalOnBulkAndReferencePaths) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.dma_fault_rate = 0.05;
+  plan.dma_misalign_rate = 0.1;
+  plan.regcomm_stall_rate = 0.05;
+  FaultInjector injector(plan);
+
+  std::vector<double> out_bulk, out_ref;
+  const LaunchStats bulk = run_faulty_mesh_gemm(
+      injector, /*use_pool=*/true, conv::BusPathMode::kBulkSpan, out_bulk);
+  const auto events_bulk = injector.events();
+  injector.reset();
+  const LaunchStats ref =
+      run_faulty_mesh_gemm(injector, /*use_pool=*/false,
+                           conv::BusPathMode::kVec4Reference, out_ref);
+  const auto events_ref = injector.events();
+
+  ASSERT_GT(events_bulk.size(), 0u);
+  expect_same_events(events_bulk, events_ref);
+  EXPECT_EQ(out_bulk, out_ref);
+  EXPECT_EQ(bulk.failed, ref.failed);
+  EXPECT_EQ(bulk.dma_retries, ref.dma_retries);
+  EXPECT_EQ(bulk.max_compute_cycles, ref.max_compute_cycles);
+  EXPECT_EQ(bulk.dma.misaligned_requests, ref.dma.misaligned_requests);
+  EXPECT_EQ(bulk.dma_seconds, ref.dma_seconds);
 }
 
 TEST(NocFaults, HealthyLinksStillRun) {
