@@ -1,0 +1,202 @@
+// Host parallel runtime throughput: the packed row-panel-parallel GEMM
+// against the serial blocked kernel, and an end-to-end train step
+// (conv + relu + pooling + FC through the im2col host path) serial vs
+// parallel. Thread counts are swapped through runtime::set_host_threads
+// on one process-wide pool, so both configurations run the exact same
+// code with only the lane count changed — and the outputs must stay
+// bitwise identical, which this bench verifies and gates its exit code
+// on (speedup itself is machine-dependent and reported, not enforced).
+// Results land in BENCH_host_parallel.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "src/conv/gemm.h"
+#include "src/dnn/convolution.h"
+#include "src/dnn/fully_connected.h"
+#include "src/dnn/pooling.h"
+#include "src/dnn/relu.h"
+#include "src/dnn/trainer.h"
+#include "src/runtime/task_pool.h"
+#include "src/util/rng.h"
+#include "src/util/stopwatch.h"
+
+namespace {
+
+using namespace swdnn;
+
+constexpr std::int64_t kM = 192, kK = 192, kN = 192;
+constexpr int kGemmReps = 8;
+constexpr int kTrainSteps = 4;
+
+struct GemmResult {
+  double seconds_per_call = 0;
+  double gflops = 0;
+  std::vector<double> out;
+};
+
+GemmResult run_gemm(int threads, bool packed_parallel) {
+  util::Rng rng(1234);
+  std::vector<double> a(static_cast<std::size_t>(kM * kK));
+  std::vector<double> b(static_cast<std::size_t>(kK * kN));
+  rng.fill_uniform(a, -1, 1);
+  rng.fill_uniform(b, -1, 1);
+
+  runtime::set_host_threads(threads);
+  GemmResult r;
+  r.out.assign(static_cast<std::size_t>(kM * kN), 0.0);
+  // Warm-up (also spawns the pool lanes outside the timed region).
+  if (packed_parallel) {
+    conv::gemm_packed_parallel(kM, kN, kK, a, b, r.out);
+  } else {
+    conv::gemm_blocked(kM, kN, kK, a, b, r.out);
+  }
+  util::Stopwatch watch;
+  for (int i = 0; i < kGemmReps; ++i) {
+    std::fill(r.out.begin(), r.out.end(), 0.0);
+    if (packed_parallel) {
+      conv::gemm_packed_parallel(kM, kN, kK, a, b, r.out);
+    } else {
+      conv::gemm_blocked(kM, kN, kK, a, b, r.out);
+    }
+  }
+  const double elapsed = watch.elapsed_seconds();
+  r.seconds_per_call = elapsed / kGemmReps;
+  r.gflops = r.seconds_per_call > 0
+                 ? 2.0 * static_cast<double>(kM) * kN * kK /
+                       r.seconds_per_call / 1e9
+                 : 0.0;
+  return r;
+}
+
+struct TrainResult {
+  double seconds_per_step = 0;
+  std::vector<double> params;
+};
+
+/// A small CNN trained through the host im2col path; returns the final
+/// parameters as the run's bitwise signature.
+TrainResult run_train(int threads) {
+  runtime::set_host_threads(threads);
+  util::Rng rng(991);
+  dnn::Network net;
+  net.emplace<dnn::Convolution>(
+      conv::ConvShape::from_output(8, 1, 4, 10, 10, 3, 3), rng);
+  net.emplace<dnn::Relu>();
+  net.emplace<dnn::MaxPooling>(2);
+  net.emplace<dnn::FullyConnected>(5 * 5 * 4, 4, rng);
+  dnn::Sgd opt(0.1, 0.9);
+  dnn::Trainer trainer(net, opt);
+  dnn::SyntheticBars data(12, 4, 0.05, 321);
+
+  trainer.train_step(data.sample(8));  // warm-up
+  util::Stopwatch watch;
+  for (int s = 0; s < kTrainSteps; ++s) trainer.train_step(data.sample(8));
+  TrainResult r;
+  r.seconds_per_step = watch.elapsed_seconds() / kTrainSteps;
+  for (const auto& pg : net.params()) {
+    const auto d = pg.param->data();
+    r.params.insert(r.params.end(), d.begin(), d.end());
+  }
+  return r;
+}
+
+bool bitwise_equal(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int parallel_threads =
+      hw >= 8 ? 8 : (hw > 1 ? static_cast<int>(hw) : 2);
+
+  // GEMM: serial blocked oracle, then the packed kernel at 1 and at
+  // `parallel_threads` lanes.
+  const GemmResult serial_blocked = run_gemm(1, /*packed_parallel=*/false);
+  const GemmResult packed_1t = run_gemm(1, /*packed_parallel=*/true);
+  const GemmResult packed_nt =
+      run_gemm(parallel_threads, /*packed_parallel=*/true);
+
+  const bool gemm_identical = bitwise_equal(serial_blocked.out, packed_1t.out) &&
+                              bitwise_equal(serial_blocked.out, packed_nt.out);
+  const double gemm_speedup =
+      packed_nt.seconds_per_call > 0
+          ? serial_blocked.seconds_per_call / packed_nt.seconds_per_call
+          : 0.0;
+
+  // End-to-end train step, serial vs parallel.
+  const TrainResult train_1t = run_train(1);
+  const TrainResult train_nt = run_train(parallel_threads);
+  const bool train_identical = bitwise_equal(train_1t.params, train_nt.params);
+  const double train_speedup =
+      train_nt.seconds_per_step > 0
+          ? train_1t.seconds_per_step / train_nt.seconds_per_step
+          : 0.0;
+
+  runtime::set_host_threads(1);
+
+  std::printf("=== Host parallel runtime: %lldx%lldx%lld GEMM + CNN train "
+              "step, %d lanes (hw=%u) ===\n",
+              static_cast<long long>(kM), static_cast<long long>(kN),
+              static_cast<long long>(kK), parallel_threads, hw);
+  std::printf("gemm_blocked serial:          %9.3f ms/call  %7.2f Gflop/s\n",
+              serial_blocked.seconds_per_call * 1e3, serial_blocked.gflops);
+  std::printf("gemm_packed_parallel 1 lane:  %9.3f ms/call  %7.2f Gflop/s\n",
+              packed_1t.seconds_per_call * 1e3, packed_1t.gflops);
+  std::printf("gemm_packed_parallel %d lanes: %8.3f ms/call  %7.2f Gflop/s\n",
+              parallel_threads, packed_nt.seconds_per_call * 1e3,
+              packed_nt.gflops);
+  std::printf("gemm speedup vs serial blocked: %.2fx   bitwise identical: "
+              "%s\n",
+              gemm_speedup, gemm_identical ? "yes" : "NO");
+  std::printf("train step serial:   %9.3f ms/step\n",
+              train_1t.seconds_per_step * 1e3);
+  std::printf("train step %d lanes: %9.3f ms/step   speedup: %.2fx   "
+              "bitwise identical: %s\n",
+              parallel_threads, train_nt.seconds_per_step * 1e3,
+              train_speedup, train_identical ? "yes" : "NO");
+
+  const char* path = "BENCH_host_parallel.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"host_parallel\",\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hw);
+  std::fprintf(f, "  \"parallel_threads\": %d,\n", parallel_threads);
+  std::fprintf(f, "  \"gemm_m\": %lld,\n  \"gemm_n\": %lld,\n"
+               "  \"gemm_k\": %lld,\n",
+               static_cast<long long>(kM), static_cast<long long>(kN),
+               static_cast<long long>(kK));
+  std::fprintf(f, "  \"gemm_serial_blocked_seconds\": %.6f,\n",
+               serial_blocked.seconds_per_call);
+  std::fprintf(f, "  \"gemm_packed_1t_seconds\": %.6f,\n",
+               packed_1t.seconds_per_call);
+  std::fprintf(f, "  \"gemm_packed_nt_seconds\": %.6f,\n",
+               packed_nt.seconds_per_call);
+  std::fprintf(f, "  \"gemm_speedup\": %.3f,\n", gemm_speedup);
+  std::fprintf(f, "  \"gemm_bitwise_identical\": %s,\n",
+               gemm_identical ? "true" : "false");
+  std::fprintf(f, "  \"train_serial_seconds_per_step\": %.6f,\n",
+               train_1t.seconds_per_step);
+  std::fprintf(f, "  \"train_parallel_seconds_per_step\": %.6f,\n",
+               train_nt.seconds_per_step);
+  std::fprintf(f, "  \"train_speedup\": %.3f,\n", train_speedup);
+  std::fprintf(f, "  \"train_bitwise_identical\": %s\n",
+               train_identical ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+
+  // The determinism claim is the bench contract: any numeric drift
+  // between serial and parallel execution fails the job.
+  return (gemm_identical && train_identical) ? 0 : 1;
+}

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <vector>
+
+#include "src/runtime/task_pool.h"
 
 namespace swdnn::conv {
 
@@ -28,6 +31,7 @@ void gemm_blocked(std::int64_t m, std::int64_t n, std::int64_t k,
   assert(static_cast<std::int64_t>(a.size()) == m * k);
   assert(static_cast<std::int64_t>(b.size()) == k * n);
   assert(static_cast<std::int64_t>(c.size()) == m * n);
+  if (tile <= 0) tile = 64;  // a zero/negative tile stalled the loops
   for (std::int64_t i0 = 0; i0 < m; i0 += tile) {
     const std::int64_t i1 = std::min(i0 + tile, m);
     for (std::int64_t p0 = 0; p0 < k; p0 += tile) {
@@ -47,6 +51,84 @@ void gemm_blocked(std::int64_t m, std::int64_t n, std::int64_t k,
       }
     }
   }
+}
+
+void gemm_packed_parallel(std::int64_t m, std::int64_t n, std::int64_t k,
+                          std::span<const double> a,
+                          std::span<const double> b, std::span<double> c,
+                          std::int64_t tile) {
+  assert(static_cast<std::int64_t>(a.size()) == m * k);
+  assert(static_cast<std::int64_t>(b.size()) == k * n);
+  assert(static_cast<std::int64_t>(c.size()) == m * n);
+  if (tile <= 0) tile = 64;
+  const std::int64_t kt = (k + tile - 1) / tile;  // k tiles
+  const std::int64_t nt = (n + tile - 1) / tile;  // n tiles
+
+  // Pack B once into [k-tile][n-tile] panels, each panel row-major
+  // [p][j] and contiguous, so the microkernel's j-walk streams one
+  // panel instead of striding full rows of B. A pure relayout: values
+  // are untouched, arithmetic is unaffected.
+  std::vector<double> bpack(static_cast<std::size_t>(k * n));
+  std::vector<std::size_t> panel_off(
+      static_cast<std::size_t>(kt * nt) + 1, 0);
+  for (std::int64_t pt = 0; pt < kt; ++pt) {
+    for (std::int64_t jt = 0; jt < nt; ++jt) {
+      const std::int64_t p0 = pt * tile, p1 = std::min(p0 + tile, k);
+      const std::int64_t j0 = jt * tile, j1 = std::min(j0 + tile, n);
+      panel_off[static_cast<std::size_t>(pt * nt + jt) + 1] =
+          static_cast<std::size_t>((p1 - p0) * (j1 - j0));
+    }
+  }
+  for (std::size_t panel = 1; panel < panel_off.size(); ++panel) {
+    panel_off[panel] += panel_off[panel - 1];
+  }
+  runtime::parallel_for(0, kt * nt, 1, [&](std::int64_t pb, std::int64_t pe) {
+    for (std::int64_t panel = pb; panel < pe; ++panel) {
+      const std::int64_t pt = panel / nt, jt = panel % nt;
+      const std::int64_t p0 = pt * tile, p1 = std::min(p0 + tile, k);
+      const std::int64_t j0 = jt * tile, j1 = std::min(j0 + tile, n);
+      double* dst = bpack.data() + panel_off[static_cast<std::size_t>(panel)];
+      for (std::int64_t p = p0; p < p1; ++p) {
+        for (std::int64_t j = j0; j < j1; ++j) *dst++ = b[p * n + j];
+      }
+    }
+  });
+
+  // Row panels of C, one block of `tile` rows per chunk: every C row is
+  // written by exactly one worker, and each element accumulates its k
+  // terms in ascending order — bitwise gemm_blocked.
+  runtime::parallel_for(0, m, tile, [&](std::int64_t i0, std::int64_t i1) {
+    // Pack this A row panel per k-tile: [p][i] so the i-th row's next
+    // k element sits one panel-row below (sequential reuse of av).
+    std::vector<double> apack(static_cast<std::size_t>((i1 - i0) * tile));
+    for (std::int64_t pt = 0; pt < kt; ++pt) {
+      const std::int64_t p0 = pt * tile, p1 = std::min(p0 + tile, k);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        double* arow = apack.data() +
+                       static_cast<std::size_t>((i - i0) * (p1 - p0));
+        for (std::int64_t p = p0; p < p1; ++p) arow[p - p0] = a[i * k + p];
+      }
+      for (std::int64_t jt = 0; jt < nt; ++jt) {
+        const std::int64_t j0 = jt * tile, j1 = std::min(j0 + tile, n);
+        const double* panel =
+            bpack.data() +
+            panel_off[static_cast<std::size_t>(pt * nt + jt)];
+        const std::int64_t panel_cols = j1 - j0;
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const double* arow =
+              apack.data() + static_cast<std::size_t>((i - i0) * (p1 - p0));
+          double* crow = &c[i * n];
+          for (std::int64_t p = p0; p < p1; ++p) {
+            const double av = arow[p - p0];
+            const double* brow = panel + (p - p0) * panel_cols;
+            for (std::int64_t j = j0; j < j1; ++j) {
+              crow[j] += av * brow[j - j0];
+            }
+          }
+        }
+      }
+    }
+  });
 }
 
 }  // namespace swdnn::conv

@@ -14,9 +14,24 @@ void gemm_naive(std::int64_t m, std::int64_t n, std::int64_t k,
                 std::span<const double> a, std::span<const double> b,
                 std::span<double> c);
 
-/// Same contract, tiled for cache with an i-k-j loop order.
+/// Same contract, tiled for cache with an i-k-j loop order. Non-positive
+/// `tile` values are clamped to the default (they used to hang the tile
+/// loops).
 void gemm_blocked(std::int64_t m, std::int64_t n, std::int64_t k,
                   std::span<const double> a, std::span<const double> b,
                   std::span<double> c, std::int64_t tile = 64);
+
+/// Packed, cache-blocked, row-panel-parallel GEMM on the host task
+/// pool: B is packed into [k-tile][n-tile] panels once, each worker
+/// packs its A row panel, and C is split by row blocks so every row is
+/// produced by exactly one worker. Each C element accumulates its k
+/// products one at a time in ascending-k order — the same order as
+/// gemm_naive and gemm_blocked — so the result is bitwise-identical to
+/// the serial kernels at any thread count. This is the host fallback
+/// kernel under the im2col lowering and the API's degradation ladder.
+void gemm_packed_parallel(std::int64_t m, std::int64_t n, std::int64_t k,
+                          std::span<const double> a,
+                          std::span<const double> b, std::span<double> c,
+                          std::int64_t tile = 64);
 
 }  // namespace swdnn::conv

@@ -1,40 +1,56 @@
 #include "src/conv/im2col.h"
 
 #include "src/conv/gemm.h"
+#include "src/runtime/task_pool.h"
 
 namespace swdnn::conv {
+
+// Parallelization note: every loop below is split on the host task pool
+// over an index whose writes are disjoint (a column-matrix row, an
+// output channel, an input channel for the col2im scatter-add), so the
+// results are bitwise-identical to the serial loops at any thread
+// count — the runtime_parallel_test determinism suite holds this.
 
 tensor::Tensor im2col(const tensor::Tensor& input, const ConvShape& s) {
   const std::int64_t rows = s.ni * s.kr * s.kc;
   const std::int64_t cols = s.ro() * s.co() * s.batch;
   tensor::Tensor out({rows, cols});
-  for (std::int64_t ni = 0; ni < s.ni; ++ni)
-    for (std::int64_t kr = 0; kr < s.kr; ++kr)
-      for (std::int64_t kc = 0; kc < s.kc; ++kc) {
-        const std::int64_t row = (ni * s.kr + kr) * s.kc + kc;
-        for (std::int64_t ro = 0; ro < s.ro(); ++ro)
-          for (std::int64_t co = 0; co < s.co(); ++co)
-            for (std::int64_t b = 0; b < s.batch; ++b) {
-              out.at(row, (ro * s.co() + co) * s.batch + b) =
-                  input.at(ro * s.stride_r + kr, co * s.stride_c + kc, ni, b);
-            }
-      }
+  runtime::parallel_for(0, rows, 1, [&](std::int64_t rb, std::int64_t re) {
+    for (std::int64_t row = rb; row < re; ++row) {
+      const std::int64_t ni = row / (s.kr * s.kc);
+      const std::int64_t kr = (row / s.kc) % s.kr;
+      const std::int64_t kc = row % s.kc;
+      for (std::int64_t ro = 0; ro < s.ro(); ++ro)
+        for (std::int64_t co = 0; co < s.co(); ++co)
+          for (std::int64_t b = 0; b < s.batch; ++b) {
+            out.at(row, (ro * s.co() + co) * s.batch + b) =
+                input.at(ro * s.stride_r + kr, co * s.stride_c + kc, ni, b);
+          }
+    }
+  });
   return out;
 }
 
 void col2im_add(const tensor::Tensor& columns, tensor::Tensor& input,
                 const ConvShape& s) {
-  for (std::int64_t ni = 0; ni < s.ni; ++ni)
-    for (std::int64_t kr = 0; kr < s.kr; ++kr)
-      for (std::int64_t kc = 0; kc < s.kc; ++kc) {
-        const std::int64_t row = (ni * s.kr + kr) * s.kc + kc;
-        for (std::int64_t ro = 0; ro < s.ro(); ++ro)
-          for (std::int64_t co = 0; co < s.co(); ++co)
-            for (std::int64_t b = 0; b < s.batch; ++b) {
-              input.at(ro * s.stride_r + kr, co * s.stride_c + kc, ni, b) +=
-                  columns.at(row, (ro * s.co() + co) * s.batch + b);
-            }
-      }
+  // Shard on ni: overlapping kernel taps scatter-add into the same
+  // input pixel, but only within one input channel, so per-channel
+  // shards write disjoint slices and keep the serial (kr, kc, ro, co)
+  // accumulation order within each.
+  runtime::parallel_for(0, s.ni, 1, [&](std::int64_t nb, std::int64_t ne) {
+    for (std::int64_t ni = nb; ni < ne; ++ni)
+      for (std::int64_t kr = 0; kr < s.kr; ++kr)
+        for (std::int64_t kc = 0; kc < s.kc; ++kc) {
+          const std::int64_t row = (ni * s.kr + kr) * s.kc + kc;
+          for (std::int64_t ro = 0; ro < s.ro(); ++ro)
+            for (std::int64_t co = 0; co < s.co(); ++co)
+              for (std::int64_t b = 0; b < s.batch; ++b) {
+                input.at(ro * s.stride_r + kr, co * s.stride_c + kc, ni,
+                         b) +=
+                    columns.at(row, (ro * s.co() + co) * s.batch + b);
+              }
+        }
+  });
 }
 
 tensor::Tensor filter_matrix(const tensor::Tensor& filter,
@@ -58,15 +74,17 @@ void im2col_forward(const tensor::Tensor& input, const tensor::Tensor& filter,
   const std::int64_t n = s.ro() * s.co() * s.batch;
   const std::int64_t k = s.ni * s.kr * s.kc;
   tensor::Tensor prod({m, n});
-  gemm_blocked(m, n, k, wmat.data(), cols.data(), prod.data());
+  gemm_packed_parallel(m, n, k, wmat.data(), cols.data(), prod.data());
   // Scatter [No][(ro*Co+co)*B+b] back to [Ro][Co][No][B].
-  for (std::int64_t no = 0; no < s.no; ++no)
-    for (std::int64_t ro = 0; ro < s.ro(); ++ro)
-      for (std::int64_t co = 0; co < s.co(); ++co)
-        for (std::int64_t b = 0; b < s.batch; ++b) {
-          output.at(ro, co, no, b) =
-              prod.at(no, (ro * s.co() + co) * s.batch + b);
-        }
+  runtime::parallel_for(0, s.no, 1, [&](std::int64_t nb, std::int64_t ne) {
+    for (std::int64_t no = nb; no < ne; ++no)
+      for (std::int64_t ro = 0; ro < s.ro(); ++ro)
+        for (std::int64_t co = 0; co < s.co(); ++co)
+          for (std::int64_t b = 0; b < s.batch; ++b) {
+            output.at(ro, co, no, b) =
+                prod.at(no, (ro * s.co() + co) * s.batch + b);
+          }
+  });
 }
 
 namespace {
@@ -75,12 +93,14 @@ namespace {
 tensor::Tensor output_matrix(const tensor::Tensor& d_output,
                              const ConvShape& s) {
   tensor::Tensor mat({s.no, s.ro() * s.co() * s.batch});
-  for (std::int64_t no = 0; no < s.no; ++no)
-    for (std::int64_t ro = 0; ro < s.ro(); ++ro)
-      for (std::int64_t co = 0; co < s.co(); ++co)
-        for (std::int64_t b = 0; b < s.batch; ++b)
-          mat.at(no, (ro * s.co() + co) * s.batch + b) =
-              d_output.at(ro, co, no, b);
+  runtime::parallel_for(0, s.no, 1, [&](std::int64_t nb, std::int64_t ne) {
+    for (std::int64_t no = nb; no < ne; ++no)
+      for (std::int64_t ro = 0; ro < s.ro(); ++ro)
+        for (std::int64_t co = 0; co < s.co(); ++co)
+          for (std::int64_t b = 0; b < s.batch; ++b)
+            mat.at(no, (ro * s.co() + co) * s.batch + b) =
+                d_output.at(ro, co, no, b);
+  });
   return mat;
 }
 
@@ -99,7 +119,8 @@ void im2col_backward_data(const tensor::Tensor& d_output,
     for (std::int64_t kk = 0; kk < kdim; ++kk)
       wmat_t.at(kk, no) = wmat.at(no, kk);
   tensor::Tensor dcol({kdim, sdim});
-  gemm_blocked(kdim, sdim, s.no, wmat_t.data(), dout.data(), dcol.data());
+  gemm_packed_parallel(kdim, sdim, s.no, wmat_t.data(), dout.data(),
+                       dcol.data());
   d_input.zero();
   col2im_add(dcol, d_input, s);
 }
@@ -113,11 +134,14 @@ void im2col_backward_filter(const tensor::Tensor& input,
   const std::int64_t sdim = s.ro() * s.co() * s.batch;
   // dWmat[No][K] = dOut [No][S] * Col^T [S][K].
   tensor::Tensor cols_t({sdim, kdim});
-  for (std::int64_t kk = 0; kk < kdim; ++kk)
-    for (std::int64_t ss = 0; ss < sdim; ++ss)
-      cols_t.at(ss, kk) = cols.at(kk, ss);
+  runtime::parallel_for(0, kdim, 1, [&](std::int64_t kb, std::int64_t ke) {
+    for (std::int64_t kk = kb; kk < ke; ++kk)
+      for (std::int64_t ss = 0; ss < sdim; ++ss)
+        cols_t.at(ss, kk) = cols.at(kk, ss);
+  });
   tensor::Tensor dwmat({s.no, kdim});
-  gemm_blocked(s.no, kdim, sdim, dout.data(), cols_t.data(), dwmat.data());
+  gemm_packed_parallel(s.no, kdim, sdim, dout.data(), cols_t.data(),
+                       dwmat.data());
   // Scatter [No][(ni*Kr+kr)*Kc+kc] back to [Kr][Kc][Ni][No].
   for (std::int64_t kr = 0; kr < s.kr; ++kr)
     for (std::int64_t kc = 0; kc < s.kc; ++kc)

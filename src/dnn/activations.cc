@@ -3,13 +3,41 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/runtime/task_pool.h"
+
 namespace swdnn::dnn {
+
+namespace {
+constexpr std::int64_t kElemGrain = 4096;
+
+template <typename Fn>
+void elementwise(std::span<const double> in, std::span<double> out, Fn fn) {
+  runtime::parallel_for(0, static_cast<std::int64_t>(in.size()), kElemGrain,
+                        [&](std::int64_t i0, std::int64_t i1) {
+                          for (std::int64_t i = i0; i < i1; ++i) {
+                            const auto s = static_cast<std::size_t>(i);
+                            out[s] = fn(in[s]);
+                          }
+                        });
+}
+
+template <typename Fn>
+void elementwise2(std::span<const double> g, std::span<const double> y,
+                  std::span<double> out, Fn fn) {
+  runtime::parallel_for(0, static_cast<std::int64_t>(g.size()), kElemGrain,
+                        [&](std::int64_t i0, std::int64_t i1) {
+                          for (std::int64_t i = i0; i < i1; ++i) {
+                            const auto s = static_cast<std::size_t>(i);
+                            out[s] = fn(g[s], y[s]);
+                          }
+                        });
+}
+}  // namespace
 
 tensor::Tensor Tanh::forward(const tensor::Tensor& input) {
   cached_output_ = tensor::Tensor(input.dims());
-  auto in = input.data();
-  auto out = cached_output_.data();
-  for (std::size_t i = 0; i < in.size(); ++i) out[i] = std::tanh(in[i]);
+  elementwise(input.data(), cached_output_.data(),
+              [](double x) { return std::tanh(x); });
   return cached_output_;
 }
 
@@ -18,22 +46,15 @@ tensor::Tensor Tanh::backward(const tensor::Tensor& d_output) {
     throw std::invalid_argument("Tanh::backward before forward");
   }
   tensor::Tensor d_input(d_output.dims());
-  auto g = d_output.data();
-  auto y = cached_output_.data();
-  auto out = d_input.data();
-  for (std::size_t i = 0; i < g.size(); ++i) {
-    out[i] = g[i] * (1.0 - y[i] * y[i]);
-  }
+  elementwise2(d_output.data(), cached_output_.data(), d_input.data(),
+               [](double g, double y) { return g * (1.0 - y * y); });
   return d_input;
 }
 
 tensor::Tensor Sigmoid::forward(const tensor::Tensor& input) {
   cached_output_ = tensor::Tensor(input.dims());
-  auto in = input.data();
-  auto out = cached_output_.data();
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    out[i] = 1.0 / (1.0 + std::exp(-in[i]));
-  }
+  elementwise(input.data(), cached_output_.data(),
+              [](double x) { return 1.0 / (1.0 + std::exp(-x)); });
   return cached_output_;
 }
 
@@ -42,12 +63,8 @@ tensor::Tensor Sigmoid::backward(const tensor::Tensor& d_output) {
     throw std::invalid_argument("Sigmoid::backward before forward");
   }
   tensor::Tensor d_input(d_output.dims());
-  auto g = d_output.data();
-  auto y = cached_output_.data();
-  auto out = d_input.data();
-  for (std::size_t i = 0; i < g.size(); ++i) {
-    out[i] = g[i] * y[i] * (1.0 - y[i]);
-  }
+  elementwise2(d_output.data(), cached_output_.data(), d_input.data(),
+               [](double g, double y) { return g * y * (1.0 - y); });
   return d_input;
 }
 

@@ -15,8 +15,10 @@
 // mutable state inside the handle is internally guarded). The
 // configuration calls (set_event_tracer, set_fault_plan,
 // set_retry_policy) must not race with in-flight execution: configure
-// first, then dispatch. DataParallelTrainer runs replicas sequentially
-// per step, which satisfies the contract trivially.
+// first, then dispatch. DataParallelTrainer steps its replicas
+// concurrently on the host task pool, which the execution wrappers'
+// concurrent-call guarantee covers; its configuration still happens
+// between steps, outside any dispatch.
 //
 // Error policy: a non-success API status becomes a thrown BackendError
 // carrying the status and the handle's diagnostic. Recorded

@@ -2,7 +2,27 @@
 
 #include <stdexcept>
 
+#include "src/runtime/task_pool.h"
+
 namespace swdnn::dnn {
+
+namespace {
+constexpr std::int64_t kElemGrain = 4096;
+
+// The mask must be drawn serially — the layer's RNG sequence is part of
+// the reproducibility contract — but applying it is elementwise and
+// shards freely.
+void apply_mask(std::span<const double> in, std::span<const double> m,
+                std::span<double> out) {
+  runtime::parallel_for(0, static_cast<std::int64_t>(in.size()), kElemGrain,
+                        [&](std::int64_t i0, std::int64_t i1) {
+                          for (std::int64_t i = i0; i < i1; ++i) {
+                            const auto s = static_cast<std::size_t>(i);
+                            out[s] = in[s] * m[s];
+                          }
+                        });
+}
+}  // namespace
 
 Dropout::Dropout(double drop_probability, std::uint64_t seed)
     : drop_probability_(drop_probability), rng_(seed) {
@@ -26,8 +46,8 @@ tensor::Tensor Dropout::forward(const tensor::Tensor& input) {
   for (std::size_t i = 0; i < in.size(); ++i) {
     const bool keep = rng_.uniform(0.0, 1.0) >= drop_probability_;
     m[i] = keep ? keep_scale : 0.0;
-    o[i] = in[i] * m[i];
   }
+  apply_mask(in, m, o);
   return out;
 }
 
@@ -50,8 +70,8 @@ void Dropout::forward_view(const tensor::TensorView& input,
   for (std::size_t i = 0; i < in.size(); ++i) {
     const bool keep = rng_.uniform(0.0, 1.0) >= drop_probability_;
     m[i] = keep ? keep_scale : 0.0;
-    o[i] = in[i] * m[i];
   }
+  apply_mask(in, m, o);
 }
 
 void Dropout::backward_view(const tensor::TensorView& d_output,
@@ -59,10 +79,7 @@ void Dropout::backward_view(const tensor::TensorView& d_output,
   if (d_output.size() != mask_.size()) {
     throw std::invalid_argument("Dropout::backward_view before forward_view");
   }
-  auto g = d_output.data();
-  auto m = mask_.data();
-  auto o = d_input.data();
-  for (std::size_t i = 0; i < g.size(); ++i) o[i] = g[i] * m[i];
+  apply_mask(d_output.data(), mask_.data(), d_input.data());
 }
 
 tensor::Tensor Dropout::backward(const tensor::Tensor& d_output) {
@@ -70,10 +87,7 @@ tensor::Tensor Dropout::backward(const tensor::Tensor& d_output) {
     throw std::invalid_argument("Dropout::backward before forward");
   }
   tensor::Tensor d_input(d_output.dims());
-  auto g = d_output.data();
-  auto m = mask_.data();
-  auto o = d_input.data();
-  for (std::size_t i = 0; i < g.size(); ++i) o[i] = g[i] * m[i];
+  apply_mask(d_output.data(), mask_.data(), d_input.data());
   return d_input;
 }
 

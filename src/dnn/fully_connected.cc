@@ -7,6 +7,7 @@
 #include "src/conv/gemm.h"
 #include "src/conv/mesh_gemm_driver.h"
 #include "src/dnn/backend_context.h"
+#include "src/runtime/task_pool.h"
 
 namespace swdnn::dnn {
 
@@ -63,12 +64,16 @@ tensor::Tensor FullyConnected::forward(const tensor::Tensor& input) {
     conv::mesh_gemm(*mesh_exec_, w_t, cached_input_.data(), out.data(),
                     out_features_, in_features_, batch);
   } else {
-    conv::gemm_blocked(out_features_, batch, in_features_, weights_.data(),
-                       cached_input_.data(), out.data());
+    conv::gemm_packed_parallel(out_features_, batch, in_features_,
+                               weights_.data(), cached_input_.data(),
+                               out.data());
   }
-  for (std::int64_t o = 0; o < out_features_; ++o) {
-    for (std::int64_t b = 0; b < batch; ++b) out.at(o, b) += bias_.at(o);
-  }
+  runtime::parallel_for(
+      0, out_features_, 16, [&](std::int64_t o0, std::int64_t o1) {
+        for (std::int64_t o = o0; o < o1; ++o)
+          for (std::int64_t b = 0; b < batch; ++b)
+            out.at(o, b) += bias_.at(o);
+      });
   return out;
 }
 
@@ -77,25 +82,36 @@ tensor::Tensor FullyConnected::backward(const tensor::Tensor& d_output) {
   // dW[o][i] = sum_b dOut[o][b] * x[i][b];  db[o] = sum_b dOut[o][b].
   d_weights_.zero();
   d_bias_.zero();
-  for (std::int64_t o = 0; o < out_features_; ++o) {
-    for (std::int64_t b = 0; b < batch; ++b) {
-      const double g = d_output.at(o, b);
-      d_bias_.at(o) += g;
-      for (std::int64_t i = 0; i < in_features_; ++i) {
-        d_weights_.at(o, i) += g * cached_input_.at(i, b);
-      }
-    }
-  }
-  // dx[i][b] = sum_o W[o][i] * dOut[o][b].
+  // Shard over o: each output feature owns its dW row and db slot, and
+  // the inner b accumulation order matches the serial loop.
+  runtime::parallel_for(
+      0, out_features_, 1, [&](std::int64_t o0, std::int64_t o1) {
+        for (std::int64_t o = o0; o < o1; ++o) {
+          for (std::int64_t b = 0; b < batch; ++b) {
+            const double g = d_output.at(o, b);
+            d_bias_.at(o) += g;
+            for (std::int64_t i = 0; i < in_features_; ++i) {
+              d_weights_.at(o, i) += g * cached_input_.at(i, b);
+            }
+          }
+        }
+      });
+  // dx[i][b] = sum_o W[o][i] * dOut[o][b]. Sharded over i with o as the
+  // inner accumulation loop: each (i, b) still sums its o terms in
+  // ascending order, so the restructured loop is bitwise-identical to
+  // the old o-outer form.
   tensor::Tensor d_flat({in_features_, batch});
-  for (std::int64_t o = 0; o < out_features_; ++o) {
-    for (std::int64_t i = 0; i < in_features_; ++i) {
-      const double w = weights_.at(o, i);
-      for (std::int64_t b = 0; b < batch; ++b) {
-        d_flat.at(i, b) += w * d_output.at(o, b);
-      }
-    }
-  }
+  runtime::parallel_for(
+      0, in_features_, 1, [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          for (std::int64_t o = 0; o < out_features_; ++o) {
+            const double w = weights_.at(o, i);
+            for (std::int64_t b = 0; b < batch; ++b) {
+              d_flat.at(i, b) += w * d_output.at(o, b);
+            }
+          }
+        }
+      });
   // Reshape back to the caller's input dims.
   tensor::Tensor d_input(in_dims_);
   std::copy(d_flat.data().begin(), d_flat.data().end(),

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "src/dnn/softmax.h"
+#include "src/runtime/task_pool.h"
 
 namespace swdnn::dnn {
 
@@ -20,22 +22,36 @@ LossResult softmax_cross_entropy(const tensor::Tensor& logits,
 
   LossResult result;
   result.d_logits = tensor::Tensor({classes, batch});
+  // Per-column work (argmax, gradient, the column's loss term) shards
+  // freely — each column writes its own slot. The scalar loss is then
+  // reduced serially in ascending-b order, the exact order the old
+  // single loop used, so the sum is bitwise-stable across thread counts.
+  std::vector<double> loss_terms(static_cast<std::size_t>(batch), 0.0);
+  std::vector<unsigned char> hit(static_cast<std::size_t>(batch), 0);
+  runtime::parallel_for(0, batch, 16, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const int label = labels[static_cast<std::size_t>(b)];
+      if (label < 0 || label >= classes) {
+        throw std::invalid_argument(
+            "softmax_cross_entropy: label out of range");
+      }
+      loss_terms[static_cast<std::size_t>(b)] =
+          -std::log(std::max(probs.at(label, b), 1e-300));
+      std::int64_t argmax = 0;
+      for (std::int64_t c = 1; c < classes; ++c) {
+        if (probs.at(c, b) > probs.at(argmax, b)) argmax = c;
+      }
+      hit[static_cast<std::size_t>(b)] = (argmax == label) ? 1 : 0;
+      for (std::int64_t c = 0; c < classes; ++c) {
+        const double onehot = (c == label) ? 1.0 : 0.0;
+        result.d_logits.at(c, b) =
+            (probs.at(c, b) - onehot) / static_cast<double>(batch);
+      }
+    }
+  });
   for (std::int64_t b = 0; b < batch; ++b) {
-    const int label = labels[static_cast<std::size_t>(b)];
-    if (label < 0 || label >= classes) {
-      throw std::invalid_argument("softmax_cross_entropy: label out of range");
-    }
-    result.loss += -std::log(std::max(probs.at(label, b), 1e-300));
-    std::int64_t argmax = 0;
-    for (std::int64_t c = 1; c < classes; ++c) {
-      if (probs.at(c, b) > probs.at(argmax, b)) argmax = c;
-    }
-    if (argmax == label) ++result.correct;
-    for (std::int64_t c = 0; c < classes; ++c) {
-      const double onehot = (c == label) ? 1.0 : 0.0;
-      result.d_logits.at(c, b) =
-          (probs.at(c, b) - onehot) / static_cast<double>(batch);
-    }
+    result.loss += loss_terms[static_cast<std::size_t>(b)];
+    if (hit[static_cast<std::size_t>(b)]) ++result.correct;
   }
   result.loss /= static_cast<double>(batch);
   return result;
@@ -52,10 +68,18 @@ LossResult mean_squared_error(const tensor::Tensor& prediction,
   const auto t = target.data();
   auto g = result.d_logits.data();
   const double n = static_cast<double>(p.size());
+  runtime::parallel_for(
+      0, static_cast<std::int64_t>(p.size()), 4096,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const auto s = static_cast<std::size_t>(i);
+          g[s] = 2.0 * (p[s] - t[s]) / n;
+        }
+      });
+  // The loss sum keeps the original ascending-i accumulation order.
   for (std::size_t i = 0; i < p.size(); ++i) {
     const double diff = p[i] - t[i];
     result.loss += diff * diff / n;
-    g[i] = 2.0 * diff / n;
   }
   return result;
 }

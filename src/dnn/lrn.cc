@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/runtime/task_pool.h"
+
 namespace swdnn::dnn {
 
 Lrn::Lrn(std::int64_t size, double alpha, double beta, double k)
@@ -23,7 +25,9 @@ tensor::Tensor Lrn::forward(const tensor::Tensor& input) {
   const std::int64_t rows = input.dim(0), cols = input.dim(1),
                      channels = input.dim(2), batch = input.dim(3);
   const std::int64_t half = size_ / 2;
-  for (std::int64_t r = 0; r < rows; ++r)
+  // Row shards write disjoint (r, ...) slices of out/cached_scale_.
+  runtime::parallel_for(0, rows, 1, [&](std::int64_t r0, std::int64_t r1) {
+  for (std::int64_t r = r0; r < r1; ++r)
     for (std::int64_t c = 0; c < cols; ++c)
       for (std::int64_t b = 0; b < batch; ++b)
         for (std::int64_t ch = 0; ch < channels; ++ch) {
@@ -41,6 +45,7 @@ tensor::Tensor Lrn::forward(const tensor::Tensor& input) {
           out.at(r, c, ch, b) =
               input.at(r, c, ch, b) * std::pow(scale, -beta_);
         }
+  });
   return out;
 }
 
@@ -55,7 +60,8 @@ tensor::Tensor Lrn::backward(const tensor::Tensor& d_output) {
   const std::int64_t rows = d_output.dim(0), cols = d_output.dim(1),
                      channels = d_output.dim(2), batch = d_output.dim(3);
   const std::int64_t half = size_ / 2;
-  for (std::int64_t r = 0; r < rows; ++r)
+  runtime::parallel_for(0, rows, 1, [&](std::int64_t r0, std::int64_t r1) {
+  for (std::int64_t r = r0; r < r1; ++r)
     for (std::int64_t c = 0; c < cols; ++c)
       for (std::int64_t b = 0; b < batch; ++b)
         for (std::int64_t m = 0; m < channels; ++m) {
@@ -77,6 +83,7 @@ tensor::Tensor Lrn::backward(const tensor::Tensor& d_output) {
           }
           d_input.at(r, c, m, b) = grad;
         }
+  });
   return d_input;
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/runtime/task_pool.h"
+
 namespace swdnn::dnn {
 
 ZeroPad2d::ZeroPad2d(std::int64_t top, std::int64_t bottom, std::int64_t left,
@@ -20,11 +22,14 @@ tensor::Tensor ZeroPad2d::forward(const tensor::Tensor& input) {
   tensor::Tensor out({input.dim(0) + top_ + bottom_,
                       input.dim(1) + left_ + right_, input.dim(2),
                       input.dim(3)});
-  for (std::int64_t r = 0; r < input.dim(0); ++r)
-    for (std::int64_t c = 0; c < input.dim(1); ++c)
-      for (std::int64_t n = 0; n < input.dim(2); ++n)
-        for (std::int64_t b = 0; b < input.dim(3); ++b)
-          out.at(r + top_, c + left_, n, b) = input.at(r, c, n, b);
+  runtime::parallel_for(
+      0, input.dim(0), 1, [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r)
+          for (std::int64_t c = 0; c < input.dim(1); ++c)
+            for (std::int64_t n = 0; n < input.dim(2); ++n)
+              for (std::int64_t b = 0; b < input.dim(3); ++b)
+                out.at(r + top_, c + left_, n, b) = input.at(r, c, n, b);
+      });
   return out;
 }
 
@@ -42,11 +47,15 @@ tensor::Tensor ZeroPad2d::backward(const tensor::Tensor& d_output) {
     throw std::invalid_argument("ZeroPad2d::backward before forward");
   }
   tensor::Tensor d_input(input_dims_);
-  for (std::int64_t r = 0; r < d_input.dim(0); ++r)
-    for (std::int64_t c = 0; c < d_input.dim(1); ++c)
-      for (std::int64_t n = 0; n < d_input.dim(2); ++n)
-        for (std::int64_t b = 0; b < d_input.dim(3); ++b)
-          d_input.at(r, c, n, b) = d_output.at(r + top_, c + left_, n, b);
+  runtime::parallel_for(
+      0, d_input.dim(0), 1, [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r)
+          for (std::int64_t c = 0; c < d_input.dim(1); ++c)
+            for (std::int64_t n = 0; n < d_input.dim(2); ++n)
+              for (std::int64_t b = 0; b < d_input.dim(3); ++b)
+                d_input.at(r, c, n, b) =
+                    d_output.at(r + top_, c + left_, n, b);
+      });
   return d_input;
 }
 

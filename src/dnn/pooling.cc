@@ -2,7 +2,15 @@
 
 #include <stdexcept>
 
+#include "src/runtime/task_pool.h"
+
 namespace swdnn::dnn {
+
+// All pooling loops shard the output-row dimension on the host task
+// pool: window rows [r*window, (r+1)*window) are disjoint across output
+// rows, so forward writes and backward scatters never collide and the
+// results are bitwise-identical to the serial loops at any thread
+// count.
 
 MaxPooling::MaxPooling(std::int64_t window) : window_(window) {
   if (window <= 0) throw std::invalid_argument("MaxPooling: window <= 0");
@@ -22,7 +30,8 @@ tensor::Tensor MaxPooling::forward(const tensor::Tensor& input) {
   tensor::Tensor out({r_out, c_out, n, b});
   argmax_r_ = tensor::Tensor({r_out, c_out, n, b});
   argmax_c_ = tensor::Tensor({r_out, c_out, n, b});
-  for (std::int64_t r = 0; r < r_out; ++r)
+  runtime::parallel_for(0, r_out, 1, [&](std::int64_t rb, std::int64_t re) {
+  for (std::int64_t r = rb; r < re; ++r)
     for (std::int64_t c = 0; c < c_out; ++c)
       for (std::int64_t ch = 0; ch < n; ++ch)
         for (std::int64_t bb = 0; bb < b; ++bb) {
@@ -42,6 +51,7 @@ tensor::Tensor MaxPooling::forward(const tensor::Tensor& input) {
           argmax_r_.at(r, c, ch, bb) = static_cast<double>(br);
           argmax_c_.at(r, c, ch, bb) = static_cast<double>(bc);
         }
+  });
   return out;
 }
 
@@ -54,7 +64,8 @@ tensor::Tensor MaxPooling::backward(const tensor::Tensor& d_output) {
   const std::int64_t c_out = d_output.dim(1);
   const std::int64_t n = d_output.dim(2);
   const std::int64_t b = d_output.dim(3);
-  for (std::int64_t r = 0; r < r_out; ++r)
+  runtime::parallel_for(0, r_out, 1, [&](std::int64_t rb, std::int64_t re) {
+  for (std::int64_t r = rb; r < re; ++r)
     for (std::int64_t c = 0; c < c_out; ++c)
       for (std::int64_t ch = 0; ch < n; ++ch)
         for (std::int64_t bb = 0; bb < b; ++bb) {
@@ -65,6 +76,7 @@ tensor::Tensor MaxPooling::backward(const tensor::Tensor& d_output) {
           d_input.at(r * window_ + dr, c * window_ + dc, ch, bb) +=
               d_output.at(r, c, ch, bb);
         }
+  });
   return d_input;
 }
 
@@ -92,7 +104,8 @@ void MaxPooling::forward_view(const tensor::TensorView& input,
   const std::int64_t c_out = output.dim(1);
   const std::int64_t n = output.dim(2);
   const std::int64_t b = output.dim(3);
-  for (std::int64_t r = 0; r < r_out; ++r)
+  runtime::parallel_for(0, r_out, 1, [&](std::int64_t rb, std::int64_t re) {
+  for (std::int64_t r = rb; r < re; ++r)
     for (std::int64_t c = 0; c < c_out; ++c)
       for (std::int64_t ch = 0; ch < n; ++ch)
         for (std::int64_t bb = 0; bb < b; ++bb) {
@@ -112,6 +125,7 @@ void MaxPooling::forward_view(const tensor::TensorView& input,
           argmax_r_.at(r, c, ch, bb) = static_cast<double>(br);
           argmax_c_.at(r, c, ch, bb) = static_cast<double>(bc);
         }
+  });
 }
 
 void MaxPooling::backward_view(const tensor::TensorView& d_output,
@@ -121,7 +135,8 @@ void MaxPooling::backward_view(const tensor::TensorView& d_output,
   const std::int64_t c_out = d_output.dim(1);
   const std::int64_t n = d_output.dim(2);
   const std::int64_t b = d_output.dim(3);
-  for (std::int64_t r = 0; r < r_out; ++r)
+  runtime::parallel_for(0, r_out, 1, [&](std::int64_t rb, std::int64_t re) {
+  for (std::int64_t r = rb; r < re; ++r)
     for (std::int64_t c = 0; c < c_out; ++c)
       for (std::int64_t ch = 0; ch < n; ++ch)
         for (std::int64_t bb = 0; bb < b; ++bb) {
@@ -132,6 +147,7 @@ void MaxPooling::backward_view(const tensor::TensorView& d_output,
           d_input.at(r * window_ + dr, c * window_ + dc, ch, bb) +=
               d_output.at(r, c, ch, bb);
         }
+  });
 }
 
 AvgPooling::AvgPooling(std::int64_t window) : window_(window) {
@@ -152,7 +168,8 @@ tensor::Tensor AvgPooling::forward(const tensor::Tensor& input) {
   const double inv_area =
       1.0 / static_cast<double>(window_ * window_);
   tensor::Tensor out({r_out, c_out, n, b});
-  for (std::int64_t r = 0; r < r_out; ++r)
+  runtime::parallel_for(0, r_out, 1, [&](std::int64_t rb, std::int64_t re) {
+  for (std::int64_t r = rb; r < re; ++r)
     for (std::int64_t c = 0; c < c_out; ++c)
       for (std::int64_t ch = 0; ch < n; ++ch)
         for (std::int64_t bb = 0; bb < b; ++bb) {
@@ -162,6 +179,7 @@ tensor::Tensor AvgPooling::forward(const tensor::Tensor& input) {
               sum += input.at(r * window_ + dr, c * window_ + dc, ch, bb);
           out.at(r, c, ch, bb) = sum * inv_area;
         }
+  });
   return out;
 }
 
@@ -184,7 +202,9 @@ void AvgPooling::plan(const std::vector<std::int64_t>& input_dims) {
 void AvgPooling::forward_view(const tensor::TensorView& input,
                               tensor::TensorView& output) {
   const double inv_area = 1.0 / static_cast<double>(window_ * window_);
-  for (std::int64_t r = 0; r < output.dim(0); ++r)
+  runtime::parallel_for(
+      0, output.dim(0), 1, [&](std::int64_t rb, std::int64_t re) {
+  for (std::int64_t r = rb; r < re; ++r)
     for (std::int64_t c = 0; c < output.dim(1); ++c)
       for (std::int64_t ch = 0; ch < output.dim(2); ++ch)
         for (std::int64_t bb = 0; bb < output.dim(3); ++bb) {
@@ -194,12 +214,15 @@ void AvgPooling::forward_view(const tensor::TensorView& input,
               sum += input.at(r * window_ + dr, c * window_ + dc, ch, bb);
           output.at(r, c, ch, bb) = sum * inv_area;
         }
+  });
 }
 
 void AvgPooling::backward_view(const tensor::TensorView& d_output,
                                tensor::TensorView& d_input) {
   const double inv_area = 1.0 / static_cast<double>(window_ * window_);
-  for (std::int64_t r = 0; r < d_output.dim(0); ++r)
+  runtime::parallel_for(
+      0, d_output.dim(0), 1, [&](std::int64_t rb, std::int64_t re) {
+  for (std::int64_t r = rb; r < re; ++r)
     for (std::int64_t c = 0; c < d_output.dim(1); ++c)
       for (std::int64_t ch = 0; ch < d_output.dim(2); ++ch)
         for (std::int64_t bb = 0; bb < d_output.dim(3); ++bb) {
@@ -208,6 +231,7 @@ void AvgPooling::backward_view(const tensor::TensorView& d_output,
             for (std::int64_t dc = 0; dc < window_; ++dc)
               d_input.at(r * window_ + dr, c * window_ + dc, ch, bb) = g;
         }
+  });
 }
 
 tensor::Tensor AvgPooling::backward(const tensor::Tensor& d_output) {
@@ -216,7 +240,9 @@ tensor::Tensor AvgPooling::backward(const tensor::Tensor& d_output) {
   }
   tensor::Tensor d_input(input_dims_);
   const double inv_area = 1.0 / static_cast<double>(window_ * window_);
-  for (std::int64_t r = 0; r < d_output.dim(0); ++r)
+  runtime::parallel_for(
+      0, d_output.dim(0), 1, [&](std::int64_t rb, std::int64_t re) {
+  for (std::int64_t r = rb; r < re; ++r)
     for (std::int64_t c = 0; c < d_output.dim(1); ++c)
       for (std::int64_t ch = 0; ch < d_output.dim(2); ++ch)
         for (std::int64_t bb = 0; bb < d_output.dim(3); ++bb) {
@@ -225,6 +251,7 @@ tensor::Tensor AvgPooling::backward(const tensor::Tensor& d_output) {
             for (std::int64_t dc = 0; dc < window_; ++dc)
               d_input.at(r * window_ + dr, c * window_ + dc, ch, bb) = g;
         }
+  });
   return d_input;
 }
 

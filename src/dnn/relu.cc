@@ -2,7 +2,15 @@
 
 #include <stdexcept>
 
+#include "src/runtime/task_pool.h"
+
 namespace swdnn::dnn {
+
+namespace {
+// Elementwise kernels shard the flat index space; a coarse grain keeps
+// the per-chunk closure overhead negligible against the stream.
+constexpr std::int64_t kElemGrain = 4096;
+}  // namespace
 
 tensor::Tensor Relu::forward(const tensor::Tensor& input) {
   mask_ = tensor::Tensor(input.dims());
@@ -10,11 +18,16 @@ tensor::Tensor Relu::forward(const tensor::Tensor& input) {
   auto in = input.data();
   auto m = mask_.data();
   auto o = out.data();
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    const bool on = in[i] > 0.0;
-    m[i] = on ? 1.0 : 0.0;
-    o[i] = on ? in[i] : 0.0;
-  }
+  runtime::parallel_for(
+      0, static_cast<std::int64_t>(in.size()), kElemGrain,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const bool on = in[static_cast<std::size_t>(i)] > 0.0;
+          m[static_cast<std::size_t>(i)] = on ? 1.0 : 0.0;
+          o[static_cast<std::size_t>(i)] =
+              on ? in[static_cast<std::size_t>(i)] : 0.0;
+        }
+      });
   return out;
 }
 
@@ -28,11 +41,16 @@ void Relu::forward_view(const tensor::TensorView& input,
   auto in = input.data();
   auto m = mask_.data();
   auto o = output.data();
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    const bool on = in[i] > 0.0;
-    m[i] = on ? 1.0 : 0.0;
-    o[i] = on ? in[i] : 0.0;
-  }
+  runtime::parallel_for(
+      0, static_cast<std::int64_t>(in.size()), kElemGrain,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const bool on = in[static_cast<std::size_t>(i)] > 0.0;
+          m[static_cast<std::size_t>(i)] = on ? 1.0 : 0.0;
+          o[static_cast<std::size_t>(i)] =
+              on ? in[static_cast<std::size_t>(i)] : 0.0;
+        }
+      });
 }
 
 void Relu::backward_view(const tensor::TensorView& d_output,
@@ -43,7 +61,14 @@ void Relu::backward_view(const tensor::TensorView& d_output,
   auto d = d_output.data();
   auto m = mask_.data();
   auto o = d_input.data();
-  for (std::size_t i = 0; i < d.size(); ++i) o[i] = d[i] * m[i];
+  runtime::parallel_for(
+      0, static_cast<std::int64_t>(d.size()), kElemGrain,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          o[static_cast<std::size_t>(i)] = d[static_cast<std::size_t>(i)] *
+                                           m[static_cast<std::size_t>(i)];
+        }
+      });
 }
 
 tensor::Tensor Relu::backward(const tensor::Tensor& d_output) {
@@ -54,7 +79,14 @@ tensor::Tensor Relu::backward(const tensor::Tensor& d_output) {
   auto d = d_output.data();
   auto m = mask_.data();
   auto o = d_input.data();
-  for (std::size_t i = 0; i < d.size(); ++i) o[i] = d[i] * m[i];
+  runtime::parallel_for(
+      0, static_cast<std::int64_t>(d.size()), kElemGrain,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          o[static_cast<std::size_t>(i)] = d[static_cast<std::size_t>(i)] *
+                                           m[static_cast<std::size_t>(i)];
+        }
+      });
   return d_input;
 }
 

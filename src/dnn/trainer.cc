@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/dnn/serialize.h"
+#include "src/util/ksum.h"
 #include "src/util/stopwatch.h"
 
 namespace swdnn::dnn {
@@ -76,13 +77,14 @@ EpochStats Trainer::train_epoch(SyntheticBars& data, std::int64_t batch_size,
   util::Stopwatch watch;
   EpochStats stats;
   std::int64_t correct = 0;
+  util::KahanSum loss_sum;
   for (int s = 0; s < steps; ++s) {
     const Batch batch = data.sample(batch_size);
     const LossResult loss = train_step(batch);
-    stats.mean_loss += loss.loss;
+    loss_sum.add(loss.loss);
     correct += loss.correct;
   }
-  stats.mean_loss /= static_cast<double>(steps);
+  stats.mean_loss = loss_sum.value() / static_cast<double>(steps);
   stats.accuracy = static_cast<double>(correct) /
                    static_cast<double>(steps * batch_size);
   stats.seconds = watch.elapsed_seconds();
@@ -139,19 +141,29 @@ Trainer::ResilientStep Trainer::train_step_resilient(const Batch& batch) {
 
 double Trainer::evaluate(SyntheticBars& data, std::int64_t batch_size,
                          int batches) {
+  return evaluate_stats(data, batch_size, batches).accuracy;
+}
+
+EvalStats Trainer::evaluate_stats(SyntheticBars& data,
+                                  std::int64_t batch_size, int batches) {
   // Accuracy must be measured with deterministic layers: dropout left
   // stochastic here both corrupts the measurement and (before the
   // guard) leaked eval mode into subsequent training steps.
   const TrainingModeGuard eval_guard(net_, /*mode=*/false);
   std::int64_t correct = 0;
+  util::KahanSum loss_sum;
   for (int s = 0; s < batches; ++s) {
     const Batch batch = data.sample(batch_size);
     tensor::Tensor logits = net_.forward(batch.images);
     const LossResult loss = softmax_cross_entropy(logits, batch.labels);
     correct += loss.correct;
+    loss_sum.add(loss.loss);
   }
-  return static_cast<double>(correct) /
-         static_cast<double>(batches * batch_size);
+  EvalStats stats;
+  stats.accuracy = static_cast<double>(correct) /
+                   static_cast<double>(batches * batch_size);
+  stats.mean_loss = loss_sum.value() / static_cast<double>(batches);
+  return stats;
 }
 
 }  // namespace swdnn::dnn

@@ -44,6 +44,11 @@ struct EpochStats {
   double seconds = 0;
 };
 
+struct EvalStats {
+  double accuracy = 0;
+  double mean_loss = 0;
+};
+
 class Trainer {
  public:
   Trainer(Network& network, Sgd& optimizer) : net_(network), opt_(optimizer) {}
@@ -58,6 +63,13 @@ class Trainer {
 
   /// Accuracy on freshly sampled data (no update).
   double evaluate(SyntheticBars& data, std::int64_t batch_size, int batches);
+
+  /// Accuracy plus mean loss over freshly sampled data (no update). The
+  /// loss is accumulated with compensated (Kahan) summation so small
+  /// per-batch terms are not absorbed by a large running sum; the
+  /// runtime_parallel_test pins the value exactly (no tolerance).
+  EvalStats evaluate_stats(SyntheticBars& data, std::int64_t batch_size,
+                           int batches);
 
   // --- Self-healing ----------------------------------------------------
   /// Enables step-level checkpointing: parameters are written to `path`

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/runtime/task_pool.h"
+
 namespace swdnn::parallel {
 
 DataParallelTrainer::DataParallelTrainer(
@@ -45,18 +47,42 @@ DataParallelTrainer::StepResult DataParallelTrainer::train_step(
   }
   std::int64_t total_samples = 0;
 
-  // Local forward/backward per live node; dead ranks compute nothing.
-  for (std::size_t node = 0; node < replicas_.size(); ++node) {
+  // Local forward/backward per live node, one pool chunk per node, so
+  // replicas step concurrently; dead ranks compute nothing. Any layer
+  // parallelism nested inside a replica runs inline on that worker —
+  // the inter-replica split is the one that pays off. Each node writes
+  // its own stat slots; the scalar reduction below walks them in
+  // ascending node order, matching the old serial loop bitwise. The
+  // pool rethrows the lowest-index node's exception, again matching the
+  // serial loop's first-failure behavior.
+  const std::size_t n_nodes = replicas_.size();
+  std::vector<double> node_loss(n_nodes, 0.0);
+  std::vector<std::int64_t> node_correct(n_nodes, 0);
+  std::vector<std::int64_t> node_samples(n_nodes, 0);
+  runtime::parallel_for(
+      0, static_cast<std::int64_t>(n_nodes), 1,
+      [&](std::int64_t n0, std::int64_t n1) {
+        for (std::int64_t n = n0; n < n1; ++n) {
+          const auto node = static_cast<std::size_t>(n);
+          if (!alive_[node]) continue;
+          const dnn::Batch& shard = shards[node];
+          const tensor::Tensor logits =
+              replicas_[node]->forward(shard.images);
+          const dnn::LossResult loss =
+              dnn::softmax_cross_entropy(logits, shard.labels);
+          replicas_[node]->backward(loss.d_logits);
+          const auto samples =
+              static_cast<std::int64_t>(shard.labels.size());
+          node_loss[node] = loss.loss * static_cast<double>(samples);
+          node_correct[node] = loss.correct;
+          node_samples[node] = samples;
+        }
+      });
+  for (std::size_t node = 0; node < n_nodes; ++node) {
     if (!alive_[node]) continue;
-    const dnn::Batch& shard = shards[node];
-    const tensor::Tensor logits = replicas_[node]->forward(shard.images);
-    const dnn::LossResult loss =
-        dnn::softmax_cross_entropy(logits, shard.labels);
-    replicas_[node]->backward(loss.d_logits);
-    const auto samples = static_cast<std::int64_t>(shard.labels.size());
-    result.loss += loss.loss * static_cast<double>(samples);
-    result.correct += loss.correct;
-    total_samples += samples;
+    result.loss += node_loss[node];
+    result.correct += node_correct[node];
+    total_samples += node_samples[node];
   }
   result.loss /= static_cast<double>(total_samples);
 
@@ -77,11 +103,17 @@ DataParallelTrainer::StepResult DataParallelTrainer::train_step(
   result.comm_seconds =
       ring_allreduce_seconds(bytes, result.live_nodes, interconnect_);
 
-  // Identical update on every live replica.
-  for (std::size_t node = 0; node < replicas_.size(); ++node) {
-    if (!alive_[node]) continue;
-    optimizers_[node].step(replicas_[node]->params());
-  }
+  // Identical update on every live replica; each node touches only its
+  // own parameters and optimizer state, so the steps run concurrently.
+  runtime::parallel_for(
+      0, static_cast<std::int64_t>(n_nodes), 1,
+      [&](std::int64_t n0, std::int64_t n1) {
+        for (std::int64_t n = n0; n < n1; ++n) {
+          const auto node = static_cast<std::size_t>(n);
+          if (!alive_[node]) continue;
+          optimizers_[node].step(replicas_[node]->params());
+        }
+      });
   return result;
 }
 

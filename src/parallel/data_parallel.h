@@ -54,11 +54,15 @@ class DataParallelTrainer {
   /// The context all replicas dispatch through (null before compile()).
   dnn::BackendContext* shared_context() { return shared_context_.get(); }
 
-  /// One synchronous step: per-node forward/backward on its shard,
-  /// gradient all-reduce (average), identical optimizer step on every
-  /// replica. `shards` must have one batch per node (dead nodes' shards
-  /// are ignored). Returns the sample-weighted mean loss over live
-  /// nodes plus this step's modeled communication time.
+  /// One synchronous step: per-node forward/backward on its shard (live
+  /// replicas step concurrently on the host task pool; the all-reduce
+  /// stays the synchronization point), gradient all-reduce (average),
+  /// identical optimizer step on every replica. `shards` must have one
+  /// batch per node (dead nodes' shards are ignored). Returns the
+  /// sample-weighted mean loss over live nodes plus this step's modeled
+  /// communication time. Results are bitwise-identical to sequential
+  /// stepping at any thread count — per-node stats land in per-node
+  /// slots and reduce in fixed node order.
   struct StepResult {
     double loss = 0;
     std::int64_t correct = 0;

@@ -1,0 +1,244 @@
+#include "src/runtime/task_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace swdnn::runtime {
+
+namespace {
+
+// True on pool worker threads: a nested parallel_for must run inline
+// (the workers are already busy executing the outer loop's chunks).
+thread_local bool t_in_pool_worker = false;
+
+int env_thread_count() {
+  const char* env = std::getenv("SWDNN_HOST_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && parsed >= 1 && parsed <= 1024) {
+      return static_cast<int>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+struct TaskPool::Impl {
+  // Serializes dispatch: the pool runs one parallel_for at a time; a
+  // second external caller that loses the try_lock runs inline instead
+  // of blocking (same chunks, same results).
+  std::mutex dispatch;
+
+  // Worker rendezvous.
+  std::mutex m;
+  std::condition_variable start_cv;
+  std::condition_variable done_cv;
+  std::uint64_t generation = 0;
+  int workers_done = 0;
+  bool shutting_down = false;
+
+  // The published job, valid for one generation. Lane l (0 = caller,
+  // 1..threads-1 = workers) executes chunks l, l + threads, ... —
+  // static, strided partitioning. Chunk content is thread-count
+  // independent; only the chunk->lane mapping varies.
+  const std::function<void(std::int64_t, std::int64_t, std::int64_t)>* fn =
+      nullptr;
+  std::int64_t begin = 0;
+  std::int64_t grain = 1;
+  std::int64_t end = 0;
+  std::int64_t nchunks = 0;
+
+  // First-faulting-chunk exception capture (deterministic rethrow).
+  std::mutex error_m;
+  std::exception_ptr error;
+  std::int64_t error_chunk = -1;
+
+  std::vector<std::thread> workers;
+};
+
+TaskPool& TaskPool::instance() {
+  static TaskPool pool;
+  return pool;
+}
+
+TaskPool::TaskPool() : impl_(new Impl) {
+  threads_ = env_thread_count();
+  spawn_workers();
+}
+
+TaskPool::~TaskPool() {
+  join_workers();
+  delete impl_;
+}
+
+void TaskPool::spawn_workers() {
+  // New workers must start at the CURRENT generation: a fresh worker
+  // seeded at 0 would treat whatever job was published last as new and
+  // execute it a second time (or chase a dangling fn).
+  std::uint64_t start_generation;
+  {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    start_generation = impl_->generation;
+  }
+  for (int w = 1; w < threads_; ++w) {
+    impl_->workers.emplace_back(
+        [this, w, start_generation] { worker_main(w, start_generation); });
+  }
+}
+
+void TaskPool::join_workers() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->shutting_down = true;
+    ++impl_->generation;
+  }
+  impl_->start_cv.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+  impl_->workers.clear();
+  {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->shutting_down = false;
+  }
+}
+
+void TaskPool::set_thread_count(int threads) {
+  if (threads < 1) {
+    throw std::invalid_argument("TaskPool: thread count must be >= 1");
+  }
+  std::lock_guard<std::mutex> dispatch_lock(impl_->dispatch);
+  join_workers();
+  threads_ = threads;
+  spawn_workers();
+}
+
+std::int64_t TaskPool::chunk_count(std::int64_t begin, std::int64_t end,
+                                   std::int64_t grain) {
+  if (end <= begin) return 0;
+  const std::int64_t g = std::max<std::int64_t>(1, grain);
+  return (end - begin + g - 1) / g;
+}
+
+void TaskPool::run_lane(int lane) {
+  Impl& im = *impl_;
+  for (std::int64_t chunk = lane; chunk < im.nchunks; chunk += threads_) {
+    const std::int64_t c0 = im.begin + chunk * im.grain;
+    const std::int64_t c1 = std::min<std::int64_t>(c0 + im.grain, im.end);
+    try {
+      (*im.fn)(chunk, c0, c1);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(im.error_m);
+      if (im.error_chunk < 0 || chunk < im.error_chunk) {
+        im.error = std::current_exception();
+        im.error_chunk = chunk;
+      }
+    }
+  }
+}
+
+void TaskPool::worker_main(int worker_index,
+                           std::uint64_t start_generation) {
+  t_in_pool_worker = true;
+  Impl& im = *impl_;
+  std::uint64_t seen = start_generation;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(im.m);
+      im.start_cv.wait(lock, [&] {
+        return im.generation != seen || im.shutting_down;
+      });
+      if (im.shutting_down) return;
+      seen = im.generation;
+    }
+    run_lane(worker_index);
+    {
+      std::lock_guard<std::mutex> lock(im.m);
+      ++im.workers_done;
+    }
+    im.done_cv.notify_one();
+  }
+}
+
+void TaskPool::parallel_for_shards(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>&
+        fn) {
+  const std::int64_t nchunks = chunk_count(begin, end, grain);
+  if (nchunks == 0) return;
+  const std::int64_t g = std::max<std::int64_t>(1, grain);
+
+  Impl& im = *impl_;
+  // Inline path: serial configuration, single chunk, nested call, or a
+  // concurrent external dispatch already owns the pool. Chunks run in
+  // ascending order — bitwise the same as the pooled execution.
+  const bool pooled = threads_ > 1 && nchunks > 1 && !t_in_pool_worker &&
+                      im.dispatch.try_lock();
+  if (!pooled) {
+    for (std::int64_t chunk = 0; chunk < nchunks; ++chunk) {
+      const std::int64_t c0 = begin + chunk * g;
+      fn(chunk, c0, std::min<std::int64_t>(c0 + g, end));
+    }
+    return;
+  }
+
+  std::lock_guard<std::mutex> dispatch_lock(im.dispatch, std::adopt_lock);
+  im.fn = &fn;
+  im.begin = begin;
+  im.end = end;
+  im.grain = g;
+  im.nchunks = nchunks;
+  im.error = nullptr;
+  im.error_chunk = -1;
+  {
+    std::lock_guard<std::mutex> lock(im.m);
+    im.workers_done = 0;
+    ++im.generation;
+  }
+  im.start_cv.notify_all();
+  run_lane(0);  // the caller is lane 0
+  {
+    std::unique_lock<std::mutex> lock(im.m);
+    im.done_cv.wait(lock, [&] {
+      return im.workers_done == static_cast<int>(im.workers.size());
+    });
+  }
+  im.fn = nullptr;
+  if (im.error) std::rethrow_exception(im.error);
+}
+
+void TaskPool::parallel_for(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  parallel_for_shards(
+      begin, end, grain,
+      [&fn](std::int64_t, std::int64_t c0, std::int64_t c1) { fn(c0, c1); });
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  TaskPool::instance().parallel_for(begin, end, grain, fn);
+}
+
+void parallel_for_shards(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>&
+        fn) {
+  TaskPool::instance().parallel_for_shards(begin, end, grain, fn);
+}
+
+int host_threads() { return TaskPool::instance().thread_count(); }
+
+void set_host_threads(int threads) {
+  TaskPool::instance().set_thread_count(threads);
+}
+
+}  // namespace swdnn::runtime

@@ -1,0 +1,30 @@
+#pragma once
+// Compensated (Kahan) summation.
+//
+// The training metrics accumulate one double per sample or per batch;
+// a raw running sum makes the result depend on magnitude ordering and
+// drifts for long evaluations. Kahan summation carries the rounding
+// error forward explicitly, so any two passes that feed the same
+// values in the same order produce the same double exactly — the
+// property the host-parallel determinism suite asserts between serial
+// and batch-parallel evaluation.
+
+namespace swdnn::util {
+
+class KahanSum {
+ public:
+  void add(double value) {
+    const double y = value - compensation_;
+    const double t = sum_ + y;
+    compensation_ = (t - sum_) - y;
+    sum_ = t;
+  }
+
+  double value() const { return sum_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+}  // namespace swdnn::util

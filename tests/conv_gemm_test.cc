@@ -53,6 +53,43 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.n) + "k" + std::to_string(info.param.k);
     });
 
+TEST(Gemm, NonPositiveTileIsClampedInsteadOfHanging) {
+  // Regression: tile <= 0 used to leave the i0/p0/j0 loops incrementing
+  // by zero — an infinite loop. The clamp must both terminate and
+  // produce the same result as the default tile.
+  util::Rng rng(13);
+  const std::int64_t m = 9, n = 11, k = 7;
+  std::vector<double> a(static_cast<std::size_t>(m * k));
+  std::vector<double> b(static_cast<std::size_t>(k * n));
+  rng.fill_uniform(a, -1, 1);
+  rng.fill_uniform(b, -1, 1);
+  std::vector<double> ref(static_cast<std::size_t>(m * n), 0.0);
+  gemm_blocked(m, n, k, a, b, ref);  // default tile
+  for (const std::int64_t tile : {0, -1, -64}) {
+    std::vector<double> c(static_cast<std::size_t>(m * n), 0.0);
+    gemm_blocked(m, n, k, a, b, c, tile);
+    EXPECT_EQ(c, ref) << "tile=" << tile;
+    std::vector<double> cp(static_cast<std::size_t>(m * n), 0.0);
+    gemm_packed_parallel(m, n, k, a, b, cp, tile);
+    EXPECT_EQ(cp, ref) << "packed tile=" << tile;
+  }
+}
+
+TEST(Gemm, PackedParallelMatchesNaive) {
+  util::Rng rng(21);
+  const std::int64_t m = 23, n = 40, k = 17;
+  std::vector<double> a(static_cast<std::size_t>(m * k));
+  std::vector<double> b(static_cast<std::size_t>(k * n));
+  rng.fill_uniform(a, -1, 1);
+  rng.fill_uniform(b, -1, 1);
+  std::vector<double> ref(static_cast<std::size_t>(m * n), 0.125);
+  std::vector<double> c = ref;
+  gemm_naive(m, n, k, a, b, ref);
+  gemm_packed_parallel(m, n, k, a, b, c, 8);
+  // Same per-element ascending-k accumulation order: exact, not NEAR.
+  EXPECT_EQ(c, ref);
+}
+
 TEST(Gemm, TileSizeDoesNotChangeResult) {
   util::Rng rng(9);
   const std::int64_t m = 24, n = 31, k = 18;
