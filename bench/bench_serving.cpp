@@ -1,0 +1,256 @@
+// Serving latency/throughput across batch-budget settings, plus an
+// overload scenario exercising admission control. Results land in
+// BENCH_serving.json.
+//
+// Steady scenarios: paced single-sample submissions from 4 tenants
+// against three batcher budgets — the latency/throughput tradeoff knob.
+// Every steady request must complete (no rejects, sheds, or deadline
+// misses); the bench exits nonzero otherwise.
+//
+// Overload scenario: a burst far beyond a deliberately tiny queue with
+// a tight deadline. Here the REJECTED / SHED / DEADLINE counters must
+// all be nonzero — overload answered with statuses is the contract —
+// and the bench exits nonzero if any stayed zero.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/dnn/convolution.h"
+#include "src/dnn/fully_connected.h"
+#include "src/dnn/network.h"
+#include "src/dnn/relu.h"
+#include "src/dnn/softmax.h"
+#include "src/serve/server.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace std::chrono_literals;
+using swdnn::serve::Clock;
+
+const std::vector<std::int64_t> kSampleDims = {8, 8, 3};
+
+std::unique_ptr<swdnn::dnn::Network> make_model(std::int64_t batch) {
+  using namespace swdnn;
+  auto net = std::make_unique<dnn::Network>();
+  util::Rng rng(777);
+  conv::ConvShape c;
+  c.batch = batch;
+  c.ni = 3;
+  c.no = 5;
+  c.ri = 8;
+  c.ci = 8;
+  c.kr = 3;
+  c.kc = 3;
+  net->emplace<dnn::Convolution>(c, rng, dnn::ConvBackend::kHostIm2col,
+                                 /*with_bias=*/true);
+  net->emplace<dnn::Relu>();
+  net->emplace<dnn::FullyConnected>(6 * 6 * 5, 10, rng);
+  net->emplace<dnn::Softmax>();
+  return net;
+}
+
+swdnn::tensor::Tensor make_sample(std::uint64_t seed) {
+  swdnn::tensor::Tensor t(kSampleDims);
+  swdnn::util::Rng rng(seed);
+  rng.fill_uniform(t.data(), -1.0, 1.0);
+  return t;
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+struct SteadyResult {
+  long long budget_us = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double throughput_rps = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t not_completed = 0;  // rejected + shed + deadline missed
+  double batch_occupancy = 0;
+};
+
+/// Paced load: one submission every `pace`, round-robin over 4 tenants.
+SteadyResult run_steady(std::chrono::microseconds budget_us) {
+  using namespace swdnn::serve;
+  ServerConfig config;
+  config.max_batch = 4;
+  config.batch_budget = budget_us;
+  config.default_deadline = 5s;
+  config.num_replicas = 2;
+  config.max_queue = 256;
+  config.max_queue_per_tenant = 128;
+  InferenceServer server(make_model, kSampleDims, config);
+
+  constexpr int kRequests = 200;
+  constexpr auto kPace = 100us;
+  std::vector<std::future<ServeResult>> futures;
+  futures.reserve(kRequests);
+  const Clock::time_point begin = Clock::now();
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(
+        server.submit(i % 4, make_sample(static_cast<std::uint64_t>(i))));
+    std::this_thread::sleep_for(kPace);
+  }
+  std::vector<double> latencies;
+  latencies.reserve(kRequests);
+  for (auto& future : futures) {
+    const ServeResult result = future.get();
+    if (result.status == ServeStatus::kOk) latencies.push_back(result.latency_ms);
+  }
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - begin).count();
+  const ServingCounters counters = server.counters();
+
+  SteadyResult r;
+  r.budget_us = budget_us.count();
+  r.p50_ms = percentile(latencies, 0.50);
+  r.p99_ms = percentile(latencies, 0.99);
+  r.throughput_rps = static_cast<double>(counters.completed) / elapsed;
+  r.completed = counters.completed;
+  r.not_completed =
+      counters.rejected() + counters.shed + counters.deadline_missed;
+  r.batch_occupancy =
+      counters.batches > 0 ? static_cast<double>(counters.batched_requests) /
+                                 static_cast<double>(counters.batches)
+                           : 0.0;
+  return r;
+}
+
+struct OverloadResult {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t deadline_missed = 0;
+};
+
+/// Burst far beyond a tiny queue: tenant 0 floods first (becoming the
+/// shed target), then the others pile on, all against a deadline
+/// shorter than the queue can drain.
+OverloadResult run_overload() {
+  using namespace swdnn::serve;
+  ServerConfig config;
+  config.max_batch = 4;
+  config.batch_budget = 500us;
+  config.default_deadline = 2ms;
+  config.num_replicas = 1;
+  config.max_queue = 8;
+  config.max_queue_per_tenant = 8;
+  InferenceServer server(make_model, kSampleDims, config);
+
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < 60; ++i) {
+    futures.push_back(server.submit(0, make_sample(1000 + i)));
+  }
+  // The tail group carries a deadline tighter than the time the full
+  // queue takes to drain: whatever survives the shed/reject gauntlet
+  // sits behind a queue's worth of work and blows its SLA.
+  for (int i = 0; i < 60; ++i) {
+    futures.push_back(server.submit(1 + i % 3, make_sample(2000 + i),
+                                    Clock::now() + 200us));
+  }
+  for (auto& future : futures) future.get();
+  server.drain();
+  const ServingCounters counters = server.counters();
+
+  OverloadResult r;
+  r.submitted = counters.submitted;
+  r.completed = counters.completed;
+  r.rejected = counters.rejected();
+  r.shed = counters.shed;
+  r.deadline_missed = counters.deadline_missed;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::chrono::microseconds> budgets = {200us, 1000us,
+                                                          5000us};
+  std::vector<SteadyResult> steady;
+  std::printf("=== Serving bench: batch budget sweep (paced load) ===\n");
+  std::printf("%10s %10s %10s %12s %10s %10s\n", "budget_us", "p50_ms",
+              "p99_ms", "rps", "completed", "occupancy");
+  bool violation = false;
+  for (const auto budget : budgets) {
+    const SteadyResult r = run_steady(budget);
+    steady.push_back(r);
+    std::printf("%10lld %10.3f %10.3f %12.0f %10llu %10.2f\n", r.budget_us,
+                r.p50_ms, r.p99_ms, r.throughput_rps,
+                static_cast<unsigned long long>(r.completed),
+                r.batch_occupancy);
+    if (r.not_completed != 0) {
+      std::fprintf(stderr,
+                   "VIOLATION: steady scenario (budget %lld us) dropped %llu "
+                   "request(s)\n",
+                   r.budget_us,
+                   static_cast<unsigned long long>(r.not_completed));
+      violation = true;
+    }
+  }
+
+  const OverloadResult overload = run_overload();
+  std::printf("=== Overload scenario (queue 8, deadline 2 ms, burst 120) ===\n");
+  std::printf(
+      "submitted %llu  completed %llu  rejected %llu  shed %llu  "
+      "deadline_missed %llu\n",
+      static_cast<unsigned long long>(overload.submitted),
+      static_cast<unsigned long long>(overload.completed),
+      static_cast<unsigned long long>(overload.rejected),
+      static_cast<unsigned long long>(overload.shed),
+      static_cast<unsigned long long>(overload.deadline_missed));
+  if (overload.rejected == 0 || overload.shed == 0 ||
+      overload.deadline_missed == 0) {
+    std::fprintf(stderr,
+                 "VIOLATION: overload scenario must exercise every "
+                 "admission-control path (rejected/shed/deadline all > 0)\n");
+    violation = true;
+  }
+
+  const char* path = "BENCH_serving.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"serving\",\n");
+  std::fprintf(f, "  \"steady\": [\n");
+  for (std::size_t i = 0; i < steady.size(); ++i) {
+    const SteadyResult& r = steady[i];
+    std::fprintf(f,
+                 "    {\"budget_us\": %lld, \"p50_ms\": %.3f, \"p99_ms\": "
+                 "%.3f, \"throughput_rps\": %.0f, \"completed\": %llu, "
+                 "\"dropped\": %llu, \"batch_occupancy\": %.2f}%s\n",
+                 r.budget_us, r.p50_ms, r.p99_ms, r.throughput_rps,
+                 static_cast<unsigned long long>(r.completed),
+                 static_cast<unsigned long long>(r.not_completed),
+                 r.batch_occupancy, i + 1 < steady.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"overload\": {\"submitted\": %llu, \"completed\": %llu, "
+               "\"rejected\": %llu, \"shed\": %llu, \"deadline_missed\": "
+               "%llu}\n",
+               static_cast<unsigned long long>(overload.submitted),
+               static_cast<unsigned long long>(overload.completed),
+               static_cast<unsigned long long>(overload.rejected),
+               static_cast<unsigned long long>(overload.shed),
+               static_cast<unsigned long long>(overload.deadline_missed));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+  return violation ? 1 : 0;
+}

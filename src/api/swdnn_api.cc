@@ -230,6 +230,11 @@ Status convolution_forward(Handle* handle, const TensorDescriptor& x_desc,
         if (a > 0) {
           ++handle->plan_fallbacks;
           set_error_locked(handle, degrade_reason.c_str());
+        } else {
+          // A clean success invalidates whatever diagnostic a previous
+          // call left behind; a stale message must not be attributed to
+          // this call by an error-reporting layer above.
+          set_error_locked(handle, "");
         }
         handle->last_route = ExecutionRoute::kSimulatedMesh;
         handle->last_plan = to_plan_algo(choice.plan.kind);
@@ -333,6 +338,7 @@ Status convolution_backward_data(Handle* handle,
           conv::swconv_backward_data(handle->sw, dout, filter, din, shape);
       std::lock_guard<std::mutex> lock(handle->mutex);
       handle->dma_retries += result.stats.dma_retries;
+      set_error_locked(handle, "");  // clean success clears stale errors
       handle->last_route = ExecutionRoute::kSimulatedMesh;
       handle->last_plan = to_plan_algo(result.choice.plan.kind);
     } catch (const sim::LaunchFault& e) {
@@ -419,6 +425,7 @@ Status convolution_backward_filter(Handle* handle,
     {
       std::lock_guard<std::mutex> lock(handle->mutex);
       handle->dma_retries += stats.dma_retries;
+      set_error_locked(handle, "");  // clean success clears stale errors
       handle->last_route = ExecutionRoute::kSimulatedMesh;
     }
     std::copy(dfilter.data().begin(), dfilter.data().end(), dw);

@@ -202,10 +202,12 @@ Status set_event_tracer(Handle* handle, sim::EventTracer* tracer);
 
 /// Human-readable message of the last failure (kExecutionFailed,
 /// kTransientFault, kDeviceFault, or an absorbed fault that forced a
-/// host fallback) on this handle. The storage is a fixed-size buffer
-/// inside the handle: the pointer stays valid until the next failing
-/// call on this handle or destroy(), and is unaffected by calls on
-/// other handles.
+/// host or plan fallback) on this handle. A clean, non-degraded
+/// success CLEARS the buffer to "" — the message always describes the
+/// most recent call that failed or degraded, never a stale one. The
+/// storage is a fixed-size buffer inside the handle: the pointer stays
+/// valid until the next call on this handle or destroy(), and is
+/// unaffected by calls on other handles.
 const char* last_error_message(const Handle* handle);
 
 // --- Fault injection and resilience ---------------------------------------

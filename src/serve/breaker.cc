@@ -1,0 +1,81 @@
+#include "src/serve/breaker.h"
+
+namespace swdnn::serve {
+
+const char* breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(const BreakerConfig& config)
+    : config_(config) {
+  if (config_.failure_threshold < 1) config_.failure_threshold = 1;
+}
+
+CircuitBreaker::Admission CircuitBreaker::admit(TimePoint now) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      return Admission::kAdmit;
+    case BreakerState::kOpen:
+      if (now - opened_at_ < config_.open_duration) return Admission::kReject;
+      state_ = BreakerState::kHalfOpen;
+      probe_in_flight_ = false;
+      [[fallthrough]];
+    case BreakerState::kHalfOpen:
+      if (probe_in_flight_) return Admission::kReject;
+      probe_in_flight_ = true;
+      return Admission::kProbe;
+  }
+  return Admission::kReject;
+}
+
+void CircuitBreaker::on_success(bool was_probe) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case BreakerState::kHalfOpen:
+      if (!was_probe) break;  // stale pre-trip work; the probe decides
+      state_ = BreakerState::kClosed;
+      consecutive_failures_ = 0;
+      probe_in_flight_ = false;
+      break;
+    case BreakerState::kOpen:
+      break;  // stale outcome; the cool-down stands
+  }
+}
+
+void CircuitBreaker::on_failure(TimePoint now, bool was_probe) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (++consecutive_failures_ >= config_.failure_threshold) trip(now);
+      break;
+    case BreakerState::kHalfOpen:
+      if (!was_probe) break;
+      probe_in_flight_ = false;
+      trip(now);
+      break;
+    case BreakerState::kOpen:
+      break;
+  }
+}
+
+void CircuitBreaker::on_probe_abandoned() {
+  if (state_ == BreakerState::kHalfOpen) probe_in_flight_ = false;
+}
+
+void CircuitBreaker::trip(TimePoint now) {
+  state_ = BreakerState::kOpen;
+  opened_at_ = now;
+  consecutive_failures_ = 0;
+  ++trips_;
+}
+
+}  // namespace swdnn::serve

@@ -1,0 +1,87 @@
+#pragma once
+// Per-tenant circuit breaker.
+//
+// One tenant whose requests keep tripping faults must not be allowed to
+// occupy batch slots, burn serve-level retries, and inflate every other
+// tenant's latency. The classic answer is a circuit breaker per tenant:
+//
+//   kClosed    normal admission; `failure_threshold` CONSECUTIVE
+//              failures trip the breaker (one success resets the run).
+//   kOpen      every admission is refused for `open_duration`; the
+//              tenant's faults cost the server nothing but the refusal.
+//   kHalfOpen  after the cool-down, exactly ONE probe request is
+//              admitted. Its success closes the breaker; its failure
+//              re-opens it for another full cool-down.
+//
+// Failures that count are execution faults (serve-level injected faults
+// and backend kTransientFault/kDeviceFault/kExecutionFailed outcomes) —
+// admission rejections, sheds, and deadline sweeps are server policy,
+// not tenant misbehaviour, and leave the failure run untouched. A probe
+// that is resolved without executing (shed, deadline, shutdown) must
+// release the probe slot via on_probe_abandoned() so the breaker cannot
+// wedge half-open forever.
+//
+// Threading: the breaker is a plain state machine with NO internal
+// locking; InferenceServer mutates it under its queue mutex. Time is
+// always passed in, never read from a clock, so unit tests drive the
+// full state space deterministically with hand-made time points.
+
+#include <chrono>
+#include <cstdint>
+
+namespace swdnn::serve {
+
+struct BreakerConfig {
+  /// Consecutive execution failures that trip kClosed -> kOpen.
+  int failure_threshold = 3;
+  /// Cool-down before a kOpen breaker admits its half-open probe.
+  std::chrono::steady_clock::duration open_duration =
+      std::chrono::milliseconds(10);
+};
+
+enum class BreakerState { kClosed = 0, kOpen, kHalfOpen };
+
+const char* breaker_state_name(BreakerState state);
+
+class CircuitBreaker {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  explicit CircuitBreaker(const BreakerConfig& config = {});
+
+  /// Admission decision for a new request at `now`. kProbe means the
+  /// request was admitted as the half-open probe: the server must
+  /// report its outcome (on_success / on_failure with was_probe=true)
+  /// or release the slot (on_probe_abandoned).
+  enum class Admission { kAdmit = 0, kProbe, kReject };
+  Admission admit(TimePoint now);
+
+  /// Outcome of an executed request. `was_probe` marks the half-open
+  /// probe; outcomes of requests admitted before a trip (stale
+  /// in-flight work) are ignored while the breaker is open/half-open so
+  /// they cannot corrupt the probe protocol.
+  void on_success(bool was_probe);
+  void on_failure(TimePoint now, bool was_probe);
+
+  /// The half-open probe was resolved without executing (shed,
+  /// deadline sweep, shutdown): release the slot so the next admission
+  /// becomes the probe.
+  void on_probe_abandoned();
+
+  BreakerState state() const { return state_; }
+  /// Closed -> open transitions since construction.
+  std::uint64_t trips() const { return trips_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+
+ private:
+  void trip(TimePoint now);
+
+  BreakerConfig config_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  bool probe_in_flight_ = false;
+  TimePoint opened_at_{};
+  std::uint64_t trips_ = 0;
+};
+
+}  // namespace swdnn::serve

@@ -1,0 +1,68 @@
+#include "src/serve/chaos.h"
+
+#include "src/util/rng.h"
+
+namespace swdnn::serve {
+
+namespace {
+
+/// splitmix64 finalizer (same construction as sim::FaultInjector):
+/// decorrelates the (seed, tenant, sequence) tuple before it seeds the
+/// decision draw.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ServeFaultInjector::ServeFaultInjector(ServeFaultPlan plan)
+    : plan_(std::move(plan)) {}
+
+api::Status ServeFaultInjector::poll(int tenant) {
+  const auto it = plan_.tenants.find(tenant);
+  if (it == plan_.tenants.end()) return api::Status::kSuccess;
+  const TenantFaultProfile& profile = it->second;
+
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    seq = sequence_[tenant]++;
+  }
+
+  bool fires = seq < profile.fail_first;
+  if (!fires && profile.fail_rate > 0.0) {
+    if (profile.fail_rate >= 1.0) {
+      fires = true;
+    } else {
+      util::Rng rng(mix(plan_.seed ^
+                        mix(static_cast<std::uint64_t>(tenant) ^ mix(seq))));
+      fires = rng.uniform(0.0, 1.0) < profile.fail_rate;
+    }
+  }
+  if (!fires) return api::Status::kSuccess;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++injected_[tenant];
+  }
+  return profile.persistent ? api::Status::kDeviceFault
+                            : api::Status::kTransientFault;
+}
+
+std::uint64_t ServeFaultInjector::injected(int tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = injected_.find(tenant);
+  return it == injected_.end() ? 0 : it->second;
+}
+
+std::uint64_t ServeFaultInjector::total_injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [tenant, count] : injected_) total += count;
+  return total;
+}
+
+}  // namespace swdnn::serve

@@ -1,0 +1,71 @@
+#pragma once
+// Deterministic serve-level fault injection (per-tenant chaos drills).
+//
+// sim::FaultPlan injects faults at the DEVICE layer: DMA, LDM, bus and
+// NoC sites inside a launch. Those faults are shared by whatever batch
+// is on the mesh and are absorbed by the handle's retry/host-fallback
+// ladder, so a forward-only serving path rarely surfaces them as
+// statuses — and they can never be attributed to one tenant of a mixed
+// batch. Chaos-testing the SERVING policies (per-tenant breakers,
+// serve-level retry, load isolation) therefore needs a second injection
+// point: a request-level fault plan that fails specific tenants'
+// executions with the same fault vocabulary (kTransientFault /
+// kDeviceFault) the backend uses. It stands in for the
+// tenant-attributable failures a real deployment sees — a tenant's
+// corrupt inputs, a poisoned model partition, a bad replica route.
+//
+// Determinism mirrors sim::FaultInjector: every decision is a pure
+// function of (plan seed, tenant, per-tenant sequence number), so a
+// soak run schedules the same injections regardless of thread
+// interleaving of OTHER tenants. (A tenant's own submission order is
+// its sequence order.)
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "src/api/swdnn_api.h"
+
+namespace swdnn::serve {
+
+/// Per-tenant failure profile. `fail_first` faults the tenant's first N
+/// execution attempts deterministically (the breaker/retry tests' knob,
+/// like FaultPlan::fail_first_dma); `fail_rate` then faults subsequent
+/// attempts with seeded probability.
+struct TenantFaultProfile {
+  std::uint64_t fail_first = 0;
+  double fail_rate = 0.0;
+  /// Report kDeviceFault (persistent; never retried at the serve
+  /// layer) instead of kTransientFault.
+  bool persistent = false;
+};
+
+struct ServeFaultPlan {
+  std::uint64_t seed = 0;
+  std::map<int, TenantFaultProfile> tenants;
+};
+
+/// Stateful injector for one campaign. poll() advances the tenant's
+/// sequence counter and returns the status its next execution attempt
+/// is forced to report: kSuccess (no injection), kTransientFault, or
+/// kDeviceFault. Thread-safe.
+class ServeFaultInjector {
+ public:
+  explicit ServeFaultInjector(ServeFaultPlan plan);
+
+  const ServeFaultPlan& plan() const { return plan_; }
+
+  api::Status poll(int tenant);
+
+  /// Faults injected for `tenant` / in total so far.
+  std::uint64_t injected(int tenant) const;
+  std::uint64_t total_injected() const;
+
+ private:
+  ServeFaultPlan plan_;
+  mutable std::mutex mutex_;
+  std::map<int, std::uint64_t> sequence_;
+  std::map<int, std::uint64_t> injected_;
+};
+
+}  // namespace swdnn::serve

@@ -1,0 +1,585 @@
+#include "src/serve/server.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "src/sim/trace.h"
+
+namespace swdnn::serve {
+
+namespace {
+
+std::int64_t product(const std::vector<std::int64_t>& dims) {
+  std::int64_t n = 1;
+  for (const std::int64_t d : dims) n *= d;
+  return n;
+}
+
+double ms_since(Clock::time_point begin) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - begin)
+      .count();
+}
+
+/// Exponential retry backoff, saturating at a hard cap so repeated
+/// doubling can never overflow the duration representation (the
+/// wall-clock analogue of sim::retry_backoff_cycles' saturation).
+Clock::duration retry_backoff_after(Clock::duration base, int attempts) {
+  static constexpr auto kCap = std::chrono::seconds(10);
+  Clock::duration backoff = base;
+  for (int k = 1; k < attempts && backoff < kCap; ++k) backoff *= 2;
+  return std::min<Clock::duration>(backoff, kCap);
+}
+
+}  // namespace
+
+void pack_sample(tensor::Tensor& batch, int slot,
+                 std::span<const double> sample) {
+  if (batch.rank() < 1) {
+    throw std::invalid_argument("pack_sample: batch tensor has no batch axis");
+  }
+  const std::int64_t b = batch.dims().back();
+  if (slot < 0 || slot >= b ||
+      static_cast<std::int64_t>(sample.size()) * b != batch.size()) {
+    throw std::invalid_argument("pack_sample: slot/sample size mismatch");
+  }
+  std::span<double> out = batch.data();
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    out[i * static_cast<std::size_t>(b) + static_cast<std::size_t>(slot)] =
+        sample[i];
+  }
+}
+
+tensor::Tensor extract_sample(const tensor::Tensor& batch, int slot) {
+  if (batch.rank() < 1) {
+    throw std::invalid_argument(
+        "extract_sample: batch tensor has no batch axis");
+  }
+  const std::int64_t b = batch.dims().back();
+  if (slot < 0 || slot >= b) {
+    throw std::invalid_argument("extract_sample: slot out of range");
+  }
+  std::vector<std::int64_t> dims = batch.dims();
+  dims.back() = 1;
+  tensor::Tensor out(dims);
+  std::span<double> dst = out.data();
+  std::span<const double> src = batch.data();
+  for (std::int64_t i = 0; i < out.size(); ++i) {
+    dst[static_cast<std::size_t>(i)] =
+        src[static_cast<std::size_t>(i * b + slot)];
+  }
+  return out;
+}
+
+InferenceServer::InferenceServer(ModelFactory factory,
+                                 std::vector<std::int64_t> sample_dims,
+                                 ServerConfig config)
+    : config_(config), sample_dims_(std::move(sample_dims)) {
+  config_.max_batch = std::max(config_.max_batch, 1);
+  config_.num_replicas = std::max(config_.num_replicas, 1);
+  config_.max_attempts = std::max(config_.max_attempts, 1);
+  config_.max_queue = std::max<std::size_t>(config_.max_queue, 1);
+  config_.max_queue_per_tenant =
+      std::max<std::size_t>(config_.max_queue_per_tenant, 1);
+  sample_elements_ = product(sample_dims_);
+
+  // One shared backend context: every replica's heavy ops funnel
+  // through one plan cache and one fault/retry/host-fallback ladder.
+  // Configuration happens here, before any serving thread exists (the
+  // handle's configure-then-dispatch contract).
+  context_ = std::make_unique<dnn::BackendContext>(config_.spec);
+  if (config_.tracer != nullptr) context_->set_event_tracer(config_.tracer);
+  if (config_.device_faults != nullptr) {
+    context_->set_fault_plan(config_.device_faults);
+  }
+  context_->set_retry_policy(std::max(config_.device_retry_attempts, 1),
+                             config_.device_retry_backoff);
+  if (config_.request_faults != nullptr) {
+    chaos_ = std::make_unique<ServeFaultInjector>(*config_.request_faults);
+  }
+
+  std::vector<std::int64_t> batched_dims = sample_dims_;
+  batched_dims.push_back(config_.max_batch);
+  lanes_.reserve(static_cast<std::size_t>(config_.num_replicas));
+  for (int r = 0; r < config_.num_replicas; ++r) {
+    Lane lane;
+    lane.net = factory(config_.max_batch);
+    dnn::CompileOptions options;
+    options.context = context_.get();
+    options.tracer = config_.tracer;
+    lane.net->compile(batched_dims, options);
+    lane.net->set_training(false);  // serving = inference mode
+    lane.batch_input = tensor::Tensor(batched_dims);
+    lanes_.push_back(std::move(lane));
+  }
+  output_sample_dims_ = lanes_.front().net->compiled_stats()
+                            .activation_dims.back();
+  output_sample_dims_.back() = 1;
+  output_sample_elements_ = product(output_sample_dims_);
+
+  executors_.reserve(lanes_.size());
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    executors_.emplace_back(&InferenceServer::executor_main, this,
+                            static_cast<int>(i));
+  }
+  watchdog_ = std::thread(&InferenceServer::watchdog_main, this);
+}
+
+InferenceServer::~InferenceServer() { stop(); }
+
+bool InferenceServer::valid_input(const tensor::Tensor& input) const {
+  if (input.size() != sample_elements_) return false;
+  const std::vector<std::int64_t>& dims = input.dims();
+  if (dims == sample_dims_) return true;
+  std::vector<std::int64_t> with_batch = sample_dims_;
+  with_batch.push_back(1);
+  return dims == with_batch;
+}
+
+std::future<ServeResult> InferenceServer::submit(int tenant,
+                                                 tensor::Tensor input) {
+  return submit(tenant, std::move(input),
+                Clock::now() + config_.default_deadline);
+}
+
+std::future<ServeResult> InferenceServer::submit(int tenant,
+                                                 tensor::Tensor input,
+                                                 Clock::time_point deadline) {
+  Pending request;
+  request.tenant = tenant;
+  request.input = std::move(input);
+  request.submitted = Clock::now();
+  request.deadline = deadline;
+  std::future<ServeResult> future = request.promise.get_future();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++counters_.submitted;
+  const Clock::time_point now = request.submitted;
+
+  const auto reject = [&](RejectReason reason, std::uint64_t& counter,
+                          const char* trace_name) {
+    ++counter;
+    trace_instant(trace_name);
+    ServeResult result;
+    result.status = ServeStatus::kRejected;
+    result.reject_reason = reason;
+    resolve_locked(std::move(request), std::move(result));
+  };
+
+  if (stopping_) {
+    reject(RejectReason::kShuttingDown, counters_.rejected_shutdown,
+           "reject shutting-down");
+    return future;
+  }
+  if (!valid_input(request.input)) {
+    reject(RejectReason::kInvalidInput, counters_.rejected_invalid,
+           "reject invalid-input");
+    return future;
+  }
+
+  CircuitBreaker& breaker = breaker_locked(tenant);
+  const CircuitBreaker::Admission admission = breaker.admit(now);
+  if (admission == CircuitBreaker::Admission::kReject) {
+    reject(RejectReason::kBreakerOpen, counters_.rejected_breaker,
+           "reject breaker-open");
+    return future;
+  }
+  request.is_probe = admission == CircuitBreaker::Admission::kProbe;
+
+  const auto release_probe = [&]() {
+    if (request.is_probe) breaker.on_probe_abandoned();
+  };
+
+  if (tenant_queued_[tenant] >= config_.max_queue_per_tenant) {
+    release_probe();
+    reject(RejectReason::kTenantQuota, counters_.rejected_tenant_quota,
+           "reject tenant-quota");
+    return future;
+  }
+
+  if (queue_.size() >= config_.max_queue) {
+    // Load shed: drop the NEWEST queued request of the HEAVIEST tenant
+    // to admit the newcomer — unless the submitter itself is (at least
+    // tied for) heaviest, in which case the submission is refused and
+    // nobody else pays for this tenant's burst.
+    int heaviest = tenant;
+    std::size_t heaviest_count = 0;
+    for (const auto& [t, count] : tenant_queued_) {
+      if (count > heaviest_count ||
+          (count == heaviest_count && count > 0 && t > heaviest)) {
+        heaviest = t;
+        heaviest_count = count;
+      }
+    }
+    if (heaviest_count <= tenant_queued_[tenant]) {
+      release_probe();
+      reject(RejectReason::kQueueFull, counters_.rejected_queue_full,
+             "reject queue-full");
+      return future;
+    }
+    for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
+      if (it->tenant != heaviest) continue;
+      Pending shed = std::move(*it);
+      queue_.erase(std::next(it).base());
+      --tenant_queued_[heaviest];
+      if (shed.is_probe) breaker_locked(heaviest).on_probe_abandoned();
+      ++counters_.shed;
+      trace_instant("shed");
+      ServeResult result;
+      result.status = ServeStatus::kShed;
+      resolve_locked(std::move(shed), std::move(result));
+      break;
+    }
+  }
+
+  ++counters_.admitted;
+  request.flush_at = now + config_.batch_budget;
+  request.not_before = now;
+  ++tenant_queued_[tenant];
+  queue_.push_back(std::move(request));
+  work_cv_.notify_one();
+  return future;
+}
+
+void InferenceServer::executor_main(int lane_index) {
+  Lane& lane = lanes_[static_cast<std::size_t>(lane_index)];
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    const Clock::time_point now = Clock::now();
+    sweep_expired_locked(now);
+
+    // Eligible = past its retry-backoff gate. FIFO over the deque.
+    std::size_t eligible = 0;
+    Clock::time_point min_flush_at = Clock::time_point::max();
+    for (const Pending& p : queue_) {
+      if (p.not_before > now) continue;
+      ++eligible;
+      min_flush_at = std::min(min_flush_at, p.flush_at);
+    }
+
+    const bool full = eligible >= static_cast<std::size_t>(config_.max_batch);
+    const bool expired = eligible > 0 && min_flush_at <= now;
+    if (!full && !expired) {
+      const Clock::time_point wake = next_event_time_locked(now);
+      if (wake == Clock::time_point::max()) {
+        work_cv_.wait(lock);
+      } else {
+        work_cv_.wait_until(lock, wake);
+      }
+      continue;
+    }
+
+    std::vector<Pending> batch;
+    batch.reserve(static_cast<std::size_t>(config_.max_batch));
+    for (auto it = queue_.begin();
+         it != queue_.end() &&
+         batch.size() < static_cast<std::size_t>(config_.max_batch);) {
+      if (it->not_before > now) {
+        ++it;
+        continue;
+      }
+      --tenant_queued_[it->tenant];
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+    }
+    ++counters_.batches;
+    counters_.batched_requests += batch.size();
+    if (full) {
+      ++counters_.full_flushes;
+    } else {
+      ++counters_.deadline_flushes;
+    }
+    if (config_.tracer != nullptr) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "flush %s n=%zu",
+                    full ? "full" : "deadline", batch.size());
+      config_.tracer->record_instant(0, "serve", name);
+    }
+    ++in_flight_batches_;
+    lock.unlock();
+    std::vector<Outcome> outcomes = execute_batch(lane, std::move(batch));
+    lock.lock();
+    --in_flight_batches_;
+    resolve_outcomes_locked(std::move(outcomes), Clock::now());
+    idle_cv_.notify_all();
+  }
+}
+
+std::vector<InferenceServer::Outcome> InferenceServer::execute_batch(
+    Lane& lane, std::vector<Pending> batch) const {
+  std::vector<Outcome> outcomes;
+  outcomes.reserve(batch.size());
+  // Requests the serve-level fault plan fails never reach the backend:
+  // the injected fault is theirs alone, so one tenant's chaos cannot
+  // corrupt batchmates (per-tenant fault isolation starts here).
+  std::vector<std::pair<Pending, int>> executed;  // request, slot
+  executed.reserve(batch.size());
+  try {
+    lane.batch_input.zero();  // empty slots stay deterministic zeros
+    int slot = 0;
+    for (Pending& request : batch) {
+      const api::Status injected =
+          chaos_ != nullptr ? chaos_->poll(request.tenant)
+                            : api::Status::kSuccess;
+      if (injected != api::Status::kSuccess) {
+        Outcome outcome;
+        outcome.request = std::move(request);
+        outcome.status = injected;
+        outcome.error = "injected serve-level fault";
+        outcomes.push_back(std::move(outcome));
+        continue;
+      }
+      pack_sample(lane.batch_input, slot, request.input.data());
+      executed.emplace_back(std::move(request), slot);
+      ++slot;
+    }
+    if (!executed.empty()) {
+      const tensor::Tensor batch_output = lane.net->forward(lane.batch_input);
+      for (auto& [request, out_slot] : executed) {
+        Outcome outcome;
+        outcome.request = std::move(request);
+        outcome.status = api::Status::kSuccess;
+        outcome.output = extract_sample(batch_output, out_slot);
+        outcomes.push_back(std::move(outcome));
+      }
+      executed.clear();
+    }
+  } catch (const dnn::BackendError& e) {
+    for (auto& [request, out_slot] : executed) {
+      Outcome outcome;
+      outcome.request = std::move(request);
+      outcome.status = e.status();
+      outcome.error = e.what();
+      outcomes.push_back(std::move(outcome));
+    }
+  } catch (const std::exception& e) {
+    for (auto& [request, out_slot] : executed) {
+      Outcome outcome;
+      outcome.request = std::move(request);
+      outcome.status = api::Status::kExecutionFailed;
+      outcome.error = e.what();
+      outcomes.push_back(std::move(outcome));
+    }
+  }
+  return outcomes;
+}
+
+void InferenceServer::resolve_outcomes_locked(std::vector<Outcome>&& outcomes,
+                                              Clock::time_point now) {
+  bool requeued = false;
+  for (Outcome& outcome : outcomes) {
+    Pending request = std::move(outcome.request);
+    ++request.attempts;
+    CircuitBreaker& breaker = breaker_locked(request.tenant);
+    const std::uint64_t trips_before = breaker.trips();
+
+    if (outcome.status == api::Status::kSuccess) {
+      breaker.on_success(request.is_probe);
+      ServeResult result;
+      result.attempts = request.attempts;
+      result.backend_status = api::Status::kSuccess;
+      if (now > request.deadline) {
+        // Executed, but past the SLA the client is holding us to: the
+        // honest answer is the deadline status, not a late tensor.
+        ++counters_.deadline_missed;
+        trace_instant("deadline-missed post-exec");
+        result.status = ServeStatus::kDeadlineExceeded;
+      } else {
+        ++counters_.completed;
+        result.status = ServeStatus::kOk;
+        result.output = std::move(outcome.output);
+      }
+      resolve_locked(std::move(request), std::move(result));
+      continue;
+    }
+
+    // Execution fault (serve-level injection or backend status).
+    breaker.on_failure(now, request.is_probe);
+    if (breaker.trips() > trips_before) {
+      ++counters_.breaker_trips;
+      trace_instant("breaker-trip");
+      // A trip degrades health IMMEDIATELY — the watchdog's periodic
+      // recompute would leave a freshly-tripped server reporting
+      // kServing for up to one period.
+      update_health_locked();
+    }
+    request.is_probe = false;  // the probe's outcome has been consumed
+    const bool transient = outcome.status == api::Status::kTransientFault;
+    const Clock::duration backoff =
+        retry_backoff_after(config_.retry_backoff, request.attempts);
+    if (transient && request.attempts < config_.max_attempts && !stopping_ &&
+        now + backoff < request.deadline) {
+      ++counters_.retries;
+      trace_instant("retry");
+      request.not_before = now + backoff;
+      request.flush_at = request.not_before + config_.batch_budget;
+      ++tenant_queued_[request.tenant];
+      queue_.push_back(std::move(request));
+      requeued = true;
+      continue;
+    }
+    ++counters_.failed;
+    ServeResult result;
+    result.status = ServeStatus::kFailed;
+    result.backend_status = outcome.status;
+    result.attempts = request.attempts;
+    result.error = std::move(outcome.error);
+    resolve_locked(std::move(request), std::move(result));
+  }
+  if (requeued) work_cv_.notify_all();
+}
+
+void InferenceServer::resolve_locked(Pending&& request, ServeResult&& result) {
+  result.latency_ms = ms_since(request.submitted);
+  if (result.attempts == 0) result.attempts = request.attempts;
+  request.promise.set_value(std::move(result));
+}
+
+void InferenceServer::sweep_expired_locked(Clock::time_point now) {
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->deadline > now) {
+      ++it;
+      continue;
+    }
+    Pending expired = std::move(*it);
+    it = queue_.erase(it);
+    --tenant_queued_[expired.tenant];
+    if (expired.is_probe) {
+      breaker_locked(expired.tenant).on_probe_abandoned();
+    }
+    ++counters_.deadline_missed;
+    trace_instant("deadline-missed queued");
+    ServeResult result;
+    result.status = ServeStatus::kDeadlineExceeded;
+    resolve_locked(std::move(expired), std::move(result));
+  }
+}
+
+Clock::time_point InferenceServer::next_event_time_locked(
+    Clock::time_point now) const {
+  Clock::time_point wake = Clock::time_point::max();
+  for (const Pending& p : queue_) {
+    wake = std::min(wake, p.deadline);
+    wake = std::min(wake, p.not_before > now ? p.not_before : p.flush_at);
+  }
+  return wake;
+}
+
+void InferenceServer::update_health_locked() {
+  if (stopping_) return;  // stop() owns the draining/stopped states
+  bool breaker_open = false;
+  for (const auto& [tenant, breaker] : breakers_) {
+    if (breaker.state() != BreakerState::kClosed) breaker_open = true;
+  }
+  const std::uint64_t distress =
+      (counters_.shed - health_snapshot_.shed) +
+      (counters_.deadline_missed - health_snapshot_.deadline_missed) +
+      (counters_.failed - health_snapshot_.failed) +
+      (counters_.rejected() - health_snapshot_.rejected());
+  const HealthState next = (breaker_open || distress > 0)
+                               ? HealthState::kDegraded
+                               : HealthState::kServing;
+  if (next != health_) {
+    health_ = next;
+    trace_instant(next == HealthState::kDegraded ? "health degraded"
+                                                 : "health serving");
+  }
+  health_snapshot_ = counters_;
+}
+
+void InferenceServer::watchdog_main() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    watchdog_cv_.wait_for(lock, config_.watchdog_period);
+    if (stopping_) break;
+    sweep_expired_locked(Clock::now());
+    update_health_locked();
+    // Kick the executors: a flush budget may have expired while every
+    // lane was waiting on a stale wake time.
+    work_cv_.notify_all();
+  }
+}
+
+void InferenceServer::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [&] {
+    return (queue_.empty() && in_flight_batches_ == 0) || stopping_;
+  });
+}
+
+void InferenceServer::stop() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (health_ == HealthState::kStopped) return;
+    stopping_ = true;
+    health_ = HealthState::kDraining;
+    while (!queue_.empty()) {
+      Pending pending = std::move(queue_.front());
+      queue_.pop_front();
+      --tenant_queued_[pending.tenant];
+      ServeResult result;
+      result.status = ServeStatus::kShutdown;
+      resolve_locked(std::move(pending), std::move(result));
+    }
+    work_cv_.notify_all();
+    watchdog_cv_.notify_all();
+    idle_cv_.notify_all();
+  }
+  for (std::thread& t : executors_) {
+    if (t.joinable()) t.join();
+  }
+  if (watchdog_.joinable()) watchdog_.join();
+  std::unique_lock<std::mutex> lock(mutex_);
+  health_ = HealthState::kStopped;
+}
+
+ServingCounters InferenceServer::counters() const {
+  ServingCounters out;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    out = counters_;
+  }
+  if (chaos_ != nullptr) out.chaos_injected = chaos_->total_injected();
+  const api::FaultCounters backend = context_->fault_counters();
+  out.host_fallbacks = backend.host_fallbacks;
+  out.plan_fallbacks = backend.plan_fallbacks;
+  out.dma_retries = backend.dma_retries;
+  return out;
+}
+
+HealthState InferenceServer::health() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return health_;
+}
+
+BreakerState InferenceServer::tenant_breaker(int tenant) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = breakers_.find(tenant);
+  return it == breakers_.end() ? BreakerState::kClosed : it->second.state();
+}
+
+std::uint64_t InferenceServer::tenant_breaker_trips(int tenant) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = breakers_.find(tenant);
+  return it == breakers_.end() ? 0 : it->second.trips();
+}
+
+const dnn::CompiledStats& InferenceServer::compiled_stats() const {
+  return lanes_.front().net->compiled_stats();
+}
+
+CircuitBreaker& InferenceServer::breaker_locked(int tenant) {
+  const auto it = breakers_.find(tenant);
+  if (it != breakers_.end()) return it->second;
+  return breakers_.emplace(tenant, CircuitBreaker(config_.breaker))
+      .first->second;
+}
+
+void InferenceServer::trace_instant(const char* name) const {
+  if (config_.tracer != nullptr) {
+    config_.tracer->record_instant(0, "serve", name);
+  }
+}
+
+}  // namespace swdnn::serve

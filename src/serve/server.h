@@ -1,0 +1,273 @@
+#pragma once
+// Resilient inference server over compiled graphs.
+//
+// Concurrent client streams submit SINGLE samples; the server coalesces
+// them into mesh-friendly batches under a latency budget and executes
+// them on compiled Network replicas that share one BackendContext (one
+// api::Handle: one plan cache, one fault/retry/host-fallback ladder,
+// one tracer — the swCaffe-style "one library handle per process"
+// shape). The datacenter-inference tradeoff this models is the TPU
+// paper's: batch bigger for throughput, flush earlier for the latency
+// SLA; `ServerConfig::max_batch` and `batch_budget` are exactly those
+// two knobs.
+//
+// Resilience layers, outermost first:
+//   * Admission control: a bounded global queue, a per-tenant queued
+//     quota, and a per-tenant circuit breaker consulted at submit().
+//     Refusals resolve IMMEDIATELY as kRejected — overload is answered
+//     with a status, never with unbounded queueing latency.
+//   * Load shedding: when the global queue is full, the newest queued
+//     request of the HEAVIEST tenant is shed (kShed) to make room —
+//     unless the submitter itself is heaviest, in which case the
+//     submission is the one refused (kQueueFull).
+//   * Deadlines: every request carries an absolute deadline (explicit,
+//     or submit-time + default_deadline). Expired requests are swept to
+//     kDeadlineExceeded by the executors and the watchdog whether or
+//     not a batch ever formed; a request whose execution finishes past
+//     its deadline also resolves kDeadlineExceeded (the client has
+//     already given up — delivering the tensor would be a lie about
+//     the SLA).
+//   * Serve-level retry: an execution attempt that reports a transient
+//     fault is re-enqueued with exponential backoff (retry_backoff <<
+//     attempt, saturating) while attempts and the deadline allow;
+//     persistent faults fail fast. Below this sits the handle's own
+//     ladder (tile retries -> ranked-plan fallback -> host-GEMM route),
+//     configured through the same ServerConfig.
+//   * Per-tenant circuit breakers (serve/breaker.h) so a tenant whose
+//     requests keep faulting is refused at admission instead of
+//     occupying batch slots, while other tenants keep their SLAs.
+//   * A watchdog thread sweeps deadlines even when every executor is
+//     busy and recomputes HealthState each period.
+//
+// Batching and bitwise identity: a batch tensor is ALWAYS the compiled
+// full batch (empty slots zero-filled), so the backend sees one shape,
+// plans stay cached, and a sample's result never depends on how full
+// its batch happened to be. Each replica's weights come from the same
+// factory, so any lane computes bitwise-identical outputs; the chaos
+// soak test pins the whole stack to "bitwise-equal to unfaulted eager
+// execution" for every accepted request.
+//
+// Threading: submit() may be called from any number of client threads.
+// One executor thread per replica forms and runs batches; the watchdog
+// is one more thread. All queue/breaker/counter state is guarded by one
+// mutex; execution itself runs unlocked (the Handle is internally
+// concurrency-safe). stop() (also run by the destructor) resolves every
+// still-pending request as kShutdown and joins the threads.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/dnn/backend_context.h"
+#include "src/dnn/network.h"
+#include "src/serve/breaker.h"
+#include "src/serve/chaos.h"
+#include "src/serve/serving.h"
+#include "src/tensor/tensor.h"
+
+namespace swdnn::serve {
+
+using Clock = std::chrono::steady_clock;
+
+struct ServerConfig {
+  /// Compiled batch size = the flush-on-full threshold. Mesh-friendly
+  /// values (divisible batch dims) keep the fast route; the server
+  /// works with any value >= 1.
+  int max_batch = 4;
+  /// Latency budget of the batcher: a pending request is flushed no
+  /// later than this after admission, full batch or not.
+  Clock::duration batch_budget = std::chrono::microseconds(500);
+  /// Deadline assigned when submit() is called without one.
+  Clock::duration default_deadline = std::chrono::milliseconds(200);
+  /// Compiled Network replicas = concurrent executor lanes. All share
+  /// one BackendContext.
+  int num_replicas = 1;
+  /// Global pending-queue bound (admission control).
+  std::size_t max_queue = 64;
+  /// Per-tenant bound on queued requests (quota).
+  std::size_t max_queue_per_tenant = 32;
+  /// Serve-level execution attempts per request (>= 1); attempts after
+  /// a transient fault re-enqueue with backoff.
+  int max_attempts = 1;
+  /// Base backoff before retry attempt k+1: retry_backoff << (k-1),
+  /// saturating (mirrors sim::retry_backoff_cycles, in wall time).
+  Clock::duration retry_backoff = std::chrono::microseconds(200);
+  BreakerConfig breaker;
+  /// Watchdog sweep/health period.
+  Clock::duration watchdog_period = std::chrono::milliseconds(1);
+
+  // --- backend fault ladder (configured on the shared context before
+  // any serving thread starts) --------------------------------------
+  /// Device-level fault campaign (copied by the handle); nullptr = none.
+  const sim::FaultPlan* device_faults = nullptr;
+  /// Tile-level DMA retry policy for the handle's ladder.
+  int device_retry_attempts = 3;
+  std::uint64_t device_retry_backoff = 16;
+  /// Serve-level per-tenant fault campaign (copied); nullptr = none.
+  const ServeFaultPlan* request_faults = nullptr;
+  /// Machine spec for the shared context (nullptr = real SW26010).
+  const arch::Sw26010Spec* spec = nullptr;
+  /// Tracer: receives backend events plus "serve" instants
+  /// (batch flushes, sheds, breaker transitions, deadline sweeps).
+  sim::EventTracer* tracer = nullptr;
+};
+
+/// Terminal answer delivered through the request's future.
+struct ServeResult {
+  ServeStatus status = ServeStatus::kFailed;
+  RejectReason reject_reason = RejectReason::kNone;
+  /// Fault classification for kFailed (and the injected status for
+  /// chaos-failed attempts): kTransientFault / kDeviceFault /
+  /// kExecutionFailed.
+  api::Status backend_status = api::Status::kSuccess;
+  /// Valid when status == kOk; dims are the model's per-sample output
+  /// (batch axis = 1).
+  tensor::Tensor output;
+  /// Execution attempts consumed (0 when never executed).
+  int attempts = 0;
+  /// submit() -> resolution.
+  double latency_ms = 0.0;
+  std::string error;
+};
+
+class InferenceServer {
+ public:
+  /// Builds one model replica for the given batch size. Called once
+  /// per replica with config.max_batch; every replica must produce
+  /// identical weights (seed the factory's Rng per call).
+  using ModelFactory =
+      std::function<std::unique_ptr<dnn::Network>(std::int64_t batch)>;
+
+  /// Compiles `num_replicas` networks over `sample_dims` + batch axis
+  /// and starts the serving threads. `sample_dims` are the per-sample
+  /// input dims WITHOUT the batch axis (e.g. {28, 28, 3}).
+  /// Throws whatever Network::compile throws on a bad model/shape.
+  InferenceServer(ModelFactory factory, std::vector<std::int64_t> sample_dims,
+                  ServerConfig config = {});
+  ~InferenceServer();
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Submits one sample for tenant `tenant` with the default deadline.
+  /// The input must carry dims == sample_dims or sample_dims + {1}.
+  /// The returned future ALWAYS becomes ready with a terminal status.
+  std::future<ServeResult> submit(int tenant, tensor::Tensor input);
+  std::future<ServeResult> submit(int tenant, tensor::Tensor input,
+                                  Clock::time_point deadline);
+
+  /// Blocks until the queue is empty and no batch is in flight (all
+  /// accepted work resolved). Tests and benches use it as a phase
+  /// barrier; clients never need it.
+  void drain();
+
+  /// Resolves every pending request as kShutdown and joins the
+  /// serving threads. Idempotent; the destructor calls it.
+  void stop();
+
+  ServingCounters counters() const;
+  HealthState health() const;
+  BreakerState tenant_breaker(int tenant) const;
+  std::uint64_t tenant_breaker_trips(int tenant) const;
+
+  const dnn::CompiledStats& compiled_stats() const;
+  dnn::BackendContext& context() { return *context_; }
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    int tenant = 0;
+    tensor::Tensor input;
+    std::promise<ServeResult> promise;
+    Clock::time_point submitted{};
+    Clock::time_point deadline{};
+    Clock::time_point flush_at{};    ///< admission (or requeue) + budget
+    Clock::time_point not_before{};  ///< retry backoff gate
+    int attempts = 0;
+    bool is_probe = false;  ///< the tenant breaker's half-open probe
+  };
+
+  /// One executor lane: a compiled replica plus its reusable batch
+  /// input tensor. Owned exclusively by its executor thread after
+  /// construction.
+  struct Lane {
+    std::unique_ptr<dnn::Network> net;
+    tensor::Tensor batch_input;
+  };
+
+  /// Outcome of one request's execution attempt, resolved back into
+  /// queue/breaker state under the mutex.
+  struct Outcome {
+    Pending request;
+    api::Status status = api::Status::kSuccess;
+    tensor::Tensor output;  ///< valid on kSuccess
+    std::string error;
+  };
+
+  void executor_main(int lane_index);
+  void watchdog_main();
+
+  /// Runs one batch on `lane` (no lock held): polls the chaos plan per
+  /// request, packs the survivors, steps the replica, extracts per-slot
+  /// outputs. Batch-wide backend errors become per-request outcomes.
+  std::vector<Outcome> execute_batch(Lane& lane,
+                                     std::vector<Pending> batch) const;
+
+  // Locked helpers (mutex_ held).
+  void resolve_locked(Pending&& request, ServeResult&& result);
+  void resolve_outcomes_locked(std::vector<Outcome>&& outcomes,
+                               Clock::time_point now);
+  void sweep_expired_locked(Clock::time_point now);
+  void update_health_locked();
+  Clock::time_point next_event_time_locked(Clock::time_point now) const;
+  CircuitBreaker& breaker_locked(int tenant);
+  void trace_instant(const char* name) const;
+
+  bool valid_input(const tensor::Tensor& input) const;
+
+  ServerConfig config_;
+  std::vector<std::int64_t> sample_dims_;
+  std::int64_t sample_elements_ = 0;
+  std::vector<std::int64_t> output_sample_dims_;
+  std::int64_t output_sample_elements_ = 0;
+
+  std::unique_ptr<dnn::BackendContext> context_;
+  std::unique_ptr<ServeFaultInjector> chaos_;
+  std::vector<Lane> lanes_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;      ///< executors wait here
+  std::condition_variable idle_cv_;      ///< drain() waits here
+  std::condition_variable watchdog_cv_;  ///< watchdog period sleep
+  std::deque<Pending> queue_;
+  std::map<int, std::size_t> tenant_queued_;
+  std::map<int, CircuitBreaker> breakers_;
+  ServingCounters counters_;
+  ServingCounters health_snapshot_;  ///< counters at last watchdog tick
+  HealthState health_ = HealthState::kServing;
+  int in_flight_batches_ = 0;
+  bool stopping_ = false;
+
+  std::vector<std::thread> executors_;
+  std::thread watchdog_;
+};
+
+/// Copies one sample (size = batch.size() / B) into slot `slot` of a
+/// batch tensor whose LAST axis is the batch: element i of the sample
+/// lands at batch[i * B + slot]. Exposed for tests and benches.
+void pack_sample(tensor::Tensor& batch, int slot,
+                 std::span<const double> sample);
+
+/// Extracts slot `slot` of a batch tensor into a fresh tensor with the
+/// batch axis collapsed to 1.
+tensor::Tensor extract_sample(const tensor::Tensor& batch, int slot);
+
+}  // namespace swdnn::serve

@@ -1,0 +1,55 @@
+#include "src/serve/serving.h"
+
+namespace swdnn::serve {
+
+const char* serve_status_name(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk:
+      return "ok";
+    case ServeStatus::kRejected:
+      return "rejected";
+    case ServeStatus::kShed:
+      return "shed";
+    case ServeStatus::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case ServeStatus::kFailed:
+      return "failed";
+    case ServeStatus::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+const char* reject_reason_name(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kQueueFull:
+      return "queue-full";
+    case RejectReason::kTenantQuota:
+      return "tenant-quota";
+    case RejectReason::kBreakerOpen:
+      return "breaker-open";
+    case RejectReason::kInvalidInput:
+      return "invalid-input";
+    case RejectReason::kShuttingDown:
+      return "shutting-down";
+  }
+  return "unknown";
+}
+
+const char* health_state_name(HealthState state) {
+  switch (state) {
+    case HealthState::kServing:
+      return "serving";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kDraining:
+      return "draining";
+    case HealthState::kStopped:
+      return "stopped";
+  }
+  return "unknown";
+}
+
+}  // namespace swdnn::serve

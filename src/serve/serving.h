@@ -1,0 +1,96 @@
+#pragma once
+// Shared vocabulary of the inference serving runtime.
+//
+// The serving stack (src/serve/server.h) composes the library's
+// existing resilience machinery — the thread-safe api::Handle, the
+// shape-keyed plan cache, compiled Network graphs, and the
+// fault-injection/retry ladder — into a front end that keeps answering
+// under overload, injected faults, and misbehaving tenants. This header
+// holds the request/response vocabulary those pieces agree on: terminal
+// request statuses, rejection reasons, the serving counters, and the
+// health states the watchdog reports.
+//
+// The contract the whole stack is built around: EVERY submitted request
+// resolves to exactly one terminal ServeStatus. There is no "lost"
+// outcome — overload answers kRejected or kShed, a missed SLA answers
+// kDeadlineExceeded, shutdown answers kShutdown — so a client's future
+// always becomes ready and latency is bounded by policy, not by queue
+// depth.
+
+#include <cstdint>
+
+namespace swdnn::serve {
+
+/// Terminal outcome of a submitted request. Exactly one is delivered
+/// per request.
+enum class ServeStatus {
+  kOk = 0,            ///< executed; the result tensor is valid
+  kRejected,          ///< refused at admission (see RejectReason)
+  kShed,              ///< admitted, then dropped by the load-shed policy
+  kDeadlineExceeded,  ///< the per-request deadline expired
+  kFailed,            ///< execution failed after all permitted attempts
+  kShutdown,          ///< the server stopped before the request ran
+};
+
+const char* serve_status_name(ServeStatus status);
+
+/// Why admission refused a request (kRejected only).
+enum class RejectReason {
+  kNone = 0,
+  kQueueFull,     ///< global queue at capacity and shedding not possible
+  kTenantQuota,   ///< the tenant's queued-request quota is exhausted
+  kBreakerOpen,   ///< the tenant's circuit breaker is open
+  kInvalidInput,  ///< the sample's dims do not match the served model
+  kShuttingDown,  ///< submitted after stop() began
+};
+
+const char* reject_reason_name(RejectReason reason);
+
+/// Serving-level counters, exposed via InferenceServer::counters() and
+/// emitted as "serve" trace instants when a tracer is attached. The
+/// backend-ladder fields at the bottom are snapshots of the shared
+/// BackendContext's fault counters, so one query shows both layers of
+/// the degradation story.
+struct ServingCounters {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_tenant_quota = 0;
+  std::uint64_t rejected_breaker = 0;
+  std::uint64_t rejected_invalid = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t shed = 0;             ///< load-shed after admission
+  std::uint64_t deadline_missed = 0;  ///< resolved kDeadlineExceeded
+  std::uint64_t completed = 0;        ///< resolved kOk
+  std::uint64_t failed = 0;           ///< resolved kFailed
+  std::uint64_t retries = 0;          ///< re-enqueues after a transient fault
+  std::uint64_t breaker_trips = 0;    ///< closed -> open transitions
+  std::uint64_t chaos_injected = 0;   ///< serve-level injected faults seen
+  std::uint64_t batches = 0;          ///< executed batches
+  std::uint64_t batched_requests = 0; ///< requests carried by those batches
+  std::uint64_t full_flushes = 0;     ///< batches flushed on batch-full
+  std::uint64_t deadline_flushes = 0; ///< batches flushed on budget expiry
+  // Backend fault-ladder snapshot (from the shared context's handle).
+  std::uint64_t host_fallbacks = 0;
+  std::uint64_t plan_fallbacks = 0;
+  std::uint64_t dma_retries = 0;
+
+  std::uint64_t rejected() const {
+    return rejected_queue_full + rejected_tenant_quota + rejected_breaker +
+           rejected_invalid + rejected_shutdown;
+  }
+};
+
+/// Coarse server health, recomputed by the watchdog each period.
+enum class HealthState {
+  kServing = 0,  ///< steady state: no breaker open, no recent distress
+  kDegraded,     ///< at least one breaker open, or the last watchdog
+                 ///< window saw sheds / deadline misses / failures /
+                 ///< host-route degradations
+  kDraining,     ///< stop() in progress; pending work being resolved
+  kStopped,      ///< all threads joined; no further submissions
+};
+
+const char* health_state_name(HealthState state);
+
+}  // namespace swdnn::serve

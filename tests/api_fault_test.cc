@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <limits>
 #include <set>
 #include <string>
 #include <vector>
@@ -201,6 +202,74 @@ TEST_F(ApiFaultTest, BackwardFilterTransientFaultClearsOnRetry) {
   for (std::int64_t i = 0; i < expected.size(); ++i) {
     EXPECT_NEAR(dw[static_cast<std::size_t>(i)], expected.data()[i], 1e-9);
   }
+}
+
+TEST_F(ApiFaultTest, RetryBackoffSaturatesThroughApiForLargeAttempts) {
+  // Regression: backoff_cycles << (attempt - 1) must SATURATE, not wrap
+  // or hit shift UB, once a large max_attempts pushes the exponent past
+  // 63. First the arithmetic itself...
+  const sim::RetryPolicy policy{128, 16};
+  EXPECT_EQ(sim::retry_backoff_cycles(policy, 2), 32u);
+  EXPECT_EQ(sim::retry_backoff_cycles(policy, 70),
+            std::numeric_limits<std::uint64_t>::max());
+  // ...then the same regime through the PUBLIC API: 70 faulting DMA
+  // attempts per CPE under a 128-attempt policy drives per-transfer
+  // retries deep into the saturated-backoff range. The call must stay
+  // on the mesh route and produce bits identical to the clean run —
+  // saturation only pins the simulated cycle counters.
+  const std::vector<double> clean = forward();
+  ASSERT_EQ(last_execution_route(handle_), ExecutionRoute::kSimulatedMesh);
+
+  sim::FaultPlan plan;
+  plan.fail_first_dma = 70;
+  ASSERT_EQ(set_fault_plan(handle_, &plan), Status::kSuccess);
+  ASSERT_EQ(set_retry_policy(handle_, 128, 16), Status::kSuccess);
+  const std::vector<double> retried = forward();
+  EXPECT_EQ(last_execution_route(handle_), ExecutionRoute::kSimulatedMesh);
+  ASSERT_EQ(retried.size(), clean.size());
+  EXPECT_EQ(std::memcmp(retried.data(), clean.data(),
+                        clean.size() * sizeof(double)),
+            0);
+  FaultCounters counters;
+  ASSERT_EQ(fault_counters(handle_, &counters), Status::kSuccess);
+  EXPECT_GE(counters.dma_retries, 70u);
+  EXPECT_EQ(counters.host_fallbacks, 0u);
+}
+
+TEST_F(ApiFaultTest, SuccessfulCallClearsStaleErrorBuffer) {
+  // Error-buffer hygiene: last_error_message() always describes the
+  // most recent FAILING or DEGRADED call, never a stale one.
+  // 1. A failing call populates the buffer.
+  sim::FaultPlan plan;
+  plan.fail_first_dma = 1;
+  ASSERT_EQ(set_fault_plan(handle_, &plan), Status::kSuccess);
+  std::vector<double> dw(static_cast<std::size_t>(p_.filter.size()));
+  ASSERT_EQ(convolution_backward_filter(handle_, p_.x_desc,
+                                        p_.input.data().data(), p_.y_desc,
+                                        p_.output_grad.data().data(),
+                                        p_.w_desc, dw.data()),
+            Status::kTransientFault);
+  EXPECT_STRNE(last_error_message(handle_), "");
+
+  // 2. A clean success CLEARS it.
+  ASSERT_EQ(set_fault_plan(handle_, nullptr), Status::kSuccess);
+  forward();
+  ASSERT_EQ(last_execution_route(handle_), ExecutionRoute::kSimulatedMesh);
+  EXPECT_STREQ(last_error_message(handle_), "");
+
+  // 3. A DEGRADED success (host fallback) records its reason...
+  plan.fail_first_dma = 1u << 20;
+  ASSERT_EQ(set_fault_plan(handle_, &plan), Status::kSuccess);
+  ASSERT_EQ(set_retry_policy(handle_, 2, 8), Status::kSuccess);
+  forward();
+  ASSERT_EQ(last_execution_route(handle_), ExecutionRoute::kHostGemm);
+  EXPECT_STRNE(last_error_message(handle_), "");
+
+  // 4. ...and the next clean success clears it again.
+  ASSERT_EQ(set_fault_plan(handle_, nullptr), Status::kSuccess);
+  forward();
+  ASSERT_EQ(last_execution_route(handle_), ExecutionRoute::kSimulatedMesh);
+  EXPECT_STREQ(last_error_message(handle_), "");
 }
 
 TEST_F(ApiFaultTest, LdmBitFlipDegradesToHostGemm) {

@@ -1,0 +1,112 @@
+// The per-tenant circuit breaker state machine, driven with hand-made
+// time points: trip on consecutive failures, cool-down refusals, the
+// single half-open probe protocol, stale-outcome immunity, and probe
+// abandonment.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "src/serve/breaker.h"
+
+namespace swdnn::serve {
+namespace {
+
+using namespace std::chrono_literals;
+using TimePoint = CircuitBreaker::TimePoint;
+
+BreakerConfig config(int threshold, std::chrono::milliseconds open_ms) {
+  BreakerConfig c;
+  c.failure_threshold = threshold;
+  c.open_duration = open_ms;
+  return c;
+}
+
+TEST(Breaker, TripsOnlyOnConsecutiveFailures) {
+  CircuitBreaker breaker(config(3, 10ms));
+  const TimePoint t0{};
+  EXPECT_EQ(breaker.admit(t0), CircuitBreaker::Admission::kAdmit);
+
+  breaker.on_failure(t0, false);
+  breaker.on_failure(t0, false);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.on_success(false);  // resets the run
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+  breaker.on_failure(t0, false);
+  breaker.on_failure(t0, false);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.on_failure(t0, false);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+}
+
+TEST(Breaker, OpenRejectsUntilCooldownThenAdmitsSingleProbe) {
+  CircuitBreaker breaker(config(1, 10ms));
+  const TimePoint t0{};
+  breaker.on_failure(t0, false);
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+
+  EXPECT_EQ(breaker.admit(t0 + 5ms), CircuitBreaker::Admission::kReject);
+  EXPECT_EQ(breaker.admit(t0 + 10ms), CircuitBreaker::Admission::kProbe);
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  // Only one probe: further admissions are refused while it's in
+  // flight.
+  EXPECT_EQ(breaker.admit(t0 + 11ms), CircuitBreaker::Admission::kReject);
+}
+
+TEST(Breaker, ProbeSuccessClosesProbeFailureReopens) {
+  CircuitBreaker breaker(config(1, 10ms));
+  const TimePoint t0{};
+  breaker.on_failure(t0, false);
+  ASSERT_EQ(breaker.admit(t0 + 10ms), CircuitBreaker::Admission::kProbe);
+  breaker.on_failure(t0 + 11ms, true);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 2u);
+  // Fresh cool-down from the reopen time.
+  EXPECT_EQ(breaker.admit(t0 + 15ms), CircuitBreaker::Admission::kReject);
+  ASSERT_EQ(breaker.admit(t0 + 21ms), CircuitBreaker::Admission::kProbe);
+  breaker.on_success(true);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.admit(t0 + 22ms), CircuitBreaker::Admission::kAdmit);
+}
+
+TEST(Breaker, StaleOutcomesCannotCorruptProbeProtocol) {
+  CircuitBreaker breaker(config(1, 10ms));
+  const TimePoint t0{};
+  breaker.on_failure(t0, false);
+  // Outcomes of requests admitted before the trip arrive while open:
+  // ignored either way.
+  breaker.on_success(false);
+  breaker.on_failure(t0 + 1ms, false);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+
+  ASSERT_EQ(breaker.admit(t0 + 10ms), CircuitBreaker::Admission::kProbe);
+  // Stale non-probe outcomes during half-open neither close nor reopen.
+  breaker.on_success(false);
+  breaker.on_failure(t0 + 11ms, false);
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.on_success(true);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(Breaker, AbandonedProbeReleasesSlotForNextAdmission) {
+  CircuitBreaker breaker(config(1, 10ms));
+  const TimePoint t0{};
+  breaker.on_failure(t0, false);
+  ASSERT_EQ(breaker.admit(t0 + 10ms), CircuitBreaker::Admission::kProbe);
+  EXPECT_EQ(breaker.admit(t0 + 11ms), CircuitBreaker::Admission::kReject);
+  // The probe was shed/deadline-swept without executing: the slot must
+  // come back or the breaker wedges half-open forever.
+  breaker.on_probe_abandoned();
+  EXPECT_EQ(breaker.admit(t0 + 12ms), CircuitBreaker::Admission::kProbe);
+}
+
+TEST(Breaker, ThresholdClampedToAtLeastOne) {
+  CircuitBreaker breaker(config(0, 10ms));
+  breaker.on_failure(TimePoint{}, false);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+}
+
+}  // namespace
+}  // namespace swdnn::serve

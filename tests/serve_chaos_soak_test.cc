@@ -1,0 +1,228 @@
+// Chaos soak gate for the serving runtime.
+//
+// Six tenants hammer one InferenceServer from their own threads while a
+// seeded serve-level fault plan fails two of them (one transient, one
+// persistent). The gate asserts the serving contract end to end:
+//
+//   1. EVERY submitted request terminates with a definite status — a
+//      hard watchdog thread force-exits the process nonzero if the soak
+//      wedges (deadlock, lost promise), so a hang can never look like a
+//      pass, even under a hung gtest.
+//   2. Every ACCEPTED result (kOk) is BITWISE equal to an unfaulted
+//      batch-1 eager execution of the same model on the same sample —
+//      batching, replicas, retries and chaos never change the numerics.
+//   3. Fault isolation: tenants with no fault profile never observe
+//      kFailed; a faulty tenant's chaos is answered with statuses, not
+//      with corruption of its batchmates.
+//   4. The counter ledger balances: terminal resolutions sum to
+//      submissions.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/dnn/convolution.h"
+#include "src/dnn/fully_connected.h"
+#include "src/dnn/network.h"
+#include "src/dnn/relu.h"
+#include "src/dnn/softmax.h"
+#include "src/serve/server.h"
+#include "src/util/rng.h"
+
+namespace swdnn::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr int kTenants = 6;
+constexpr int kRequestsPerTenant = 40;
+constexpr int kTransientTenant = 4;
+constexpr int kPersistentTenant = 5;
+
+/// Host-routed model (channels indivisible by any mesh): per-sample
+/// results are bitwise-independent of batch width, the property the
+/// soak's golden comparison rides on.
+std::unique_ptr<dnn::Network> make_model(std::int64_t batch) {
+  auto net = std::make_unique<dnn::Network>();
+  util::Rng rng(777);
+  conv::ConvShape c;
+  c.batch = batch;
+  c.ni = 3;
+  c.no = 5;
+  c.ri = 8;
+  c.ci = 8;
+  c.kr = 3;
+  c.kc = 3;
+  net->emplace<dnn::Convolution>(c, rng, dnn::ConvBackend::kHostIm2col,
+                                 /*with_bias=*/true);
+  net->emplace<dnn::Relu>();
+  net->emplace<dnn::FullyConnected>(6 * 6 * 5, 10, rng);
+  net->emplace<dnn::Softmax>();
+  return net;
+}
+
+const std::vector<std::int64_t> kSampleDims = {8, 8, 3};
+
+tensor::Tensor make_sample(std::uint64_t seed) {
+  tensor::Tensor t(kSampleDims);
+  util::Rng rng(seed);
+  rng.fill_uniform(t.data(), -1.0, 1.0);
+  return t;
+}
+
+tensor::Tensor eager_reference(const tensor::Tensor& sample) {
+  auto net = make_model(1);
+  std::vector<std::int64_t> dims = kSampleDims;
+  dims.push_back(1);
+  tensor::Tensor input(dims);
+  std::copy(sample.data().begin(), sample.data().end(), input.data().begin());
+  net->set_training(false);
+  return net->forward(input);
+}
+
+bool bitwise_equal(const tensor::Tensor& a, const tensor::Tensor& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data().data(), b.data().data(),
+                     sizeof(double) * static_cast<std::size_t>(a.size())) == 0;
+}
+
+TEST(ServeChaosSoak, EveryRequestTerminatesAndAcceptedResultsAreBitwise) {
+  // Hard hang gate: if the soak has not finished inside the wall
+  // budget, exit the PROCESS nonzero. std::_Exit bypasses gtest, so a
+  // deadlocked server cannot be reported as anything but a failure.
+  std::atomic<bool> done{false};
+  std::thread hang_guard([&done] {
+    for (int i = 0; i < 1200; ++i) {
+      if (done.load()) return;
+      std::this_thread::sleep_for(100ms);
+    }
+    std::fprintf(stderr,
+                 "chaos soak HUNG: requests undetermined after 120 s\n");
+    std::_Exit(7);
+  });
+
+  ServeFaultPlan plan;
+  plan.seed = 20260808;
+  plan.tenants[kTransientTenant] =
+      TenantFaultProfile{.fail_first = 3, .fail_rate = 0.15};
+  plan.tenants[kPersistentTenant] =
+      TenantFaultProfile{.fail_rate = 0.25, .persistent = true};
+
+  ServerConfig config;
+  config.max_batch = 4;
+  config.batch_budget = 300us;
+  config.default_deadline = 5s;  // generous: tsan runs are slow
+  config.num_replicas = 2;
+  // Generous admission bounds: the soak gates termination, bitwise
+  // goldenness and fault isolation; overload behaviour has its own
+  // tests and the serving bench's overload scenario.
+  config.max_queue = 512;
+  config.max_queue_per_tenant = 128;
+  config.max_attempts = 3;
+  config.retry_backoff = 200us;
+  config.breaker.failure_threshold = 4;
+  config.breaker.open_duration = 20ms;
+  config.watchdog_period = 1ms;
+  config.request_faults = &plan;
+
+  {
+    InferenceServer server(make_model, kSampleDims, config);
+
+    struct Submission {
+      std::uint64_t seed = 0;
+      std::future<ServeResult> future;
+    };
+    std::vector<std::vector<Submission>> per_tenant(kTenants);
+    std::vector<std::thread> clients;
+    clients.reserve(kTenants);
+    for (int tenant = 0; tenant < kTenants; ++tenant) {
+      clients.emplace_back([&server, &per_tenant, tenant] {
+        auto& mine = per_tenant[static_cast<std::size_t>(tenant)];
+        mine.reserve(kRequestsPerTenant);
+        for (int i = 0; i < kRequestsPerTenant; ++i) {
+          const std::uint64_t seed =
+              static_cast<std::uint64_t>(tenant) * 1000 +
+              static_cast<std::uint64_t>(i);
+          Submission s;
+          s.seed = seed;
+          s.future = server.submit(tenant, make_sample(seed));
+          mine.push_back(std::move(s));
+          // Uneven pacing interleaves tenants differently every run;
+          // correctness must not depend on the interleaving.
+          if (i % 3 == tenant % 3) std::this_thread::yield();
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+
+    std::uint64_t ok = 0, failed = 0, rejected = 0, shed = 0, deadline = 0;
+    for (int tenant = 0; tenant < kTenants; ++tenant) {
+      for (Submission& s : per_tenant[static_cast<std::size_t>(tenant)]) {
+        ServeResult result = s.future.get();  // gate 1: must resolve
+        switch (result.status) {
+          case ServeStatus::kOk: {
+            ++ok;
+            // Gate 2: accepted answers are bitwise-golden.
+            const tensor::Tensor golden =
+                eager_reference(make_sample(s.seed));
+            ASSERT_TRUE(bitwise_equal(result.output, golden))
+                << "tenant " << tenant << " seed " << s.seed;
+            break;
+          }
+          case ServeStatus::kFailed:
+            ++failed;
+            // Gate 3: only chaos tenants may fail.
+            EXPECT_TRUE(tenant == kTransientTenant ||
+                        tenant == kPersistentTenant)
+                << "clean tenant " << tenant << " failed: " << result.error;
+            break;
+          case ServeStatus::kRejected:
+            ++rejected;
+            break;
+          case ServeStatus::kShed:
+            ++shed;
+            break;
+          case ServeStatus::kDeadlineExceeded:
+            ++deadline;
+            break;
+          case ServeStatus::kShutdown:
+            FAIL() << "request resolved kShutdown before stop()";
+        }
+      }
+    }
+    server.drain();
+
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(kTenants) * kRequestsPerTenant;
+    EXPECT_EQ(ok + failed + rejected + shed + deadline, total);
+    const ServingCounters counters = server.counters();
+    EXPECT_EQ(counters.submitted, total);
+    // Gate 4: the ledger balances — every admission is accounted for by
+    // exactly one terminal counter.
+    EXPECT_EQ(counters.completed + counters.failed + counters.shed +
+                  counters.deadline_missed + counters.rejected(),
+              total);
+    EXPECT_EQ(counters.completed, ok);
+    EXPECT_EQ(counters.failed, failed);
+    // The chaos campaign actually ran.
+    EXPECT_GT(counters.chaos_injected, 0u);
+    EXPECT_GT(failed, 0u);
+    // Clean tenants overwhelmingly succeed: chaos is isolated.
+    EXPECT_GE(ok, 4u * kRequestsPerTenant);
+    server.stop();
+  }
+
+  done.store(true);
+  hang_guard.join();
+}
+
+}  // namespace
+}  // namespace swdnn::serve

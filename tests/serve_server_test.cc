@@ -1,0 +1,465 @@
+// The resilient serving runtime: dynamic batching (flush-on-full and
+// flush-on-budget), bitwise equality of batched serving against
+// unfaulted single-sample eager execution, admission control (tenant
+// quota, queue bound, load shedding), per-request deadlines, serve-level
+// retry with backoff, per-tenant circuit breakers, the backend mesh
+// fault ladder underneath the server, shutdown semantics, health, and
+// the serve-instant trace stream.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/dnn/convolution.h"
+#include "src/dnn/fully_connected.h"
+#include "src/dnn/network.h"
+#include "src/dnn/relu.h"
+#include "src/dnn/softmax.h"
+#include "src/serve/server.h"
+#include "src/sim/trace.h"
+#include "src/util/rng.h"
+
+namespace swdnn::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+arch::Sw26010Spec mesh_spec(int dim) {
+  arch::Sw26010Spec spec = arch::default_spec();
+  spec.mesh_rows = dim;
+  spec.mesh_cols = dim;
+  return spec;
+}
+
+/// Host-routed model over 8x8x3 samples: channel counts indivisible by
+/// any mesh keep every dispatch on the im2col host route, whose
+/// k-ordered per-sample dot products make batch-1 eager and batch-B
+/// compiled results BITWISE equal per sample. Seeded per call so every
+/// replica (and the golden batch-1 net) carries identical weights.
+std::unique_ptr<dnn::Network> make_host_model(std::int64_t batch) {
+  auto net = std::make_unique<dnn::Network>();
+  util::Rng rng(777);
+  conv::ConvShape c;
+  c.batch = batch;
+  c.ni = 3;
+  c.no = 5;
+  c.ri = 8;
+  c.ci = 8;
+  c.kr = 3;
+  c.kc = 3;
+  net->emplace<dnn::Convolution>(c, rng, dnn::ConvBackend::kHostIm2col,
+                                 /*with_bias=*/true);
+  net->emplace<dnn::Relu>();
+  net->emplace<dnn::FullyConnected>(6 * 6 * 5, 10, rng);
+  net->emplace<dnn::Softmax>();
+  return net;
+}
+
+const std::vector<std::int64_t> kSampleDims = {8, 8, 3};
+
+tensor::Tensor make_sample(std::uint64_t seed,
+                           const std::vector<std::int64_t>& dims =
+                               kSampleDims) {
+  tensor::Tensor t(dims);
+  util::Rng rng(seed);
+  rng.fill_uniform(t.data(), -1.0, 1.0);
+  return t;
+}
+
+/// Golden path the chaos gate compares against: a fresh batch-1 network
+/// from the same factory, EAGER (never compiled), no faults anywhere.
+tensor::Tensor eager_reference(const tensor::Tensor& sample) {
+  auto net = make_host_model(1);
+  std::vector<std::int64_t> dims = kSampleDims;
+  dims.push_back(1);
+  tensor::Tensor input(dims);
+  std::copy(sample.data().begin(), sample.data().end(),
+            input.data().begin());
+  net->set_training(false);
+  return net->forward(input);
+}
+
+bool bitwise_equal(const tensor::Tensor& a, const tensor::Tensor& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data().data(), b.data().data(),
+                     sizeof(double) * static_cast<std::size_t>(a.size())) == 0;
+}
+
+/// Baseline config for tests: generous deadline so only tests that WANT
+/// deadline behaviour see it, small budget so batches flush promptly.
+ServerConfig test_config() {
+  ServerConfig config;
+  config.max_batch = 4;
+  config.batch_budget = 1ms;
+  config.default_deadline = 10s;
+  config.watchdog_period = 1ms;
+  return config;
+}
+
+TEST(ServeServer, BatchedServingMatchesSingleSampleEager) {
+  ServerConfig config = test_config();
+  config.num_replicas = 2;
+  InferenceServer server(make_host_model, kSampleDims, config);
+
+  constexpr int kRequests = 12;
+  std::vector<tensor::Tensor> inputs;
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    inputs.push_back(make_sample(100 + static_cast<std::uint64_t>(i)));
+    futures.push_back(server.submit(i % 3, inputs.back()));
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    ServeResult result = futures[static_cast<std::size_t>(i)].get();
+    ASSERT_EQ(result.status, ServeStatus::kOk) << result.error;
+    EXPECT_EQ(result.attempts, 1);
+    const tensor::Tensor golden = eager_reference(inputs[i]);
+    EXPECT_TRUE(bitwise_equal(result.output, golden)) << "request " << i;
+  }
+  const ServingCounters counters = server.counters();
+  EXPECT_EQ(counters.submitted, kRequests);
+  EXPECT_EQ(counters.admitted, kRequests);
+  EXPECT_EQ(counters.completed, kRequests);
+  EXPECT_EQ(counters.rejected(), 0u);
+  EXPECT_EQ(counters.shed, 0u);
+  EXPECT_EQ(counters.deadline_missed, 0u);
+  EXPECT_EQ(counters.batched_requests, kRequests);
+  EXPECT_GE(counters.batches, 3u);  // 12 requests, batch cap 4
+}
+
+TEST(ServeServer, FlushOnBatchFull) {
+  ServerConfig config = test_config();
+  config.max_batch = 2;
+  config.batch_budget = 10s;  // only fullness can flush
+  InferenceServer server(make_host_model, kSampleDims, config);
+
+  auto f1 = server.submit(1, make_sample(1));
+  auto f2 = server.submit(1, make_sample(2));
+  EXPECT_EQ(f1.get().status, ServeStatus::kOk);
+  EXPECT_EQ(f2.get().status, ServeStatus::kOk);
+  const ServingCounters counters = server.counters();
+  EXPECT_GE(counters.full_flushes, 1u);
+  EXPECT_EQ(counters.deadline_flushes, 0u);
+}
+
+TEST(ServeServer, FlushOnBudgetExpiryRunsPartialBatch) {
+  ServerConfig config = test_config();
+  config.max_batch = 8;  // never fills
+  config.batch_budget = 1ms;
+  InferenceServer server(make_host_model, kSampleDims, config);
+
+  const tensor::Tensor input = make_sample(3);
+  ServeResult result = server.submit(1, input).get();
+  ASSERT_EQ(result.status, ServeStatus::kOk) << result.error;
+  // Occupancy independence: a 1-of-8 batch yields the same bits as the
+  // eager batch-1 golden run.
+  EXPECT_TRUE(bitwise_equal(result.output, eager_reference(input)));
+  const ServingCounters counters = server.counters();
+  EXPECT_EQ(counters.batches, 1u);
+  EXPECT_EQ(counters.batched_requests, 1u);
+  EXPECT_EQ(counters.full_flushes, 0u);
+  EXPECT_GE(counters.deadline_flushes, 1u);
+}
+
+TEST(ServeServer, AdmissionRejectsBeyondTenantQuota) {
+  ServerConfig config = test_config();
+  config.max_batch = 8;
+  config.batch_budget = 10s;  // hold everything in the queue
+  config.max_queue_per_tenant = 2;
+  InferenceServer server(make_host_model, kSampleDims, config);
+
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < 5; ++i) {
+    futures.push_back(server.submit(1, make_sample(10 + i)));
+  }
+  for (int i = 2; i < 5; ++i) {
+    ServeResult result = futures[static_cast<std::size_t>(i)].get();
+    EXPECT_EQ(result.status, ServeStatus::kRejected);
+    EXPECT_EQ(result.reject_reason, RejectReason::kTenantQuota);
+  }
+  EXPECT_EQ(server.counters().rejected_tenant_quota, 3u);
+  server.stop();
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get().status,
+              ServeStatus::kShutdown);
+  }
+}
+
+TEST(ServeServer, LoadShedDropsNewestFromHeaviestTenant) {
+  ServerConfig config = test_config();
+  config.max_batch = 8;
+  config.batch_budget = 10s;
+  config.max_queue = 4;
+  InferenceServer server(make_host_model, kSampleDims, config);
+
+  std::vector<std::future<ServeResult>> heavy;
+  for (int i = 0; i < 3; ++i) {
+    heavy.push_back(server.submit(1, make_sample(20 + i)));
+  }
+  auto light1 = server.submit(2, make_sample(30));
+  // Queue now full (4). A light-tenant submission sheds the heavy
+  // tenant's NEWEST queued request and is itself admitted.
+  auto light2 = server.submit(2, make_sample(31));
+  ServeResult shed = heavy[2].get();
+  EXPECT_EQ(shed.status, ServeStatus::kShed);
+  EXPECT_EQ(server.counters().shed, 1u);
+  // Queue full again; a heavy-tenant submission (heaviest itself after
+  // the tie with tenant 2) is refused outright, shedding nobody.
+  ServeResult refused = server.submit(1, make_sample(32)).get();
+  EXPECT_EQ(refused.status, ServeStatus::kRejected);
+  EXPECT_EQ(refused.reject_reason, RejectReason::kQueueFull);
+  EXPECT_EQ(server.counters().shed, 1u);
+  server.stop();
+}
+
+TEST(ServeServer, QueuedRequestPastDeadlineIsSweptByWatchdog) {
+  ServerConfig config = test_config();
+  config.max_batch = 8;
+  config.batch_budget = 10s;  // the batcher will never flush it
+  InferenceServer server(make_host_model, kSampleDims, config);
+
+  ServeResult result =
+      server.submit(1, make_sample(40), Clock::now() + 5ms).get();
+  EXPECT_EQ(result.status, ServeStatus::kDeadlineExceeded);
+  EXPECT_GE(server.counters().deadline_missed, 1u);
+  EXPECT_EQ(server.counters().completed, 0u);
+}
+
+TEST(ServeServer, ServeLevelRetryRecoversTransientFault) {
+  ServeFaultPlan plan;
+  plan.seed = 7;
+  plan.tenants[7] = TenantFaultProfile{.fail_first = 2};
+  ServerConfig config = test_config();
+  config.request_faults = &plan;
+  config.max_attempts = 4;
+  config.retry_backoff = 500us;
+  config.breaker.failure_threshold = 10;  // keep the breaker out of it
+  InferenceServer server(make_host_model, kSampleDims, config);
+
+  const tensor::Tensor input = make_sample(50);
+  ServeResult result = server.submit(7, input).get();
+  ASSERT_EQ(result.status, ServeStatus::kOk) << result.error;
+  EXPECT_EQ(result.attempts, 3);  // 2 injected faults + 1 success
+  EXPECT_TRUE(bitwise_equal(result.output, eager_reference(input)));
+  const ServingCounters counters = server.counters();
+  EXPECT_EQ(counters.retries, 2u);
+  EXPECT_EQ(counters.chaos_injected, 2u);
+  EXPECT_EQ(counters.completed, 1u);
+  EXPECT_EQ(counters.failed, 0u);
+}
+
+TEST(ServeServer, PersistentFaultFailsFastWithoutRetry) {
+  ServeFaultPlan plan;
+  plan.tenants[7] = TenantFaultProfile{.fail_first = 1, .persistent = true};
+  ServerConfig config = test_config();
+  config.request_faults = &plan;
+  config.max_attempts = 4;
+  InferenceServer server(make_host_model, kSampleDims, config);
+
+  ServeResult result = server.submit(7, make_sample(51)).get();
+  EXPECT_EQ(result.status, ServeStatus::kFailed);
+  EXPECT_EQ(result.backend_status, api::Status::kDeviceFault);
+  EXPECT_EQ(result.attempts, 1);
+  EXPECT_EQ(server.counters().retries, 0u);
+}
+
+TEST(ServeServer, BreakerOpensIsolatesTenantAndRecovers) {
+  ServeFaultPlan plan;
+  plan.tenants[9] = TenantFaultProfile{.fail_first = 3};
+  ServerConfig config = test_config();
+  config.request_faults = &plan;
+  config.breaker.failure_threshold = 3;
+  config.breaker.open_duration = 50ms;
+  InferenceServer server(make_host_model, kSampleDims, config);
+
+  // Three consecutive failures trip tenant 9's breaker.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(server.submit(9, make_sample(60 + i)).get().status,
+              ServeStatus::kFailed);
+  }
+  EXPECT_EQ(server.tenant_breaker(9), BreakerState::kOpen);
+  EXPECT_EQ(server.tenant_breaker_trips(9), 1u);
+  EXPECT_EQ(server.counters().breaker_trips, 1u);
+
+  // While open, tenant 9 is refused at admission...
+  ServeResult rejected = server.submit(9, make_sample(63)).get();
+  EXPECT_EQ(rejected.status, ServeStatus::kRejected);
+  EXPECT_EQ(rejected.reject_reason, RejectReason::kBreakerOpen);
+  // ...and other tenants are untouched (fault isolation).
+  const tensor::Tensor input = make_sample(64);
+  ServeResult other = server.submit(1, input).get();
+  ASSERT_EQ(other.status, ServeStatus::kOk);
+  EXPECT_TRUE(bitwise_equal(other.output, eager_reference(input)));
+
+  // After the cool-down the half-open probe executes cleanly (the fault
+  // budget is exhausted) and the breaker closes.
+  std::this_thread::sleep_for(100ms);
+  ServeResult probe = server.submit(9, make_sample(65)).get();
+  EXPECT_EQ(probe.status, ServeStatus::kOk) << probe.error;
+  EXPECT_EQ(server.tenant_breaker(9), BreakerState::kClosed);
+}
+
+/// Mesh-routed model on the 2x2 test mesh: one mesh-compatible
+/// convolution, so the server's requests exercise the full backend
+/// fault ladder (tile retry -> ranked-plan fallback -> host route).
+std::unique_ptr<dnn::Network> make_mesh_model(std::int64_t batch) {
+  auto net = std::make_unique<dnn::Network>();
+  util::Rng rng(4242);
+  const conv::ConvShape shape =
+      conv::ConvShape::from_output(batch, 2, 2, 3, 4, 2, 2);
+  net->emplace<dnn::Convolution>(shape, rng,
+                                 dnn::ConvBackend::kSimulatedMesh);
+  return net;
+}
+
+const std::vector<std::int64_t> kMeshSampleDims = {4, 5, 2};  // ri, ci, ni
+
+TEST(ServeServer, MeshTransientFaultsAbsorbedBitwise) {
+  const arch::Sw26010Spec spec = mesh_spec(2);
+  ServerConfig clean_config = test_config();
+  clean_config.spec = &spec;
+  InferenceServer clean(make_mesh_model, kMeshSampleDims, clean_config);
+
+  sim::FaultPlan faults;
+  faults.fail_first_dma = 2;
+  ServerConfig faulted_config = clean_config;
+  faulted_config.device_faults = &faults;
+  faulted_config.device_retry_attempts = 3;
+  InferenceServer faulted(make_mesh_model, kMeshSampleDims, faulted_config);
+
+  const tensor::Tensor input = make_sample(70, kMeshSampleDims);
+  ServeResult clean_result = clean.submit(1, input).get();
+  ServeResult faulted_result = faulted.submit(1, input).get();
+  ASSERT_EQ(clean_result.status, ServeStatus::kOk) << clean_result.error;
+  ASSERT_EQ(faulted_result.status, ServeStatus::kOk) << faulted_result.error;
+  // Tile-level retries re-issue the exact transfer: same bits out.
+  EXPECT_TRUE(bitwise_equal(clean_result.output, faulted_result.output));
+  EXPECT_GT(faulted.counters().dma_retries, 0u);
+  EXPECT_EQ(clean.counters().dma_retries, 0u);
+}
+
+TEST(ServeServer, MeshPersistentFaultsDegradeToHostRoute) {
+  const arch::Sw26010Spec spec = mesh_spec(2);
+  ServerConfig clean_config = test_config();
+  clean_config.spec = &spec;
+  InferenceServer clean(make_mesh_model, kMeshSampleDims, clean_config);
+
+  sim::FaultPlan faults;
+  faults.dma_fault_rate = 1.0;  // every mesh attempt fails, every plan
+  ServerConfig faulted_config = clean_config;
+  faulted_config.device_faults = &faults;
+  InferenceServer faulted(make_mesh_model, kMeshSampleDims, faulted_config);
+
+  const tensor::Tensor input = make_sample(71, kMeshSampleDims);
+  ServeResult clean_result = clean.submit(1, input).get();
+  ServeResult degraded = faulted.submit(1, input).get();
+  ASSERT_EQ(clean_result.status, ServeStatus::kOk) << clean_result.error;
+  // The ladder bottoms out on the host im2col route: the request still
+  // SUCCEEDS (graceful degradation), numerically equal to the mesh
+  // result though not bitwise (different accumulation route).
+  ASSERT_EQ(degraded.status, ServeStatus::kOk) << degraded.error;
+  EXPECT_GT(faulted.counters().host_fallbacks, 0u);
+  ASSERT_EQ(degraded.output.size(), clean_result.output.size());
+  for (std::int64_t i = 0; i < degraded.output.size(); ++i) {
+    EXPECT_NEAR(degraded.output.data()[static_cast<std::size_t>(i)],
+                clean_result.output.data()[static_cast<std::size_t>(i)],
+                1e-10);
+  }
+}
+
+TEST(ServeServer, StopResolvesPendingAsShutdownAndRefusesNewWork) {
+  ServerConfig config = test_config();
+  config.max_batch = 8;
+  config.batch_budget = 10s;
+  InferenceServer server(make_host_model, kSampleDims, config);
+
+  auto f1 = server.submit(1, make_sample(80));
+  auto f2 = server.submit(2, make_sample(81));
+  server.stop();
+  EXPECT_EQ(f1.get().status, ServeStatus::kShutdown);
+  EXPECT_EQ(f2.get().status, ServeStatus::kShutdown);
+  EXPECT_EQ(server.health(), HealthState::kStopped);
+
+  ServeResult late = server.submit(1, make_sample(82)).get();
+  EXPECT_EQ(late.status, ServeStatus::kRejected);
+  EXPECT_EQ(late.reject_reason, RejectReason::kShuttingDown);
+  server.stop();  // idempotent
+}
+
+TEST(ServeServer, InvalidInputRejectedImmediately) {
+  InferenceServer server(make_host_model, kSampleDims, test_config());
+  ServeResult result = server.submit(1, tensor::Tensor({2, 2})).get();
+  EXPECT_EQ(result.status, ServeStatus::kRejected);
+  EXPECT_EQ(result.reject_reason, RejectReason::kInvalidInput);
+  EXPECT_EQ(server.counters().rejected_invalid, 1u);
+}
+
+TEST(ServeServer, HealthDegradesOnDistressAndRecovers) {
+  ServeFaultPlan plan;
+  plan.tenants[3] = TenantFaultProfile{.fail_first = 1, .persistent = true};
+  ServerConfig config = test_config();
+  config.request_faults = &plan;
+  config.breaker.failure_threshold = 10;  // fail without tripping
+  InferenceServer server(make_host_model, kSampleDims, config);
+
+  EXPECT_EQ(server.health(), HealthState::kServing);
+  EXPECT_EQ(server.submit(3, make_sample(90)).get().status,
+            ServeStatus::kFailed);
+  const auto poll_until = [&](HealthState want) {
+    for (int i = 0; i < 2000; ++i) {
+      if (server.health() == want) return true;
+      std::this_thread::sleep_for(1ms);
+    }
+    return false;
+  };
+  EXPECT_TRUE(poll_until(HealthState::kDegraded));
+  // The fault budget is spent; a clean request plus quiet watchdog
+  // periods bring the server back to kServing.
+  EXPECT_EQ(server.submit(3, make_sample(91)).get().status, ServeStatus::kOk);
+  EXPECT_TRUE(poll_until(HealthState::kServing));
+}
+
+TEST(ServeServer, ServeInstantsFlowThroughTracer) {
+  sim::EventTracer tracer;
+  ServeFaultPlan plan;
+  plan.tenants[5] = TenantFaultProfile{.fail_first = 1};
+  ServerConfig config = test_config();
+  config.tracer = &tracer;
+  config.request_faults = &plan;
+  config.max_attempts = 2;
+  InferenceServer server(make_host_model, kSampleDims, config);
+
+  EXPECT_EQ(server.submit(5, make_sample(95)).get().status, ServeStatus::kOk);
+  server.drain();
+  bool saw_flush = false;
+  bool saw_retry = false;
+  for (const sim::TraceEvent& event : tracer.events()) {
+    if (event.category != "serve") continue;
+    if (event.name.rfind("flush", 0) == 0) saw_flush = true;
+    if (event.name == "retry") saw_retry = true;
+  }
+  EXPECT_TRUE(saw_flush);
+  EXPECT_TRUE(saw_retry);
+}
+
+TEST(ServeServer, DrainWaitsForAllAcceptedWork) {
+  ServerConfig config = test_config();
+  config.num_replicas = 2;
+  InferenceServer server(make_host_model, kSampleDims, config);
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(server.submit(i % 2, make_sample(200 + i)));
+  }
+  server.drain();
+  for (auto& future : futures) {
+    ASSERT_EQ(future.wait_for(0s), std::future_status::ready);
+    EXPECT_EQ(future.get().status, ServeStatus::kOk);
+  }
+}
+
+}  // namespace
+}  // namespace swdnn::serve
