@@ -11,8 +11,10 @@
 #include <vector>
 
 #include "src/conv/backward.h"
+#include "src/conv/epilogue.h"
 #include "src/conv/im2col.h"
 #include "src/conv/swconv.h"
+#include "src/tensor/pool.h"
 
 namespace swdnn::api {
 
@@ -35,6 +37,13 @@ struct Handle {
   std::uint64_t host_fallbacks = 0;
   std::uint64_t dma_retries = 0;
   std::uint64_t plan_fallbacks = 0;
+  bool autotune = false;           // configuration-phase flag
+  std::uint64_t autotuned = 0;     // shapes tuned; guarded by mutex
+
+  // Staging-tensor recycler: wrapped inputs, outputs, and the im2col
+  // lowering's matrices all cycle through here, so a warmed-up handle
+  // mints zero tensors per call regardless of route.
+  tensor::TensorPool pool;
 
   // Persistent executor for launches the handle issues directly (the
   // backward-filter path); its worker pool survives across calls.
@@ -176,11 +185,19 @@ Status resolve_shape(const TensorDescriptor& x, const FilterDescriptor& w,
   return Status::kSuccess;
 }
 
-tensor::Tensor wrap(const double* data, std::initializer_list<std::int64_t>
-                                            dims) {
-  tensor::Tensor t(dims);
-  std::copy(data, data + t.size(), t.data().begin());
+/// Pool-backed copy-in of a caller buffer (fully overwritten → dirty).
+tensor::PooledTensor wrap(Handle* handle, const double* data,
+                          const std::vector<std::int64_t>& dims) {
+  tensor::PooledTensor t = handle->pool.acquire_dirty(dims);
+  std::copy(data, data + t->size(), t->data().begin());
   return t;
+}
+
+/// Pool-backed output buffer, zeroed like a fresh tensor (the mesh
+/// kernels and the fallback ladder rely on the zero initial state).
+tensor::PooledTensor out_buffer(Handle* handle,
+                                const std::vector<std::int64_t>& dims) {
+  return handle->pool.acquire(dims);
 }
 
 }  // namespace
@@ -189,6 +206,15 @@ Status convolution_forward(Handle* handle, const TensorDescriptor& x_desc,
                            const double* x, const FilterDescriptor& w_desc,
                            const double* w, const TensorDescriptor& y_desc,
                            double* y) {
+  return convolution_forward_ex(handle, x_desc, x, w_desc, w, y_desc, y,
+                                nullptr);
+}
+
+Status convolution_forward_ex(Handle* handle, const TensorDescriptor& x_desc,
+                              const double* x, const FilterDescriptor& w_desc,
+                              const double* w, const TensorDescriptor& y_desc,
+                              double* y,
+                              const ConvolutionEpilogue* epilogue) {
   if (handle == nullptr || x == nullptr || w == nullptr || y == nullptr) {
     return Status::kBadParam;
   }
@@ -197,10 +223,12 @@ Status convolution_forward(Handle* handle, const TensorDescriptor& x_desc,
   if (s != Status::kSuccess) return s;
 
   try {
-    tensor::Tensor input =
-        wrap(x, {shape.ri, shape.ci, shape.ni, shape.batch});
-    tensor::Tensor filter = wrap(w, {shape.kr, shape.kc, shape.ni, shape.no});
-    tensor::Tensor output({shape.ro(), shape.co(), shape.no, shape.batch});
+    tensor::PooledTensor input =
+        wrap(handle, x, {shape.ri, shape.ci, shape.ni, shape.batch});
+    tensor::PooledTensor filter =
+        wrap(handle, w, {shape.kr, shape.kc, shape.ni, shape.no});
+    tensor::PooledTensor output =
+        out_buffer(handle, {shape.ro(), shape.co(), shape.no, shape.batch});
 
     // One rank() per shape per handle: the winning plan and its ranked
     // fallbacks come from the shape-keyed cache.
@@ -219,12 +247,12 @@ Status convolution_forward(Handle* handle, const TensorDescriptor& x_desc,
     for (std::size_t a = 0; a < attempts && !mesh_done; ++a) {
       const perf::PlanChoice& choice = plans.ranked[plans.executable[a]];
       if (a > 0) {
-        output.zero();  // discard the faulted attempt's partial tiles
+        output->zero();  // discard the faulted attempt's partial tiles
         trace_dispatch(handle, "plan_fallback");
       }
       try {
-        const conv::ForwardResult result =
-            handle->sw.execute_choice(choice, input, filter, output, shape);
+        const conv::ForwardResult result = handle->sw.execute_choice(
+            choice, *input, *filter, *output, shape);
         std::lock_guard<std::mutex> lock(handle->mutex);
         handle->dma_retries += result.stats.dma_retries;
         if (a > 0) {
@@ -255,15 +283,21 @@ Status convolution_forward(Handle* handle, const TensorDescriptor& x_desc,
                          "; routed to host GEMM";
       }
       trace_dispatch(handle, "host_fallback");
-      output.zero();
-      conv::im2col_forward(input, filter, output, shape);
+      output->zero();
+      conv::im2col_forward(*input, *filter, *output, shape, &handle->pool);
       std::lock_guard<std::mutex> lock(handle->mutex);
       set_error_locked(handle, degrade_reason.c_str());
       ++handle->host_fallbacks;
       handle->last_route = ExecutionRoute::kHostGemm;
       handle->last_plan = PlanAlgo::kNone;
     }
-    std::copy(output.data().begin(), output.data().end(), y);
+    // The fused epilogue runs after route resolution, so the fault
+    // ladder above is route-for-route identical to the unfused call.
+    if (epilogue != nullptr) {
+      const conv::ConvEpilogue ep{epilogue->bias, epilogue->relu_mask};
+      conv::apply_epilogue(output->data().data(), shape, ep);
+    }
+    std::copy(output->data().begin(), output->data().end(), y);
   } catch (const std::exception& e) {
     set_error(handle, e.what());
     return Status::kExecutionFailed;
@@ -319,14 +353,17 @@ Status convolution_backward_data(Handle* handle,
   const Status s = resolve_shape(dx_desc, w_desc, dy_desc, shape);
   if (s != Status::kSuccess) return s;
   try {
-    tensor::Tensor filter = wrap(w, {shape.kr, shape.kc, shape.ni, shape.no});
-    tensor::Tensor dout =
-        wrap(dy, {shape.ro(), shape.co(), shape.no, shape.batch});
-    tensor::Tensor din({shape.ri, shape.ci, shape.ni, shape.batch});
+    tensor::PooledTensor filter =
+        wrap(handle, w, {shape.kr, shape.kc, shape.ni, shape.no});
+    tensor::PooledTensor dout =
+        wrap(handle, dy, {shape.ro(), shape.co(), shape.no, shape.batch});
+    tensor::PooledTensor din =
+        out_buffer(handle, {shape.ri, shape.ci, shape.ni, shape.batch});
     const auto host_fallback = [&](const char* reason) {
       trace_dispatch(handle, "host_fallback");
-      din.zero();
-      conv::im2col_backward_data(dout, filter, din, shape);
+      din->zero();
+      conv::im2col_backward_data(*dout, *filter, *din, shape,
+                                 &handle->pool);
       std::lock_guard<std::mutex> lock(handle->mutex);
       set_error_locked(handle, reason);
       ++handle->host_fallbacks;
@@ -334,8 +371,8 @@ Status convolution_backward_data(Handle* handle,
       handle->last_plan = PlanAlgo::kNone;
     };
     try {
-      const conv::ForwardResult result =
-          conv::swconv_backward_data(handle->sw, dout, filter, din, shape);
+      const conv::ForwardResult result = conv::swconv_backward_data(
+          handle->sw, *dout, *filter, *din, shape, &handle->pool);
       std::lock_guard<std::mutex> lock(handle->mutex);
       handle->dma_retries += result.stats.dma_retries;
       set_error_locked(handle, "");  // clean success clears stale errors
@@ -352,7 +389,7 @@ Status convolution_backward_data(Handle* handle,
       // recorded, not silent. Real bugs propagate to the outer catch.
       host_fallback(e.what());
     }
-    std::copy(din.data().begin(), din.data().end(), dx);
+    std::copy(din->data().begin(), din->data().end(), dx);
   } catch (const std::exception& e) {
     set_error(handle, e.what());
     return Status::kExecutionFailed;
@@ -374,11 +411,12 @@ Status convolution_backward_filter(Handle* handle,
   const Status s = resolve_shape(x_desc, dw_desc, dy_desc, shape);
   if (s != Status::kSuccess) return s;
   try {
-    tensor::Tensor input =
-        wrap(x, {shape.ri, shape.ci, shape.ni, shape.batch});
-    tensor::Tensor dout =
-        wrap(dy, {shape.ro(), shape.co(), shape.no, shape.batch});
-    tensor::Tensor dfilter({shape.kr, shape.kc, shape.ni, shape.no});
+    tensor::PooledTensor input =
+        wrap(handle, x, {shape.ri, shape.ci, shape.ni, shape.batch});
+    tensor::PooledTensor dout =
+        wrap(handle, dy, {shape.ro(), shape.co(), shape.no, shape.batch});
+    tensor::PooledTensor dfilter =
+        out_buffer(handle, {shape.kr, shape.kc, shape.ni, shape.no});
 
     // Shapes with no mesh-executable plan are the host-GEMM territory
     // the forward and backward-data paths already route around; send
@@ -391,7 +429,8 @@ Status convolution_backward_filter(Handle* handle,
     trace_dispatch(handle, lookup.hit ? "hit" : "miss");
     if (!lookup.entry->has_executable()) {
       trace_dispatch(handle, "host_fallback");
-      conv::im2col_backward_filter(input, dout, dfilter, shape);
+      conv::im2col_backward_filter(*input, *dout, *dfilter, shape,
+                                   &handle->pool);
       const std::string reason = "no mesh-executable plan for " +
                                  shape.to_string() + "; routed to host GEMM";
       {
@@ -401,7 +440,7 @@ Status convolution_backward_filter(Handle* handle,
         handle->last_route = ExecutionRoute::kHostGemm;
         handle->last_plan = PlanAlgo::kNone;
       }
-      std::copy(dfilter.data().begin(), dfilter.data().end(), dw);
+      std::copy(dfilter->data().begin(), dfilter->data().end(), dw);
       return Status::kSuccess;
     }
 
@@ -414,7 +453,7 @@ Status convolution_backward_filter(Handle* handle,
     exec.set_retry_policy(handle->retry);
     exec.set_tracer(handle->tracer);
     const sim::LaunchStats stats =
-        conv::mesh_backward_filter(exec, input, dout, dfilter, shape);
+        conv::mesh_backward_filter(exec, *input, *dout, *dfilter, shape);
     if (stats.failed) {
       // backward-filter has no host route in this build: surface the
       // fault class so the framework can retry or re-plan.
@@ -428,7 +467,7 @@ Status convolution_backward_filter(Handle* handle,
       set_error_locked(handle, "");  // clean success clears stale errors
       handle->last_route = ExecutionRoute::kSimulatedMesh;
     }
-    std::copy(dfilter.data().begin(), dfilter.data().end(), dw);
+    std::copy(dfilter->data().begin(), dfilter->data().end(), dw);
   } catch (const std::exception& e) {
     set_error(handle, e.what());
     return Status::kExecutionFailed;
@@ -452,11 +491,44 @@ Status convolution_plan_warmup(Handle* handle,
     const bool built =
         handle->sw.warm_plans({shape, conv::backward_data_shape(shape)}) > 0;
     trace_dispatch(handle, built ? "warm" : "warm_cached");
+    if (handle->autotune) {
+      for (const conv::ConvShape& key :
+           {shape, conv::backward_data_shape(shape)}) {
+        const std::optional<perf::AutotuneReport> report =
+            handle->sw.autotune_plan(key);
+        if (handle->tracer != nullptr) {
+          std::string what = "tune_cached";
+          if (report.has_value()) {
+            what = "tune " + key.to_string() +
+                   " rb_b=" + std::to_string(report->tuned_plan.rb_b) +
+                   " rb_no=" + std::to_string(report->tuned_plan.rb_no) +
+                   " scored=" + std::to_string(report->candidates_scored);
+          }
+          handle->tracer->record_instant(0, "autotune", what.c_str());
+        }
+        if (report.has_value()) {
+          std::lock_guard<std::mutex> lock(handle->mutex);
+          ++handle->autotuned;
+        }
+      }
+    }
   } catch (const std::exception& e) {
     set_error(handle, e.what());
     return Status::kExecutionFailed;
   }
   return Status::kSuccess;
+}
+
+Status set_autotune(Handle* handle, bool enable) {
+  if (handle == nullptr) return Status::kBadParam;
+  handle->autotune = enable;
+  return Status::kSuccess;
+}
+
+std::uint64_t autotuned_shapes(const Handle* handle) {
+  if (handle == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(handle->mutex);
+  return handle->autotuned;
 }
 
 Status get_convolution_estimate(Handle* handle,

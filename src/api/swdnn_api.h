@@ -105,6 +105,29 @@ Status convolution_forward(Handle* handle, const TensorDescriptor& x_desc,
                            const double* w, const TensorDescriptor& y_desc,
                            double* y);
 
+/// Optional fused epilogue for convolution_forward_ex: bias add and
+/// ReLU applied to y inside the call, while the output is still hot —
+/// what the graph compiler's fusion pass dispatches for a collapsed
+/// conv+bias+ReLU node. Element-for-element the same arithmetic as the
+/// separate layer passes, so fused output is bitwise-identical.
+struct ConvolutionEpilogue {
+  /// Per-output-channel bias, length w_desc.no; nullptr = no bias.
+  const double* bias = nullptr;
+  /// When non-null, ReLU runs after the bias and the activation mask
+  /// (1.0 where pre-ReLU > 0, else 0.0) is written here; length = the
+  /// y element count. nullptr = no activation.
+  double* relu_mask = nullptr;
+};
+
+/// convolution_forward plus an optional fused epilogue. The epilogue is
+/// applied after route resolution (mesh winner, ranked fallback, or
+/// host GEMM), so the fault-degradation ladder is identical to the
+/// unfused call; `epilogue` may be nullptr or empty for plain forward.
+Status convolution_forward_ex(Handle* handle, const TensorDescriptor& x_desc,
+                              const double* x, const FilterDescriptor& w_desc,
+                              const double* w, const TensorDescriptor& y_desc,
+                              double* y, const ConvolutionEpilogue* epilogue);
+
 /// One request of a batched dispatch: descriptors, buffers, and the
 /// per-request outcome slot.
 struct ForwardWorkItem {
@@ -148,10 +171,26 @@ Status convolution_backward_filter(Handle* handle,
 /// as a hit or a miss, so a compiled network's first batch dispatches
 /// warm and serve-time hit rates measure serve traffic only. Emits a
 /// "plan_cache" trace instant ("warm" when an entry was built,
-/// "warm_cached" when the shape was already resident).
+/// "warm_cached" when the shape was already resident). When autotuning
+/// is enabled (set_autotune), the warm-up additionally runs the
+/// schedule autotuner over the warmed shapes and installs the tuned
+/// rankings, emitting an "autotune" trace instant per shape ("tune ..."
+/// with the chosen register blocking, or "tune_cached" on repeats).
 Status convolution_plan_warmup(Handle* handle,
                                const TensorDescriptor& x_desc,
                                const FilterDescriptor& w_desc);
+
+/// Enables compile-time schedule autotuning on this handle: subsequent
+/// convolution_plan_warmup calls search the schedule-only plan knobs
+/// (register blocking, DMA promotion) with the performance model as
+/// cost oracle and install the tuned plans in the cache, so warm
+/// dispatches serve tuned schedules. Outputs are unaffected — the
+/// tuned knobs never change what the functional kernels compute.
+/// Configuration-phase call: do not race with in-flight convolutions.
+Status set_autotune(Handle* handle, bool enable);
+
+/// Number of distinct shapes the autotuner has tuned on this handle.
+std::uint64_t autotuned_shapes(const Handle* handle);
 
 /// Modeled throughput (Gflop/s, whole chip) for this configuration —
 /// the planning query a framework integration uses for layer timing.

@@ -41,16 +41,48 @@ ForwardResult swconv_backward_data(SwConvolution& sw,
                                    const tensor::Tensor& d_output,
                                    const tensor::Tensor& filter,
                                    tensor::Tensor& d_input,
-                                   const ConvShape& shape) {
+                                   const ConvShape& shape,
+                                   tensor::TensorPool* pool) {
   if (shape.stride_r != 1 || shape.stride_c != 1) {
     throw std::invalid_argument(
         "swconv_backward_data: the mesh path is stride-1 only (use the "
         "im2col gradients for strided layers)");
   }
-  const tensor::Tensor padded = zero_pad_output_gradient(d_output, shape);
-  const tensor::Tensor rotated = rotate_filter(filter, shape);
+  // Resolve the plan first: this is the same single counted lookup (and
+  // the same MeshMappingError on unmappable shapes) sw.forward() would
+  // do, but done before the padded/rotated staging tensors exist, so
+  // callers that catch the error and reroute to the host pay nothing.
   const ConvShape bshape = backward_data_shape(shape);
-  return sw.forward(padded, rotated, d_input, bshape);
+  const perf::PlanChoice choice = sw.plan_for(bshape, true);
+
+  const std::int64_t pr = shape.kr - 1;
+  const std::int64_t pc = shape.kc - 1;
+  const std::vector<std::int64_t> padded_dims{
+      shape.ro() + 2 * pr, shape.co() + 2 * pc, shape.no, shape.batch};
+  const std::vector<std::int64_t> rotated_dims{shape.kr, shape.kc, shape.no,
+                                               shape.ni};
+  // The pad borders must be zero, so the padded buffer comes back
+  // zeroed either way; the rotated filter is fully overwritten.
+  tensor::PooledTensor padded =
+      pool != nullptr
+          ? pool->acquire(padded_dims)
+          : tensor::PooledTensor(nullptr, tensor::Tensor(padded_dims));
+  tensor::PooledTensor rotated =
+      pool != nullptr
+          ? pool->acquire_dirty(rotated_dims)
+          : tensor::PooledTensor(nullptr, tensor::Tensor(rotated_dims));
+  for (std::int64_t r = 0; r < shape.ro(); ++r)
+    for (std::int64_t c = 0; c < shape.co(); ++c)
+      for (std::int64_t no = 0; no < shape.no; ++no)
+        for (std::int64_t b = 0; b < shape.batch; ++b)
+          padded->at(r + pr, c + pc, no, b) = d_output.at(r, c, no, b);
+  for (std::int64_t kr = 0; kr < shape.kr; ++kr)
+    for (std::int64_t kc = 0; kc < shape.kc; ++kc)
+      for (std::int64_t ni = 0; ni < shape.ni; ++ni)
+        for (std::int64_t no = 0; no < shape.no; ++no)
+          rotated->at(kr, kc, no, ni) =
+              filter.at(shape.kr - 1 - kr, shape.kc - 1 - kc, ni, no);
+  return sw.execute_choice(choice, *padded, *rotated, d_input, bshape);
 }
 
 sim::LaunchStats mesh_backward_filter(sim::MeshExecutor& exec,

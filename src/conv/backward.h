@@ -18,6 +18,7 @@
 #include "src/conv/mesh_gemm_driver.h"
 #include "src/conv/shape.h"
 #include "src/conv/swconv.h"
+#include "src/tensor/pool.h"
 #include "src/tensor/tensor.h"
 
 namespace swdnn::conv {
@@ -39,12 +40,16 @@ ConvShape backward_data_shape(const ConvShape& shape);
 
 /// dIn = backward-data(dOut, W) on the simulated mesh via the forward
 /// path. d_input is overwritten. Constraints are the forward kernels'
-/// with Ni/No swapped.
+/// with Ni/No swapped. Resolves the plan before staging any tensors, so
+/// a MeshMappingError (host-fallback territory for the caller) costs no
+/// allocations; when `pool` is given the padded-gradient and
+/// rotated-filter staging tensors are recycled through it.
 ForwardResult swconv_backward_data(SwConvolution& sw,
                                    const tensor::Tensor& d_output,
                                    const tensor::Tensor& filter,
                                    tensor::Tensor& d_input,
-                                   const ConvShape& shape);
+                                   const ConvShape& shape,
+                                   tensor::TensorPool* pool = nullptr);
 
 /// dW = backward-filter(In, dOut) on the simulated mesh: one
 /// distributed GEMM per filter tap. d_filter is overwritten. Works for

@@ -1,0 +1,36 @@
+#include "src/conv/epilogue.h"
+
+#include "src/runtime/task_pool.h"
+
+namespace swdnn::conv {
+
+namespace {
+constexpr std::int64_t kElemGrain = 4096;
+}  // namespace
+
+void apply_epilogue(double* y, const ConvShape& shape,
+                    const ConvEpilogue& epilogue) {
+  if (epilogue.empty()) return;
+  const std::int64_t no = shape.no;
+  const std::int64_t b = shape.batch;
+  const std::int64_t total = shape.ro() * shape.co() * no * b;
+  const double* bias = epilogue.bias;
+  double* mask = epilogue.relu_mask;
+  // Flat sharding is bitwise-safe: every element gets exactly one bias
+  // add and one ReLU select, independent of every other element.
+  runtime::parallel_for(
+      0, total, kElemGrain, [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          double v = y[i];
+          if (bias != nullptr) v += bias[(i / b) % no];
+          if (mask != nullptr) {
+            const bool on = v > 0.0;
+            mask[i] = on ? 1.0 : 0.0;
+            v = on ? v : 0.0;
+          }
+          y[i] = v;
+        }
+      });
+}
+
+}  // namespace swdnn::conv

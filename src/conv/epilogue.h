@@ -1,0 +1,43 @@
+#pragma once
+// Fused convolution epilogue: per-channel bias add and ReLU applied to
+// the convolution output while it is still hot, instead of as separate
+// layer passes. This is the host-side analogue of the paper's core
+// move — keep work inside the LDM-resident loop nest rather than
+// round-tripping activations through memory between layers. The graph
+// compiler's fusion pass collapses conv+bias+ReLU (and FC+activation)
+// chains into one node that dispatches a single backend call carrying
+// one of these epilogues.
+//
+// Bitwise contract: applying the epilogue is element-for-element the
+// same arithmetic the unfused layers perform (one bias add per output
+// element, then the ReLU select), so fused and unfused execution agree
+// bitwise — the differential suite in tests/dnn_fusion_test.cc holds
+// this on every route, mesh or host.
+
+#include <cstdint>
+
+#include "src/conv/shape.h"
+
+namespace swdnn::conv {
+
+/// What to run over the convolution output before it is handed back.
+/// Both pointers are borrowed and must outlive the call.
+struct ConvEpilogue {
+  /// Per-output-channel bias, length shape.no; nullptr = no bias.
+  const double* bias = nullptr;
+  /// When non-null, ReLU is applied after the bias and the activation
+  /// mask (1.0 where the pre-ReLU value was > 0, else 0.0) is written
+  /// here; length = the output element count. The mask is exactly what
+  /// the unfused ReLU layer caches for its backward.
+  double* relu_mask = nullptr;
+
+  bool empty() const { return bias == nullptr && relu_mask == nullptr; }
+};
+
+/// Applies the epilogue in place over output [Ro][Co][No][B] (row-major
+/// canonical layout). Each element receives exactly one bias add and
+/// one ReLU select, matching the unfused layers bitwise.
+void apply_epilogue(double* y, const ConvShape& shape,
+                    const ConvEpilogue& epilogue);
+
+}  // namespace swdnn::conv

@@ -10,24 +10,75 @@ namespace swdnn::conv {
 // output channel, an input channel for the col2im scatter-add), so the
 // results are bitwise-identical to the serial loops at any thread
 // count — the runtime_parallel_test determinism suite holds this.
+//
+// Pooling note: the `pool`-taking entry points stage the lowered
+// matrices through a TensorPool instead of fresh tensors. Fully
+// overwritten buffers (column matrix, filter matrix, transposes) come
+// back dirty; GEMM outputs come back zeroed because
+// gemm_packed_parallel accumulates (C += A*B) and relies on the
+// fresh-tensor zero state. Either way the bytes entering the GEMM are
+// identical to the unpooled path, so results are bitwise-unchanged.
 
-tensor::Tensor im2col(const tensor::Tensor& input, const ConvShape& s) {
-  const std::int64_t rows = s.ni * s.kr * s.kc;
-  const std::int64_t cols = s.ro() * s.co() * s.batch;
-  tensor::Tensor out({rows, cols});
-  runtime::parallel_for(0, rows, 1, [&](std::int64_t rb, std::int64_t re) {
-    for (std::int64_t row = rb; row < re; ++row) {
-      const std::int64_t ni = row / (s.kr * s.kc);
-      const std::int64_t kr = (row / s.kc) % s.kr;
-      const std::int64_t kc = row % s.kc;
+namespace {
+
+/// Pool-or-fresh staging buffer. `zeroed` selects the acquire mode for
+/// the pooled case; a fresh Tensor is always zero-initialized.
+tensor::PooledTensor stage(tensor::TensorPool* pool,
+                           const std::vector<std::int64_t>& dims,
+                           bool zeroed) {
+  if (pool == nullptr) {
+    return tensor::PooledTensor(nullptr, tensor::Tensor(dims));
+  }
+  return zeroed ? pool->acquire(dims) : pool->acquire_dirty(dims);
+}
+
+void im2col_into(const tensor::Tensor& input, const ConvShape& s,
+                 tensor::Tensor& out) {
+  runtime::parallel_for(
+      0, s.ni * s.kr * s.kc, 1, [&](std::int64_t rb, std::int64_t re) {
+        for (std::int64_t row = rb; row < re; ++row) {
+          const std::int64_t ni = row / (s.kr * s.kc);
+          const std::int64_t kr = (row / s.kc) % s.kr;
+          const std::int64_t kc = row % s.kc;
+          for (std::int64_t ro = 0; ro < s.ro(); ++ro)
+            for (std::int64_t co = 0; co < s.co(); ++co)
+              for (std::int64_t b = 0; b < s.batch; ++b) {
+                out.at(row, (ro * s.co() + co) * s.batch + b) = input.at(
+                    ro * s.stride_r + kr, co * s.stride_c + kc, ni, b);
+              }
+        }
+      });
+}
+
+void filter_matrix_into(const tensor::Tensor& filter, const ConvShape& s,
+                        tensor::Tensor& out) {
+  for (std::int64_t kr = 0; kr < s.kr; ++kr)
+    for (std::int64_t kc = 0; kc < s.kc; ++kc)
+      for (std::int64_t ni = 0; ni < s.ni; ++ni)
+        for (std::int64_t no = 0; no < s.no; ++no) {
+          out.at(no, (ni * s.kr + kr) * s.kc + kc) =
+              filter.at(kr, kc, ni, no);
+        }
+}
+
+// dOut [Ro][Co][No][B] as the lowered [No][(ro*Co+co)*B+b] matrix.
+void output_matrix_into(const tensor::Tensor& d_output, const ConvShape& s,
+                        tensor::Tensor& mat) {
+  runtime::parallel_for(0, s.no, 1, [&](std::int64_t nb, std::int64_t ne) {
+    for (std::int64_t no = nb; no < ne; ++no)
       for (std::int64_t ro = 0; ro < s.ro(); ++ro)
         for (std::int64_t co = 0; co < s.co(); ++co)
-          for (std::int64_t b = 0; b < s.batch; ++b) {
-            out.at(row, (ro * s.co() + co) * s.batch + b) =
-                input.at(ro * s.stride_r + kr, co * s.stride_c + kc, ni, b);
-          }
-    }
+          for (std::int64_t b = 0; b < s.batch; ++b)
+            mat.at(no, (ro * s.co() + co) * s.batch + b) =
+                d_output.at(ro, co, no, b);
   });
+}
+
+}  // namespace
+
+tensor::Tensor im2col(const tensor::Tensor& input, const ConvShape& s) {
+  tensor::Tensor out({s.ni * s.kr * s.kc, s.ro() * s.co() * s.batch});
+  im2col_into(input, s, out);
   return out;
 }
 
@@ -56,99 +107,86 @@ void col2im_add(const tensor::Tensor& columns, tensor::Tensor& input,
 tensor::Tensor filter_matrix(const tensor::Tensor& filter,
                              const ConvShape& s) {
   tensor::Tensor out({s.no, s.ni * s.kr * s.kc});
-  for (std::int64_t kr = 0; kr < s.kr; ++kr)
-    for (std::int64_t kc = 0; kc < s.kc; ++kc)
-      for (std::int64_t ni = 0; ni < s.ni; ++ni)
-        for (std::int64_t no = 0; no < s.no; ++no) {
-          out.at(no, (ni * s.kr + kr) * s.kc + kc) =
-              filter.at(kr, kc, ni, no);
-        }
+  filter_matrix_into(filter, s, out);
   return out;
 }
 
 void im2col_forward(const tensor::Tensor& input, const tensor::Tensor& filter,
-                    tensor::Tensor& output, const ConvShape& s) {
-  const tensor::Tensor cols = im2col(input, s);
-  const tensor::Tensor wmat = filter_matrix(filter, s);
+                    tensor::Tensor& output, const ConvShape& s,
+                    tensor::TensorPool* pool) {
   const std::int64_t m = s.no;
   const std::int64_t n = s.ro() * s.co() * s.batch;
   const std::int64_t k = s.ni * s.kr * s.kc;
-  tensor::Tensor prod({m, n});
-  gemm_packed_parallel(m, n, k, wmat.data(), cols.data(), prod.data());
+  tensor::PooledTensor cols = stage(pool, {k, n}, /*zeroed=*/false);
+  tensor::PooledTensor wmat = stage(pool, {m, k}, /*zeroed=*/false);
+  im2col_into(input, s, *cols);
+  filter_matrix_into(filter, s, *wmat);
+  tensor::PooledTensor prod = stage(pool, {m, n}, /*zeroed=*/true);
+  gemm_packed_parallel(m, n, k, wmat->data(), cols->data(), prod->data());
   // Scatter [No][(ro*Co+co)*B+b] back to [Ro][Co][No][B].
+  tensor::Tensor& p = *prod;
   runtime::parallel_for(0, s.no, 1, [&](std::int64_t nb, std::int64_t ne) {
     for (std::int64_t no = nb; no < ne; ++no)
       for (std::int64_t ro = 0; ro < s.ro(); ++ro)
         for (std::int64_t co = 0; co < s.co(); ++co)
           for (std::int64_t b = 0; b < s.batch; ++b) {
             output.at(ro, co, no, b) =
-                prod.at(no, (ro * s.co() + co) * s.batch + b);
+                p.at(no, (ro * s.co() + co) * s.batch + b);
           }
   });
 }
 
-namespace {
-
-// dOut [Ro][Co][No][B] as the lowered [No][(ro*Co+co)*B+b] matrix.
-tensor::Tensor output_matrix(const tensor::Tensor& d_output,
-                             const ConvShape& s) {
-  tensor::Tensor mat({s.no, s.ro() * s.co() * s.batch});
-  runtime::parallel_for(0, s.no, 1, [&](std::int64_t nb, std::int64_t ne) {
-    for (std::int64_t no = nb; no < ne; ++no)
-      for (std::int64_t ro = 0; ro < s.ro(); ++ro)
-        for (std::int64_t co = 0; co < s.co(); ++co)
-          for (std::int64_t b = 0; b < s.batch; ++b)
-            mat.at(no, (ro * s.co() + co) * s.batch + b) =
-                d_output.at(ro, co, no, b);
-  });
-  return mat;
-}
-
-}  // namespace
-
 void im2col_backward_data(const tensor::Tensor& d_output,
                           const tensor::Tensor& filter,
-                          tensor::Tensor& d_input, const ConvShape& s) {
-  const tensor::Tensor wmat = filter_matrix(filter, s);       // [No][K]
-  const tensor::Tensor dout = output_matrix(d_output, s);     // [No][S]
+                          tensor::Tensor& d_input, const ConvShape& s,
+                          tensor::TensorPool* pool) {
   const std::int64_t kdim = s.ni * s.kr * s.kc;
   const std::int64_t sdim = s.ro() * s.co() * s.batch;
+  tensor::PooledTensor wmat = stage(pool, {s.no, kdim}, /*zeroed=*/false);
+  tensor::PooledTensor dout = stage(pool, {s.no, sdim}, /*zeroed=*/false);
+  filter_matrix_into(filter, s, *wmat);
+  output_matrix_into(d_output, s, *dout);
   // dCol[K][S] = Wmat^T [K][No] * dOut [No][S].
-  tensor::Tensor wmat_t({kdim, s.no});
+  tensor::PooledTensor wmat_t = stage(pool, {kdim, s.no}, /*zeroed=*/false);
   for (std::int64_t no = 0; no < s.no; ++no)
     for (std::int64_t kk = 0; kk < kdim; ++kk)
-      wmat_t.at(kk, no) = wmat.at(no, kk);
-  tensor::Tensor dcol({kdim, sdim});
-  gemm_packed_parallel(kdim, sdim, s.no, wmat_t.data(), dout.data(),
-                       dcol.data());
+      wmat_t->at(kk, no) = wmat->at(no, kk);
+  tensor::PooledTensor dcol = stage(pool, {kdim, sdim}, /*zeroed=*/true);
+  gemm_packed_parallel(kdim, sdim, s.no, wmat_t->data(), dout->data(),
+                       dcol->data());
   d_input.zero();
-  col2im_add(dcol, d_input, s);
+  col2im_add(*dcol, d_input, s);
 }
 
 void im2col_backward_filter(const tensor::Tensor& input,
                             const tensor::Tensor& d_output,
-                            tensor::Tensor& d_filter, const ConvShape& s) {
-  const tensor::Tensor cols = im2col(input, s);             // [K][S]
-  const tensor::Tensor dout = output_matrix(d_output, s);   // [No][S]
+                            tensor::Tensor& d_filter, const ConvShape& s,
+                            tensor::TensorPool* pool) {
   const std::int64_t kdim = s.ni * s.kr * s.kc;
   const std::int64_t sdim = s.ro() * s.co() * s.batch;
+  tensor::PooledTensor cols = stage(pool, {kdim, sdim}, /*zeroed=*/false);
+  tensor::PooledTensor dout = stage(pool, {s.no, sdim}, /*zeroed=*/false);
+  im2col_into(input, s, *cols);
+  output_matrix_into(d_output, s, *dout);
   // dWmat[No][K] = dOut [No][S] * Col^T [S][K].
-  tensor::Tensor cols_t({sdim, kdim});
+  tensor::PooledTensor cols_t = stage(pool, {sdim, kdim}, /*zeroed=*/false);
+  tensor::Tensor& ct = *cols_t;
+  tensor::Tensor& c = *cols;
   runtime::parallel_for(0, kdim, 1, [&](std::int64_t kb, std::int64_t ke) {
     for (std::int64_t kk = kb; kk < ke; ++kk)
       for (std::int64_t ss = 0; ss < sdim; ++ss)
-        cols_t.at(ss, kk) = cols.at(kk, ss);
+        ct.at(ss, kk) = c.at(kk, ss);
   });
-  tensor::Tensor dwmat({s.no, kdim});
-  gemm_packed_parallel(s.no, kdim, sdim, dout.data(), cols_t.data(),
-                       dwmat.data());
+  tensor::PooledTensor dwmat = stage(pool, {s.no, kdim}, /*zeroed=*/true);
+  gemm_packed_parallel(s.no, kdim, sdim, dout->data(), cols_t->data(),
+                       dwmat->data());
   // Scatter [No][(ni*Kr+kr)*Kc+kc] back to [Kr][Kc][Ni][No].
   for (std::int64_t kr = 0; kr < s.kr; ++kr)
     for (std::int64_t kc = 0; kc < s.kc; ++kc)
       for (std::int64_t ni = 0; ni < s.ni; ++ni)
         for (std::int64_t no = 0; no < s.no; ++no)
           d_filter.at(kr, kc, ni, no) =
-              dwmat.at(no, (ni * s.kr + kr) * s.kc + kc);
+              dwmat->at(no, (ni * s.kr + kr) * s.kc + kc);
 }
 
 }  // namespace swdnn::conv

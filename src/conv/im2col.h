@@ -9,6 +9,7 @@
 // for the cuDNN comparator, and as a host-measured bench subject.
 
 #include "src/conv/shape.h"
+#include "src/tensor/pool.h"
 #include "src/tensor/tensor.h"
 
 namespace swdnn::conv {
@@ -27,21 +28,26 @@ tensor::Tensor filter_matrix(const tensor::Tensor& filter,
                              const ConvShape& shape);
 
 /// Full forward convolution via im2col + blocked GEMM. Overwrites out.
+/// When `pool` is given, the lowered matrices are recycled through it
+/// (same results; zero steady-state tensor allocations).
 void im2col_forward(const tensor::Tensor& input, const tensor::Tensor& filter,
-                    tensor::Tensor& output, const ConvShape& shape);
+                    tensor::Tensor& output, const ConvShape& shape,
+                    tensor::TensorPool* pool = nullptr);
 
 /// Data gradient via the lowered GEMM: dCol = Wmat^T * dOutMat, then
 /// col2im. Overwrites d_input. Much faster than the naive loops — the
 /// path the host training backend uses.
 void im2col_backward_data(const tensor::Tensor& d_output,
                           const tensor::Tensor& filter,
-                          tensor::Tensor& d_input, const ConvShape& shape);
+                          tensor::Tensor& d_input, const ConvShape& shape,
+                          tensor::TensorPool* pool = nullptr);
 
 /// Filter gradient via the lowered GEMM: dWmat = dOutMat * Col^T.
 /// Overwrites d_filter.
 void im2col_backward_filter(const tensor::Tensor& input,
                             const tensor::Tensor& d_output,
                             tensor::Tensor& d_filter,
-                            const ConvShape& shape);
+                            const ConvShape& shape,
+                            tensor::TensorPool* pool = nullptr);
 
 }  // namespace swdnn::conv

@@ -88,6 +88,34 @@ perf::PlanChoice SwConvolution::plan_for(const ConvShape& shape,
   return entry->best_executable();
 }
 
+std::optional<perf::AutotuneReport> SwConvolution::autotune_plan(
+    const ConvShape& shape) {
+  {
+    std::lock_guard<std::mutex> lock(tune_mutex_);
+    if (!tuned_.insert(shape).second) return std::nullopt;  // already tuned
+  }
+  // Counter-neutral base ranking: reuse a cached entry if present, else
+  // warm one in (neither path touches the hit/miss counters, so tuning
+  // during compile keeps serve-time hit rates clean).
+  perf::PlanCache::Entry entry = plan_cache_.peek(shape);
+  if (entry == nullptr) {
+    plan_cache_.warm(shape, cache_builder());
+    entry = plan_cache_.peek(shape);
+  }
+  if (entry == nullptr || entry->ranked.empty()) return std::nullopt;
+
+  const perf::ScheduleAutotuner tuner(spec_);
+  perf::AutotuneReport report;
+  perf::CachedPlan tuned_entry;
+  tuned_entry.ranked = tuner.tune_ranked(shape, entry->ranked, &report);
+  // Tuning never reorders the ranking and never changes a plan's
+  // mesh-mappability (the tuned knobs are invisible to
+  // check_mesh_compatibility), so the executable indices carry over.
+  tuned_entry.executable = entry->executable;
+  plan_cache_.install(shape, std::move(tuned_entry));
+  return report;
+}
+
 perf::PerfEstimate SwConvolution::estimate(const ConvShape& shape) const {
   return plan_for(shape).estimate;
 }

@@ -16,9 +16,11 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <unordered_set>
 
 #include "src/conv/ldm_blocked.h"
 #include "src/conv/shape.h"
+#include "src/perf/autotune.h"
 #include "src/perf/chooser.h"
 #include "src/perf/plan_cache.h"
 #include "src/sim/noc.h"
@@ -76,6 +78,16 @@ class SwConvolution {
   /// measure serve traffic only. Returns how many entries were built
   /// (already-cached shapes are skipped).
   std::size_t warm_plans(const std::vector<ConvShape>& shapes);
+
+  /// Runs the schedule autotuner over the shape's ranked plans and
+  /// installs the tuned ranking in the plan cache, so every subsequent
+  /// dispatch of the shape serves the tuned schedule. Counter-neutral
+  /// (peek/warm/install only) and idempotent: a shape is tuned at most
+  /// once per SwConvolution; repeats return nullopt without work.
+  /// Tuning upgrades each ranked entry in place-order, so the cached
+  /// executable-index list stays valid and outputs stay bitwise
+  /// identical (the tuned knobs are schedule-only; see autotune.h).
+  std::optional<perf::AutotuneReport> autotune_plan(const ConvShape& shape);
 
   /// Hit/miss/eviction counters of this object's plan cache.
   perf::PlanCacheStats plan_cache_stats() const {
@@ -144,6 +156,8 @@ class SwConvolution {
   sim::RetryPolicy retry_;
   sim::EventTracer* tracer_ = nullptr;
   mutable perf::PlanCache plan_cache_;
+  std::mutex tune_mutex_;  ///< guards tuned_
+  std::unordered_set<ConvShape, perf::PlanCache::ShapeHash> tuned_;
   mutable std::mutex exec_mutex_;  ///< serializes launches on exec_
   mutable std::unique_ptr<sim::MeshExecutor> exec_;
 };

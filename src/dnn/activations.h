@@ -2,6 +2,14 @@
 // Elementwise activations beyond ReLU: tanh and the logistic sigmoid —
 // the classic CNN-era nonlinearities (LeNet used tanh; sigmoid heads
 // predate softmax classifiers).
+//
+// Both cache the activation output (their backward needs only y), are
+// allocation-free on the compiled path once plan() has presized that
+// cache, and can ride a conv/FC node as a fused epilogue: the producer
+// computes the linear output in place and calls
+// epilogue_forward_inplace, which applies the nonlinearity with exactly
+// the arithmetic the unfused layer performs — fused output is
+// bitwise-identical.
 
 #include "src/dnn/layer.h"
 
@@ -13,6 +21,16 @@ class Tanh : public Layer {
   tensor::Tensor forward(const tensor::Tensor& input) override;
   tensor::Tensor backward(const tensor::Tensor& d_output) override;
 
+  void plan(const std::vector<std::int64_t>& input_dims) override;
+  void forward_view(const tensor::TensorView& input,
+                    tensor::TensorView& output) override;
+  void backward_view(const tensor::TensorView& d_output,
+                     tensor::TensorView& d_input) override;
+
+  bool is_fusible_epilogue() const override { return true; }
+  void epilogue_forward_inplace(tensor::TensorView& y) override;
+  void epilogue_backward_inplace(tensor::TensorView& d) override;
+
  private:
   tensor::Tensor cached_output_;
 };
@@ -22,6 +40,16 @@ class Sigmoid : public Layer {
   std::string name() const override { return "sigmoid"; }
   tensor::Tensor forward(const tensor::Tensor& input) override;
   tensor::Tensor backward(const tensor::Tensor& d_output) override;
+
+  void plan(const std::vector<std::int64_t>& input_dims) override;
+  void forward_view(const tensor::TensorView& input,
+                    tensor::TensorView& output) override;
+  void backward_view(const tensor::TensorView& d_output,
+                     tensor::TensorView& d_input) override;
+
+  bool is_fusible_epilogue() const override { return true; }
+  void epilogue_forward_inplace(tensor::TensorView& y) override;
+  void epilogue_backward_inplace(tensor::TensorView& d) override;
 
  private:
   tensor::Tensor cached_output_;

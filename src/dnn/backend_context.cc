@@ -79,6 +79,23 @@ void BackendContext::conv_forward(const conv::ConvShape& shape,
   }
 }
 
+void BackendContext::conv_forward_fused(const conv::ConvShape& shape,
+                                        const double* x, const double* w,
+                                        double* y, const double* bias,
+                                        double* relu_mask) {
+  const ConvDescriptors d = descriptors_for(shape);
+  api::ConvolutionEpilogue epilogue;
+  epilogue.bias = bias;
+  epilogue.relu_mask = relu_mask;
+  const api::Status s =
+      api::convolution_forward_ex(handle_, d.x, x, d.w, w, d.y, y, &epilogue);
+  if (s != api::Status::kSuccess) {
+    throw BackendError(s, std::string("convolution_forward_ex: ") +
+                              api::status_string(s) + ": " +
+                              api::last_error_message(handle_));
+  }
+}
+
 void BackendContext::conv_backward_data(const conv::ConvShape& shape,
                                         const double* w, const double* dy,
                                         double* dx) {
@@ -118,6 +135,10 @@ void BackendContext::set_retry_policy(int max_attempts,
   api::set_retry_policy(handle_, max_attempts, backoff_cycles);
 }
 
+void BackendContext::set_autotune(bool enable) {
+  api::set_autotune(handle_, enable);
+}
+
 api::PlanCacheCounters BackendContext::plan_cache_counters() const {
   api::PlanCacheCounters counters;
   api::plan_cache_counters(handle_, &counters);
@@ -136,6 +157,10 @@ api::ExecutionRoute BackendContext::last_execution_route() const {
 
 std::string BackendContext::last_error_message() const {
   return api::last_error_message(handle_);
+}
+
+std::uint64_t BackendContext::autotuned_shapes() const {
+  return api::autotuned_shapes(handle_);
 }
 
 }  // namespace swdnn::dnn

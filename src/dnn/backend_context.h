@@ -73,6 +73,15 @@ class BackendContext {
   // configuration space). Throws BackendError on a non-success status.
   void conv_forward(const conv::ConvShape& shape, const double* x,
                     const double* w, double* y);
+  /// Forward plus a fused epilogue applied inside the API call while the
+  /// output is hot: `bias` (per-output-channel, length shape.no, may be
+  /// nullptr) and, when `relu_mask` is non-null, ReLU with the 0/1 mask
+  /// written there (length = output element count). The arithmetic is
+  /// element-for-element the unfused layers', so results are
+  /// bitwise-identical; the fault ladder is the plain call's.
+  void conv_forward_fused(const conv::ConvShape& shape, const double* x,
+                          const double* w, double* y, const double* bias,
+                          double* relu_mask);
   void conv_backward_data(const conv::ConvShape& shape, const double* w,
                           const double* dy, double* dx);
   void conv_backward_filter(const conv::ConvShape& shape, const double* x,
@@ -82,12 +91,17 @@ class BackendContext {
   void set_event_tracer(sim::EventTracer* tracer);
   void set_fault_plan(const sim::FaultPlan* plan);
   void set_retry_policy(int max_attempts, std::uint64_t backoff_cycles);
+  /// Compile-time schedule autotuning: when enabled, warm_conv_plan also
+  /// searches the schedule-only plan knobs and installs tuned rankings.
+  void set_autotune(bool enable);
 
   // Observability passthroughs.
   api::PlanCacheCounters plan_cache_counters() const;
   api::FaultCounters fault_counters() const;
   api::ExecutionRoute last_execution_route() const;
   std::string last_error_message() const;
+  /// Distinct shapes the schedule autotuner has tuned on this handle.
+  std::uint64_t autotuned_shapes() const;
 
  private:
   api::Handle* handle_ = nullptr;

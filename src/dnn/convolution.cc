@@ -125,6 +125,44 @@ void Convolution::forward_view(const tensor::TensorView& input,
   }
 }
 
+void Convolution::forward_view_fused(const tensor::TensorView& input,
+                                     tensor::TensorView& output,
+                                     Layer& epilogue) {
+  input_view_ = input;  // liveness: the planner pins it to our backward
+  // Mask epilogues (ReLU) fold into the backend dispatch — bias add and
+  // activation run while the output is hot and the mask is written in
+  // the same pass. Cached-output epilogues (tanh, sigmoid) get the
+  // bias folded in and the nonlinearity applied in place right after.
+  double* mask = epilogue.epilogue_mask_data();
+  context_->conv_forward_fused(shape_, input.data().data(),
+                               filter_.data().data(), output.data().data(),
+                               with_bias_ ? bias_.data().data() : nullptr,
+                               mask);
+  if (mask == nullptr) epilogue.epilogue_forward_inplace(output);
+}
+
+void Convolution::backward_view_fused(tensor::TensorView& d_output,
+                                      tensor::TensorView& d_input,
+                                      Layer& epilogue) {
+  // dLoss/dEpilogueOut -> dLoss/dConvOut in place; that gradient value
+  // is dead after this node's backward, so the clobber is safe.
+  epilogue.epilogue_backward_inplace(d_output);
+  if (with_bias_) {
+    d_bias_.zero();
+    for (std::int64_t ro = 0; ro < shape_.ro(); ++ro)
+      for (std::int64_t co = 0; co < shape_.co(); ++co)
+        for (std::int64_t no = 0; no < shape_.no; ++no)
+          for (std::int64_t b = 0; b < shape_.batch; ++b)
+            d_bias_.at(no) += d_output.at(ro, co, no, b);
+  }
+  context_->conv_backward_filter(shape_, input_view_.data().data(),
+                                 d_output.data().data(),
+                                 d_filter_.data().data());
+  context_->conv_backward_data(shape_, filter_.data().data(),
+                               d_output.data().data(),
+                               d_input.data().data());
+}
+
 void Convolution::backward_view(const tensor::TensorView& d_output,
                                 tensor::TensorView& d_input) {
   if (!use_api()) {

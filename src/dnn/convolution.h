@@ -52,6 +52,18 @@ class Convolution : public Layer {
   void backward_view(const tensor::TensorView& d_output,
                      tensor::TensorView& d_input) override;
 
+  // Graph fusion: on the API route a following elementwise epilogue
+  // (ReLU via the backend's fused mask epilogue; tanh/sigmoid applied
+  // in place right after the dispatch) collapses into this layer's
+  // node — one backend call, bitwise-identical output.
+  bool supports_fused_epilogue() const override { return use_api(); }
+  void forward_view_fused(const tensor::TensorView& input,
+                          tensor::TensorView& output,
+                          Layer& epilogue) override;
+  void backward_view_fused(tensor::TensorView& d_output,
+                           tensor::TensorView& d_input,
+                           Layer& epilogue) override;
+
   const tensor::Tensor& filter() const { return filter_; }
   tensor::Tensor& mutable_filter() { return filter_; }
   const conv::ConvShape& shape() const { return shape_; }

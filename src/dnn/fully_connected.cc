@@ -176,6 +176,48 @@ void FullyConnected::forward_view(const tensor::TensorView& input,
   }
 }
 
+void FullyConnected::forward_view_fused(const tensor::TensorView& input,
+                                        tensor::TensorView& output,
+                                        Layer& epilogue) {
+  input_view_ = input;  // liveness: the planner pins it to our backward
+  for (std::int64_t o = 0; o < out_features_; ++o) {
+    for (std::int64_t i = 0; i < in_features_; ++i) {
+      w_t_[static_cast<std::size_t>(i * out_features_ + o)] =
+          weights_.at(o, i);
+    }
+  }
+  double* mask = epilogue.epilogue_mask_data();
+  context_->conv_forward_fused(api_shape_, input.data().data(), w_t_.data(),
+                               output.data().data(), bias_.data().data(),
+                               mask);
+  if (mask == nullptr) epilogue.epilogue_forward_inplace(output);
+}
+
+void FullyConnected::backward_view_fused(tensor::TensorView& d_output,
+                                         tensor::TensorView& d_input,
+                                         Layer& epilogue) {
+  // dLoss/dActOut -> dLoss/dLinearOut in place; dead after this node.
+  epilogue.epilogue_backward_inplace(d_output);
+  const std::int64_t batch = api_shape_.batch;
+  d_bias_.zero();
+  for (std::int64_t o = 0; o < out_features_; ++o) {
+    for (std::int64_t b = 0; b < batch; ++b) {
+      d_bias_.at(o) += d_output.at(o, b);
+    }
+  }
+  context_->conv_backward_filter(api_shape_, input_view_.data().data(),
+                                 d_output.data().data(), dw_t_.data());
+  for (std::int64_t o = 0; o < out_features_; ++o) {
+    for (std::int64_t i = 0; i < in_features_; ++i) {
+      d_weights_.at(o, i) =
+          dw_t_[static_cast<std::size_t>(i * out_features_ + o)];
+    }
+  }
+  context_->conv_backward_data(api_shape_, w_t_.data(),
+                               d_output.data().data(),
+                               d_input.data().data());
+}
+
 void FullyConnected::backward_view(const tensor::TensorView& d_output,
                                    tensor::TensorView& d_input) {
   if (context_ == nullptr) {

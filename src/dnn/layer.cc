@@ -24,4 +24,31 @@ void Layer::backward_view(const tensor::TensorView& d_output,
   d_input.copy_from(din);
 }
 
+void Layer::epilogue_forward_inplace(tensor::TensorView& y) {
+  (void)y;
+  throw std::logic_error(name() + ": not a fusible epilogue layer");
+}
+
+void Layer::epilogue_backward_inplace(tensor::TensorView& d) {
+  (void)d;
+  throw std::logic_error(name() + ": not a fusible epilogue layer");
+}
+
+void Layer::forward_view_fused(const tensor::TensorView& input,
+                               tensor::TensorView& output, Layer& epilogue) {
+  (void)input;
+  (void)output;
+  (void)epilogue;
+  throw std::logic_error(name() + ": does not support a fused epilogue");
+}
+
+void Layer::backward_view_fused(tensor::TensorView& d_output,
+                                tensor::TensorView& d_input,
+                                Layer& epilogue) {
+  (void)d_output;
+  (void)d_input;
+  (void)epilogue;
+  throw std::logic_error(name() + ": does not support a fused epilogue");
+}
+
 }  // namespace swdnn::dnn

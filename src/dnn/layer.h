@@ -93,6 +93,65 @@ class Layer {
   /// parameter gradients. Default adapts the eager backward.
   virtual void backward_view(const tensor::TensorView& d_output,
                              tensor::TensorView& d_input);
+
+  // --- graph-fusion hooks -------------------------------------------
+  //
+  // The graph compiler (graph_ir.h) collapses producer+epilogue layer
+  // pairs into one node and elides zero-pad copies. Layers opt in via
+  // the predicates; the fused execution entry points are only called on
+  // layers whose predicate returned true, after bind()/plan().
+
+  /// True when the compiled path can fold a following epilogue layer
+  /// into this layer's backend dispatch (conv/FC on the API route).
+  virtual bool supports_fused_epilogue() const { return false; }
+
+  /// True when this layer can ride as the epilogue of a preceding
+  /// supports_fused_epilogue() producer: elementwise over the
+  /// producer's output, backward state cached internally.
+  virtual bool is_fusible_epilogue() const { return false; }
+
+  /// Mask-based epilogues (ReLU) expose their presized mask buffer so
+  /// the producer's single backend dispatch can fill it in the same
+  /// pass. nullptr = the fused node runs epilogue_forward_inplace after
+  /// the linear call instead (tanh, sigmoid). Valid only after plan().
+  virtual double* epilogue_mask_data() { return nullptr; }
+
+  /// Applies this epilogue in place over the producer's output view,
+  /// caching whatever backward needs. Only meaningful on
+  /// is_fusible_epilogue() layers; default throws.
+  virtual void epilogue_forward_inplace(tensor::TensorView& y);
+
+  /// In-place epilogue backward: transforms dLoss/dEpilogueOut into
+  /// dLoss/dLinearOut using the cached state. Default throws.
+  virtual void epilogue_backward_inplace(tensor::TensorView& d);
+
+  /// True for zero-padding layers whose compiled output slot the graph
+  /// compiler pins and fills by interior copy (borders zeroed once at
+  /// compile), eliding the per-step full-tensor zero pass.
+  virtual bool is_elidable_pad() const { return false; }
+
+  /// Elided-pad compiled forward: write only the interior; the graph
+  /// executor guarantees the output slot's borders are already zero and
+  /// never reused within a step. Default falls back to forward_view.
+  virtual void forward_view_elided(const tensor::TensorView& input,
+                                   tensor::TensorView& output) {
+    forward_view(input, output);
+  }
+
+  /// Fused compiled forward: this layer's op plus `epilogue` in one
+  /// dispatch. Only called when supports_fused_epilogue(); default
+  /// throws.
+  virtual void forward_view_fused(const tensor::TensorView& input,
+                                  tensor::TensorView& output,
+                                  Layer& epilogue);
+
+  /// Fused compiled backward. `d_output` is clobbered in place (the
+  /// epilogue's backward runs through it first); safe because the graph
+  /// executor visits nodes in reverse order, so that gradient value is
+  /// dead once this call returns.
+  virtual void backward_view_fused(tensor::TensorView& d_output,
+                                   tensor::TensorView& d_input,
+                                   Layer& epilogue);
 };
 
 using LayerPtr = std::unique_ptr<Layer>;

@@ -2,26 +2,33 @@
 // Sequential layer container with a compile-then-execute mode.
 //
 // Eager mode is the seed behaviour: forward/backward walk the layer
-// vector, every layer minting fresh tensors. compile(input_dims) turns
-// the same network into an execution graph in the swCaffe/swTVM sense:
+// vector, every layer minting fresh tensors. compile(input_dims) lowers
+// the same network into a graph IR (graph_ir.h) and optimizes it the
+// way swTVM/swCaffe treat a model — as a program, not a list:
 //   1. shape inference propagates the input dims through every layer's
 //      infer_shape, catching shape bugs before any math runs;
-//   2. a liveness pass places every activation and gradient into the
-//      workspace arena (tensor::Arena) — tensors with disjoint
-//      lifetimes share bytes, so the packed peak sits far below the
-//      one-buffer-per-tensor footprint;
-//   3. every layer binds to one shared BackendContext and plans
-//      (presizing caches, warming the API plan cache), so a compiled
-//      step dispatches its heavy ops on plan-cache hits from batch one
-//      and allocates nothing.
-// forward/backward transparently run the compiled path once compiled;
-// set_run_eager(true) is the escape hatch that forces the eager loop
-// on a compiled network (differential testing, debugging).
+//   2. every layer binds to one shared BackendContext and plans
+//      (presizing caches, warming — and, by default, autotuning — the
+//      API plan cache), so a compiled step dispatches its heavy ops on
+//      tuned plan-cache hits from batch one;
+//   3. a pass pipeline rewrites the graph: conv/FC + activation pairs
+//      fuse into single nodes dispatching one backend call with an
+//      epilogue, zero-pad nodes elide their per-step border zeroing;
+//   4. a node-based liveness pass places every surviving activation and
+//      gradient into the workspace arena (tensor::Arena) — tensors with
+//      disjoint lifetimes share bytes, and fused-away intermediates are
+//      never materialized at all.
+// forward/backward transparently run the compiled path once compiled,
+// returning views of presized result buffers so steady-state steps
+// allocate nothing; set_run_eager(true) is the escape hatch that forces
+// the eager loop on a compiled network (differential testing asserts
+// the two paths agree bitwise).
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "src/dnn/graph_ir.h"
 #include "src/dnn/layer.h"
 #include "src/tensor/arena.h"
 
@@ -44,9 +51,17 @@ struct CompileOptions {
   /// Machine spec for an owned context; ignored when `context` is set.
   /// nullptr = the real SW26010 numbers.
   const arch::Sw26010Spec* spec = nullptr;
-  /// Tracer for per-layer "layer" spans and backend events; also
-  /// attached to the context. nullptr = no tracing.
+  /// Tracer for per-node "layer" spans, "fusion"/"autotune" pass
+  /// instants, and backend events; also attached to the context.
+  /// nullptr = no tracing.
   sim::EventTracer* tracer = nullptr;
+  /// Run the graph passes (epilogue fusion, pad elision). false = the
+  /// one-node-per-layer baseline, bitwise-identical results.
+  bool fuse = true;
+  /// Autotune plan schedules (register blocking, DMA promotion) during
+  /// plan warm-up, with the perf model as cost oracle. Schedule-only:
+  /// outputs are unaffected.
+  bool autotune = true;
 };
 
 /// What compile() decided, for observability and tests.
@@ -56,8 +71,15 @@ struct CompiledStats {
   std::size_t arena_slots = 0;
   std::uint64_t arena_allocations = 0;
   /// Inferred dims of every activation: [0] = input, [i+1] = output of
-  /// layer i.
+  /// layer i. Fused-away intermediates keep their entry here (the dims
+  /// are still inferred) but get no arena slot.
   std::vector<std::vector<std::int64_t>> activation_dims;
+  // Graph-pass outcomes.
+  std::size_t graph_nodes = 0;      ///< executable nodes after passes
+  std::size_t fused_conv_act = 0;   ///< conv+activation pairs collapsed
+  std::size_t fused_fc_act = 0;     ///< FC+activation pairs collapsed
+  std::size_t elided_pads = 0;      ///< zero-pads with pinned slots
+  std::uint64_t autotuned_shapes = 0;  ///< shapes the autotuner tuned
 };
 
 class Network {
@@ -83,14 +105,17 @@ class Network {
   }
 
   /// Builds the execution graph for this input shape: shape inference,
-  /// arena liveness packing, backend binding and plan warm-up. Throws
-  /// std::invalid_argument on a shape error. Re-compiling with a new
-  /// shape is allowed (the arena is re-planned).
+  /// graph passes, arena liveness packing, backend binding and plan
+  /// warm-up. Throws std::invalid_argument on a shape error.
+  /// Re-compiling with a new shape is allowed (the arena is re-planned).
   const CompiledStats& compile(const std::vector<std::int64_t>& input_dims,
                                const CompileOptions& options = {});
 
   bool compiled() const { return compiled_; }
   const CompiledStats& compiled_stats() const { return stats_; }
+
+  /// The executable graph (empty before compile()).
+  const GraphIR& graph() const { return graph_; }
 
   /// Drops the compiled graph (arena, bindings); eager behaviour only.
   void uncompile();
@@ -105,11 +130,16 @@ class Network {
   /// compile()); shared or owned per CompileOptions.
   BackendContext* context() { return context_; }
 
-  tensor::Tensor forward(const tensor::Tensor& input);
+  /// Runs the network. The returned reference is a presized internal
+  /// buffer valid until the next forward() (or the Network's death) —
+  /// steady-state compiled steps allocate nothing; copy-construct from
+  /// it to keep a snapshot.
+  const tensor::Tensor& forward(const tensor::Tensor& input);
 
   /// Backpropagates dLoss/dOutput through every layer; parameter
-  /// gradients are left in the layers for the optimizer.
-  tensor::Tensor backward(const tensor::Tensor& d_output);
+  /// gradients are left in the layers for the optimizer. Same buffer
+  /// contract as forward().
+  const tensor::Tensor& backward(const tensor::Tensor& d_output);
 
   /// All trainable parameters across layers.
   std::vector<ParamGrad> params();
@@ -123,14 +153,14 @@ class Network {
   Layer& layer(std::size_t i) { return *layers_.at(i); }
 
  private:
-  tensor::Tensor forward_compiled(const tensor::Tensor& input);
-  tensor::Tensor backward_compiled(const tensor::Tensor& d_output);
+  const tensor::Tensor& forward_compiled(const tensor::Tensor& input);
+  const tensor::Tensor& backward_compiled(const tensor::Tensor& d_output);
 
-  /// Emits one "layer" duration span (phase, bytes in/out encoded in
-  /// the name) when a tracer is attached.
-  void trace_layer(std::size_t layer_index, const char* phase,
-                   std::int64_t bytes_in, std::int64_t bytes_out,
-                   std::uint64_t begin_ns, std::uint64_t end_ns);
+  /// Emits one "layer" duration span for a graph node (phase and bytes
+  /// in/out encoded in the name) when a tracer is attached.
+  void trace_node(std::size_t node_index, const char* phase,
+                  std::int64_t bytes_in, std::int64_t bytes_out,
+                  std::uint64_t begin_ns, std::uint64_t end_ns);
 
   std::vector<LayerPtr> layers_;
   bool training_ = true;
@@ -138,15 +168,19 @@ class Network {
   // Compiled-graph state.
   bool compiled_ = false;
   bool run_eager_ = false;
+  GraphIR graph_;
   tensor::Arena arena_;
-  std::vector<std::size_t> act_slots_;   // activation i -> arena slot
-  std::vector<std::size_t> grad_slots_;  // gradient of activation i
+  // Indexed by activation value; only values the optimized graph uses
+  // ({0} plus every node's output) carry valid views.
   std::vector<tensor::TensorView> act_views_;
   std::vector<tensor::TensorView> grad_views_;
   CompiledStats stats_;
   BackendContext* context_ = nullptr;
   std::unique_ptr<BackendContext> owned_context_;
   sim::EventTracer* tracer_ = nullptr;
+  // Presized result buffers backing the forward()/backward() returns.
+  tensor::Tensor forward_result_;
+  tensor::Tensor backward_result_;
 };
 
 }  // namespace swdnn::dnn

@@ -24,7 +24,27 @@ class ZeroPad2d : public Layer {
   std::vector<std::int64_t> infer_shape(
       const std::vector<std::int64_t>& input_dims) override;
 
+  // Compiled path: allocation-free views (zero-fill + interior scatter
+  // forward, interior gather backward).
+  void forward_view(const tensor::TensorView& input,
+                    tensor::TensorView& output) override;
+  void backward_view(const tensor::TensorView& d_output,
+                     tensor::TensorView& d_input) override;
+
+  // Elision: the graph compiler pins this layer's output slot for the
+  // whole step and zeroes it once at compile, so the per-step pass
+  // writes only the interior — the border zero-fill is paid exactly
+  // once per compile instead of once per batch.
+  bool is_elidable_pad() const override { return true; }
+  void forward_view_elided(const tensor::TensorView& input,
+                           tensor::TensorView& output) override;
+
  private:
+  /// Interior scatter input -> output[top_+r][left_+c][n][b].
+  static void copy_interior(const tensor::TensorView& input,
+                            tensor::TensorView& output, std::int64_t top,
+                            std::int64_t left);
+
   std::int64_t top_, bottom_, left_, right_;
   std::vector<std::int64_t> input_dims_;
 };

@@ -20,6 +20,17 @@ class Relu : public Layer {
   void backward_view(const tensor::TensorView& d_output,
                      tensor::TensorView& d_input) override;
 
+  // Fusion: ReLU rides a conv/FC node as a mask-based epilogue — the
+  // producer's single backend dispatch applies the select and fills
+  // mask_ (the exact buffer the unfused backward reads), so fused and
+  // unfused execution share one backward implementation bitwise.
+  bool is_fusible_epilogue() const override { return true; }
+  double* epilogue_mask_data() override {
+    return mask_.size() > 0 ? mask_.data().data() : nullptr;
+  }
+  void epilogue_forward_inplace(tensor::TensorView& y) override;
+  void epilogue_backward_inplace(tensor::TensorView& d) override;
+
  private:
   tensor::Tensor mask_;  ///< 1 where input > 0
 };

@@ -80,6 +80,25 @@ bool PlanCache::warm(const conv::ConvShape& shape, const Builder& build) {
   return true;
 }
 
+void PlanCache::install(const conv::ConvShape& shape, CachedPlan entry) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto shared = std::make_shared<const CachedPlan>(std::move(entry));
+  auto it = table_.find(shape);
+  if (it != table_.end()) {
+    it->second.entry = std::move(shared);
+    touch(it->second);
+    return;
+  }
+  if (table_.size() >= capacity_) {
+    const conv::ConvShape& victim = lru_.back();
+    table_.erase(victim);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(shape);
+  table_.emplace(shape, Slot{std::move(shared), lru_.begin()});
+}
+
 PlanCache::Entry PlanCache::peek(const conv::ConvShape& shape) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = table_.find(shape);

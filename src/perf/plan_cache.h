@@ -85,19 +85,27 @@ class PlanCache {
   /// shape was already cached.
   bool warm(const conv::ConvShape& shape, const Builder& build);
 
+  /// Counter-neutral overwrite: replaces (or inserts) the entry for
+  /// `shape` with an externally built one — the schedule autotuner's
+  /// installation point, so subsequent lookups serve tuned plans as
+  /// ordinary hits. Touches neither hits_ nor misses_.
+  void install(const conv::ConvShape& shape, CachedPlan entry);
+
   PlanCacheStats stats() const;
   void clear();
 
   static constexpr std::size_t kDefaultCapacity = 1024;
 
+  /// Hash usable by any shape-keyed table (the autotuner's tuned-shape
+  /// set reuses it).
+  struct ShapeHash {
+    std::size_t operator()(const conv::ConvShape& s) const;
+  };
+
  private:
   struct Slot {
     Entry entry;
     std::list<conv::ConvShape>::iterator lru_pos;
-  };
-
-  struct ShapeHash {
-    std::size_t operator()(const conv::ConvShape& s) const;
   };
 
   void touch(Slot& slot) const;  // move to LRU front; mutex must be held

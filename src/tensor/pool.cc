@@ -1,0 +1,63 @@
+#include "src/tensor/pool.h"
+
+namespace swdnn::tensor {
+
+PooledTensor::~PooledTensor() {
+  if (pool_ != nullptr && tensor_.size() > 0) {
+    pool_->release(std::move(tensor_));
+  }
+}
+
+PooledTensor& PooledTensor::operator=(PooledTensor&& other) noexcept {
+  if (this != &other) {
+    if (pool_ != nullptr && tensor_.size() > 0) {
+      pool_->release(std::move(tensor_));
+    }
+    pool_ = other.pool_;
+    tensor_ = std::move(other.tensor_);
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+Tensor TensorPool::take_or_make(const std::vector<std::int64_t>& dims,
+                                bool zeroed) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = free_.find(dims);
+    if (it != free_.end() && !it->second.empty()) {
+      Tensor t = std::move(it->second.back());
+      it->second.pop_back();
+      if (zeroed) t.zero();
+      return t;
+    }
+  }
+  // First sight of this shape (or the free list is drained by
+  // concurrent holders): a real construction, counted like any other.
+  // Tensor's constructor zero-initializes, so the dirty mode costs the
+  // same here and saves only on recycled buffers.
+  return Tensor(dims);
+}
+
+PooledTensor TensorPool::acquire(const std::vector<std::int64_t>& dims) {
+  return PooledTensor(this, take_or_make(dims, /*zeroed=*/true));
+}
+
+PooledTensor TensorPool::acquire_dirty(
+    const std::vector<std::int64_t>& dims) {
+  return PooledTensor(this, take_or_make(dims, /*zeroed=*/false));
+}
+
+void TensorPool::release(Tensor tensor) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_[tensor.dims()].push_back(std::move(tensor));
+}
+
+std::size_t TensorPool::idle_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [dims, list] : free_) n += list.size();
+  return n;
+}
+
+}  // namespace swdnn::tensor

@@ -1,0 +1,94 @@
+#pragma once
+// Shape-keyed tensor recycling for the steady-state execution path.
+//
+// The API boundary (src/api) and the im2col lowering allocate the same
+// handful of staging tensors — wrapped inputs, lowered column matrices,
+// GEMM products — on every call. In eager mode that is the seed
+// behaviour; in compiled mode it is the difference between "the graph
+// saves memory" and "the graph is faster": a compiled training step
+// must mint zero tensors after warm-up. The pool keeps released
+// buffers in per-shape free lists and hands them back by move, which
+// tensor::allocation_count() does not charge.
+//
+// Two acquisition modes, chosen per buffer by its overwrite contract:
+//   * acquire()       — returns a ZEROED tensor, byte-identical to a
+//                       freshly constructed one. Required for buffers
+//                       whose consumer accumulates (gemm_packed_parallel
+//                       computes C += A*B) or overwrites only a subset.
+//   * acquire_dirty() — contents unspecified; only for buffers every
+//                       element of which is written before being read
+//                       (wrapped copies, lowered matrices, transposes).
+//
+// Thread-safety: all methods lock internally — one handle's pool is hit
+// by N serving workers concurrently. PooledTensor is the RAII handle:
+// destruction returns the buffer to the pool (a detached handle from a
+// null pool just drops it).
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace swdnn::tensor {
+
+class TensorPool;
+
+/// Owning handle over a pooled tensor: releases back to the pool on
+/// destruction. Movable, not copyable.
+class PooledTensor {
+ public:
+  PooledTensor() = default;
+  PooledTensor(TensorPool* pool, Tensor tensor)
+      : pool_(pool), tensor_(std::move(tensor)) {}
+  ~PooledTensor();
+  PooledTensor(const PooledTensor&) = delete;
+  PooledTensor& operator=(const PooledTensor&) = delete;
+  PooledTensor(PooledTensor&& other) noexcept
+      : pool_(other.pool_), tensor_(std::move(other.tensor_)) {
+    other.pool_ = nullptr;
+  }
+  PooledTensor& operator=(PooledTensor&& other) noexcept;
+
+  Tensor& get() { return tensor_; }
+  const Tensor& get() const { return tensor_; }
+  Tensor& operator*() { return tensor_; }
+  const Tensor& operator*() const { return tensor_; }
+  Tensor* operator->() { return &tensor_; }
+  const Tensor* operator->() const { return &tensor_; }
+
+ private:
+  TensorPool* pool_ = nullptr;
+  Tensor tensor_;
+};
+
+class TensorPool {
+ public:
+  TensorPool() = default;
+  TensorPool(const TensorPool&) = delete;
+  TensorPool& operator=(const TensorPool&) = delete;
+
+  /// A tensor with the given dims, zero-filled — indistinguishable from
+  /// a freshly constructed Tensor(dims), but recycled when possible.
+  PooledTensor acquire(const std::vector<std::int64_t>& dims);
+
+  /// A tensor with the given dims and UNSPECIFIED contents. Only for
+  /// buffers that are fully overwritten before any read.
+  PooledTensor acquire_dirty(const std::vector<std::int64_t>& dims);
+
+  /// Returns a buffer to the free list (moved, never counted).
+  void release(Tensor tensor);
+
+  /// Buffers currently parked in free lists (diagnostic).
+  std::size_t idle_count() const;
+
+ private:
+  Tensor take_or_make(const std::vector<std::int64_t>& dims, bool zeroed);
+
+  mutable std::mutex mutex_;
+  std::map<std::vector<std::int64_t>, std::vector<Tensor>> free_;
+};
+
+}  // namespace swdnn::tensor

@@ -181,9 +181,11 @@ TEST(DnnGraph, CompiledStepEmitsPerLayerTraceSpans) {
     EXPECT_NE(event.name.find("out="), std::string::npos) << event.name;
     EXPECT_GE(event.end_cycle, event.begin_cycle);
   }
-  // One span per layer per phase.
-  EXPECT_EQ(fwd, net->num_layers());
-  EXPECT_EQ(bwd, net->num_layers());
+  // One span per graph node per phase (fusion collapses conv+relu, so
+  // this is fewer than the layer count).
+  EXPECT_EQ(fwd, net->compiled_stats().graph_nodes);
+  EXPECT_EQ(bwd, net->compiled_stats().graph_nodes);
+  EXPECT_LT(net->compiled_stats().graph_nodes, net->num_layers());
 }
 
 TEST(DnnGraph, ArenaPackingBeatsOneBufferPerTensor) {
@@ -191,8 +193,12 @@ TEST(DnnGraph, ArenaPackingBeatsOneBufferPerTensor) {
   const CompiledStats& stats = net->compile({12, 12, 3, 6});
   EXPECT_GT(stats.arena_naive_bytes, 0);
   EXPECT_LT(stats.arena_peak_bytes, stats.arena_naive_bytes);
-  // input + L activations + L+1 gradients
-  EXPECT_EQ(stats.arena_slots, 2 * (net->num_layers() + 1));
+  // Values the optimized graph materializes: the input plus one output
+  // per node, each with an activation and a gradient slot. Fused-away
+  // intermediates never touch the arena.
+  EXPECT_EQ(stats.arena_slots, 2 * (stats.graph_nodes + 1));
+  EXPECT_EQ(stats.graph_nodes, net->num_layers() - stats.fused_conv_act -
+                                   stats.fused_fc_act);
   EXPECT_EQ(stats.activation_dims.size(), net->num_layers() + 1);
   EXPECT_EQ(stats.activation_dims.back(),
             (std::vector<std::int64_t>{10, 6}));

@@ -1,0 +1,88 @@
+// TensorPool: recycled acquires are allocation-free and zeroed acquires
+// are byte-identical to fresh tensors; the RAII handle returns buffers
+// on destruction; concurrent acquire/release is safe.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/tensor/pool.h"
+
+namespace swdnn::tensor {
+namespace {
+
+TEST(TensorPool, RecycledAcquireIsAllocationFreeAndZeroed) {
+  TensorPool pool;
+  {
+    PooledTensor t = pool.acquire({4, 3});
+    for (std::int64_t i = 0; i < t->size(); ++i) t->data()[i] = 7.5;
+  }  // released back
+  EXPECT_EQ(pool.idle_count(), 1u);
+
+  const std::uint64_t before = allocation_count();
+  PooledTensor t = pool.acquire({4, 3});
+  EXPECT_EQ(allocation_count() - before, 0u);  // recycled by move
+  EXPECT_EQ(pool.idle_count(), 0u);
+  for (std::int64_t i = 0; i < t->size(); ++i) {
+    EXPECT_EQ(t->data()[i], 0.0) << i;  // scrubbed, like a fresh Tensor
+  }
+}
+
+TEST(TensorPool, DirtyAcquireRecyclesWithoutScrubbing) {
+  TensorPool pool;
+  { PooledTensor t = pool.acquire_dirty({8}); }
+  const std::uint64_t before = allocation_count();
+  PooledTensor t = pool.acquire_dirty({8});
+  EXPECT_EQ(allocation_count() - before, 0u);
+  EXPECT_EQ(t->dims(), (std::vector<std::int64_t>{8}));
+}
+
+TEST(TensorPool, ShapesKeepSeparateFreeLists) {
+  TensorPool pool;
+  { PooledTensor a = pool.acquire({2, 2}); }
+  // A different shape cannot reuse the parked {2, 2} buffer.
+  const std::uint64_t before = allocation_count();
+  PooledTensor b = pool.acquire({3, 3});
+  EXPECT_GT(allocation_count() - before, 0u);
+  EXPECT_EQ(pool.idle_count(), 1u);  // the {2, 2} buffer is still parked
+}
+
+TEST(TensorPool, MovedFromHandleDoesNotDoubleRelease) {
+  TensorPool pool;
+  {
+    PooledTensor a = pool.acquire({4});
+    PooledTensor b = std::move(a);
+    // Only b owns the buffer now; a's destruction must be a no-op.
+  }
+  EXPECT_EQ(pool.idle_count(), 1u);
+}
+
+TEST(TensorPool, NullPoolHandleJustDropsTheTensor) {
+  PooledTensor detached(nullptr, Tensor({5}));
+  EXPECT_EQ(detached->size(), 5);
+  // Destruction must not crash (nothing to release into).
+}
+
+TEST(TensorPool, ConcurrentAcquireReleaseIsSafe) {
+  TensorPool pool;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 200;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&pool] {
+      for (int r = 0; r < kRounds; ++r) {
+        PooledTensor a = pool.acquire({6, 6});
+        PooledTensor b = pool.acquire_dirty({3});
+        a->data()[0] = 1.0;
+        b->data()[0] = 2.0;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_GE(pool.idle_count(), 2u);
+}
+
+}  // namespace
+}  // namespace swdnn::tensor
