@@ -30,15 +30,20 @@ int main() {
               "chip (4 CGs).\ncuDNN: modeled cuDNNv5 on K40m "
               "(perf/k40m.cc envelope).\n\n");
 
+  // The per-family columns are the best modeled (level-3) Gflop/s per
+  // CG among each mapping family's executable plans: they show where
+  // along the channel axis the chooser's winner crosses from one
+  // family to another (0 = that family cannot map the shape).
   TextTable table;
-  table.set_header({"#", "Ni", "No", "plan", "swDNN Gflops", "cuDNN Gflops",
-                    "speedup"});
+  table.set_header({"#", "Ni", "No", "plan", "img", "batch", "fgrain",
+                    "pgrain", "swDNN Gflops", "cuDNN Gflops", "speedup"});
   double lo_sp = 1e30, hi_sp = 0;
   std::vector<double> ours, theirs;
   int index = 0;
   for (const auto& shape : swdnn::bench::fig7_configs()) {
     ++index;
     const auto choice = sw.plan_for(shape);
+    const auto fam = swdnn::bench::plan_family_bests(sw, shape);
     const double g = sw.cycle_accounted_gflops_chip(shape, choice.plan);
     const double cud = k40.conv_gflops(shape);
     const double sp = g / cud;
@@ -48,6 +53,8 @@ int main() {
     theirs.push_back(cud);
     table.add_row({std::to_string(index), std::to_string(shape.ni),
                    std::to_string(shape.no), choice.plan.to_string(),
+                   fmt_double(fam.img, 0), fmt_double(fam.batch, 0),
+                   fmt_double(fam.fgrain, 0), fmt_double(fam.pgrain, 0),
                    fmt_double(g, 0), fmt_double(cud, 0), fmt_speedup(sp)});
   }
   std::printf("%s\n", table.render().c_str());

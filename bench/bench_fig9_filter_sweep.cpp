@@ -25,14 +25,20 @@ int main() {
   std::printf("=== Fig. 9: conv performance vs filter size "
               "(B=128, out 64x64) ===\n\n");
 
+  // Per-family columns: best modeled (level-3) Gflop/s per CG among
+  // each mapping family's executable plans, exposing the filter-axis
+  // crossover (the filter-grained GEMM overtakes the incumbents as K
+  // grows; 0 = that family cannot map the shape).
   TextTable table;
-  table.set_header({"#", "filter", "Ni", "No", "plan", "swDNN Gflops",
-                    "cuDNN Gflops", "speedup"});
+  table.set_header({"#", "filter", "Ni", "No", "plan", "img", "batch",
+                    "fgrain", "pgrain", "swDNN Gflops", "cuDNN Gflops",
+                    "speedup"});
   double lo = 1e30, hi = 0, max_sp = 0;
   int index = 0;
   for (const auto& shape : swdnn::bench::fig9_configs()) {
     ++index;
     const auto choice = sw.plan_for(shape);
+    const auto fam = swdnn::bench::plan_family_bests(sw, shape);
     const double g = sw.cycle_accounted_gflops_chip(shape, choice.plan);
     const double cud = k40.conv_gflops(shape);
     lo = std::min(lo, g);
@@ -41,7 +47,9 @@ int main() {
     table.add_row({std::to_string(index),
                    std::to_string(shape.kr) + "x" + std::to_string(shape.kc),
                    std::to_string(shape.ni), std::to_string(shape.no),
-                   choice.plan.to_string(), fmt_double(g, 0),
+                   choice.plan.to_string(), fmt_double(fam.img, 0),
+                   fmt_double(fam.batch, 0), fmt_double(fam.fgrain, 0),
+                   fmt_double(fam.pgrain, 0), fmt_double(g, 0),
                    fmt_double(cud, 0), fmt_speedup(g / cud)});
   }
   std::printf("%s\n", table.render().c_str());

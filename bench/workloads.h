@@ -14,9 +14,11 @@
 // All with B = 128 and 64x64 output images, per the figure captions.
 // EXPERIMENTS.md records this reconstruction.
 
+#include <algorithm>
 #include <vector>
 
 #include "src/conv/shape.h"
+#include "src/conv/swconv.h"
 
 namespace swdnn::bench {
 
@@ -51,6 +53,42 @@ inline std::vector<conv::ConvShape> fig7_configs() {
   const auto mixed = fig8_mixed_channel_sweep();
   shapes.insert(shapes.end(), mixed.begin(), mixed.end());
   return shapes;
+}
+
+/// Best modeled Gflop/s per CG per mapping family among one shape's
+/// *executable* ranked plans (0 = no executable plan of that family).
+/// The figure benches print these next to the winner so per-shape
+/// crossovers between mapping families are visible in the sweeps
+/// themselves, not just in bench_multigrain.
+struct PlanFamilyBests {
+  double img = 0, batch = 0, fgrain = 0, pgrain = 0;
+};
+
+inline PlanFamilyBests plan_family_bests(conv::SwConvolution& sw,
+                                         const conv::ConvShape& shape) {
+  PlanFamilyBests out;
+  const auto lookup = sw.ranked_plans(shape);
+  for (std::size_t e : lookup.entry->executable) {
+    const perf::PlanChoice& ch = lookup.entry->ranked[e];
+    const double g = ch.estimate.gflops_per_cg;
+    switch (ch.plan.kind) {
+      case perf::PlanKind::kDirect:
+        break;  // never executable
+      case perf::PlanKind::kImageSizeAware:
+        out.img = std::max(out.img, g);
+        break;
+      case perf::PlanKind::kBatchSizeAware:
+        out.batch = std::max(out.batch, g);
+        break;
+      case perf::PlanKind::kFilterGrained:
+        out.fgrain = std::max(out.fgrain, g);
+        break;
+      case perf::PlanKind::kPixelGrained:
+        out.pgrain = std::max(out.pgrain, g);
+        break;
+    }
+  }
+  return out;
 }
 
 /// Fig. 8 right script: the 30 Figure 9 configurations — filter sizes

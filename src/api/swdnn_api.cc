@@ -38,6 +38,7 @@ struct Handle {
   std::uint64_t dma_retries = 0;
   std::uint64_t plan_fallbacks = 0;
   bool autotune = false;           // configuration-phase flag
+  bool autotune_measured = false;  // confirm winners with timed launches
   std::uint64_t autotuned = 0;     // shapes tuned; guarded by mutex
 
   // Staging-tensor recycler: wrapped inputs, outputs, and the im2col
@@ -75,6 +76,10 @@ PlanAlgo to_plan_algo(perf::PlanKind kind) {
       return PlanAlgo::kImageSizeAware;
     case perf::PlanKind::kBatchSizeAware:
       return PlanAlgo::kBatchSizeAware;
+    case perf::PlanKind::kFilterGrained:
+      return PlanAlgo::kFilterGrained;
+    case perf::PlanKind::kPixelGrained:
+      return PlanAlgo::kPixelGrained;
   }
   return PlanAlgo::kNone;
 }
@@ -115,6 +120,10 @@ const char* plan_algo_name(PlanAlgo algo) {
       return "image-size-aware";
     case PlanAlgo::kBatchSizeAware:
       return "batch-size-aware";
+    case PlanAlgo::kFilterGrained:
+      return "filter-grained";
+    case PlanAlgo::kPixelGrained:
+      return "pixel-grained";
   }
   return "none";
 }
@@ -238,14 +247,29 @@ Status convolution_forward_ex(Handle* handle, const TensorDescriptor& x_desc,
     const perf::CachedPlan& plans = *lookup.entry;
 
     // At most two mesh attempts: the cached winner, then the best
-    // ranked fallback — a plan with different LDM blocking can survive
-    // a fault that killed the winner.
+    // ranked fallback *from the winner's own mapping family* — a plan
+    // with different LDM blocking can survive a fault that killed the
+    // winner, but the retry never silently crosses PlanKind families
+    // (the mapping is part of the plan's identity; a caller that
+    // observed last_plan == "fgrain" must not be rescued by a batch
+    // plan behind its back). If the winner's family has no second
+    // executable entry, the ladder goes straight to the host route.
     std::string degrade_reason;
     bool mesh_done = false;
-    const std::size_t attempts =
-        std::min<std::size_t>(plans.executable.size(), 2);
-    for (std::size_t a = 0; a < attempts && !mesh_done; ++a) {
-      const perf::PlanChoice& choice = plans.ranked[plans.executable[a]];
+    std::vector<std::size_t> attempt_idx;
+    if (!plans.executable.empty()) {
+      attempt_idx.push_back(plans.executable[0]);
+      const perf::PlanKind family =
+          plans.ranked[plans.executable[0]].plan.kind;
+      for (std::size_t e = 1; e < plans.executable.size(); ++e) {
+        if (plans.ranked[plans.executable[e]].plan.kind == family) {
+          attempt_idx.push_back(plans.executable[e]);
+          break;
+        }
+      }
+    }
+    for (std::size_t a = 0; a < attempt_idx.size() && !mesh_done; ++a) {
+      const perf::PlanChoice& choice = plans.ranked[attempt_idx[a]];
       if (a > 0) {
         output->zero();  // discard the faulted attempt's partial tiles
         trace_dispatch(handle, "plan_fallback");
@@ -494,6 +518,27 @@ Status convolution_plan_warmup(Handle* handle,
     if (handle->autotune) {
       for (const conv::ConvShape& key :
            {shape, conv::backward_data_shape(shape)}) {
+        if (handle->autotune_measured) {
+          // Measured mode: the schedule search runs first, then the
+          // top modeled candidates are confirmed with timed simulator
+          // launches; a reorder means measurement overruled the model.
+          const std::optional<perf::MeasuredAutotuneReport> report =
+              handle->sw.autotune_plan_measured(key);
+          if (handle->tracer != nullptr) {
+            std::string what = "tune_cached";
+            if (report.has_value()) {
+              what = "tune_measured " + key.to_string() + " candidates=" +
+                     std::to_string(report->candidates.size());
+              if (report->reordered) what += " measured_reorder";
+            }
+            handle->tracer->record_instant(0, "autotune", what.c_str());
+          }
+          if (report.has_value()) {
+            std::lock_guard<std::mutex> lock(handle->mutex);
+            ++handle->autotuned;
+          }
+          continue;
+        }
         const std::optional<perf::AutotuneReport> report =
             handle->sw.autotune_plan(key);
         if (handle->tracer != nullptr) {
@@ -522,6 +567,12 @@ Status convolution_plan_warmup(Handle* handle,
 Status set_autotune(Handle* handle, bool enable) {
   if (handle == nullptr) return Status::kBadParam;
   handle->autotune = enable;
+  return Status::kSuccess;
+}
+
+Status set_autotune_measured(Handle* handle, bool enable) {
+  if (handle == nullptr) return Status::kBadParam;
+  handle->autotune_measured = enable;
   return Status::kSuccess;
 }
 

@@ -189,6 +189,16 @@ Status convolution_plan_warmup(Handle* handle,
 /// Configuration-phase call: do not race with in-flight convolutions.
 Status set_autotune(Handle* handle, bool enable);
 
+/// Upgrades autotuning (set_autotune) to the measured protocol: the
+/// warm-up still runs the modeled schedule search, then confirms the
+/// top two mesh-executable candidates (preferring a cross-family pair)
+/// with timed simulator launches on synthetic data and swaps them in
+/// the installed ranking when the runner-up measures strictly faster —
+/// an explicit, reported reorder (the trace instant carries
+/// "measured_reorder"). No effect while set_autotune is off.
+/// Configuration-phase call: do not race with in-flight convolutions.
+Status set_autotune_measured(Handle* handle, bool enable);
+
 /// Number of distinct shapes the autotuner has tuned on this handle.
 std::uint64_t autotuned_shapes(const Handle* handle);
 
@@ -204,12 +214,15 @@ ExecutionRoute last_execution_route(const Handle* handle);
 
 // --- Plan cache observability ---------------------------------------------
 
-/// The paper's Table III plan families, as seen at the API boundary.
+/// The plan families, as seen at the API boundary: the paper's
+/// Table III mappings plus the multigrain family (DESIGN.md §16).
 enum class PlanAlgo {
   kNone = 0,        ///< no plan ran (host route, or no call yet)
   kDirect,          ///< direct-gload strawman
   kImageSizeAware,  ///< Algorithm 1
   kBatchSizeAware,  ///< Algorithm 2
+  kFilterGrained,   ///< filters x im2col-pixels mesh GEMM
+  kPixelGrained,    ///< per-pixel panel GEMM, LDM-resident filter
 };
 
 const char* plan_algo_name(PlanAlgo algo);

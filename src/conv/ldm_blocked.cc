@@ -26,18 +26,46 @@ void check_mesh_compatibility(const ConvShape& shape,
           "mesh kernels implement the paper's stride-1 convolutions");
   require(plan.block_ni == 0 || plan.block_ni == shape.ni,
           "level-1 kernels contract the full Ni (no block_ni)");
+
+  if (perf::plan_kind_is_multigrain(plan.kind)) {
+    // The multigrain mappings ceil-divide and zero-pad their tiles, so
+    // no divisibility rules apply — only the LDM budget can refuse.
+    // The budget is evaluated on the default machine with this mesh
+    // dimension (the repo's specs vary only in mesh size).
+    arch::Sw26010Spec spec = arch::default_spec();
+    spec.mesh_rows = mesh_dim;
+    spec.mesh_cols = mesh_dim;
+    if (plan.kind == perf::PlanKind::kFilterGrained) {
+      require(perf::filter_grained_k_chunk(shape, plan, spec) > 0,
+              "filter-grained tile set overflows LDM");
+    } else {
+      require(perf::ldm_bytes_required(shape, plan, spec) <=
+                  static_cast<std::int64_t>(spec.ldm_bytes -
+                                            spec.ldm_reserved_bytes),
+              "pixel-grained filter taps overflow LDM");
+    }
+    return;
+  }
+
   require(shape.ni % p == 0, "Ni must divide by the mesh dimension");
   require(shape.no % p == 0, "No must divide by the mesh dimension");
   require(shape.co() % plan.block_co == 0, "Co must divide by block_co");
-  if (plan.kind == perf::PlanKind::kImageSizeAware) {
-    require(plan.block_b % p == 0,
-            "block_b must divide by the mesh dimension");
-    require(shape.batch % plan.block_b == 0, "batch must divide by block_b");
-  } else if (plan.kind == perf::PlanKind::kBatchSizeAware) {
-    require(shape.batch % p == 0,
-            "batch must divide by the mesh dimension");
-  } else {
-    throw MeshMappingError("direct plan has no mesh kernel");
+  switch (plan.kind) {
+    case perf::PlanKind::kImageSizeAware:
+      require(plan.block_b % p == 0,
+              "block_b must divide by the mesh dimension");
+      require(shape.batch % plan.block_b == 0,
+              "batch must divide by block_b");
+      break;
+    case perf::PlanKind::kBatchSizeAware:
+      require(shape.batch % p == 0,
+              "batch must divide by the mesh dimension");
+      break;
+    case perf::PlanKind::kDirect:
+      throw MeshMappingError("direct plan has no mesh kernel");
+    case perf::PlanKind::kFilterGrained:
+    case perf::PlanKind::kPixelGrained:
+      break;  // handled above
   }
 }
 

@@ -1,0 +1,257 @@
+#include "src/conv/multigrain.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "src/conv/ldm_blocked.h"
+#include "src/conv/mesh_gemm_driver.h"
+#include "src/conv/regcomm_gemm.h"
+
+namespace swdnn::conv {
+
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+std::int64_t resolve_ro_end(const ConvShape& shape, std::int64_t ro_end) {
+  return ro_end < 0 ? shape.ro() : ro_end;
+}
+
+void merge_stats(sim::LaunchStats& into, const sim::LaunchStats& s) {
+  into.max_compute_cycles += s.max_compute_cycles;
+  into.total_flops += s.total_flops;
+  into.regcomm_messages += s.regcomm_messages;
+  into.dma.get_bytes += s.dma.get_bytes;
+  into.dma.put_bytes += s.dma.put_bytes;
+  into.dma.requests += s.dma.requests;
+  into.dma.misaligned_requests += s.dma.misaligned_requests;
+  into.dma_seconds += s.dma_seconds;
+  into.compute_seconds += s.compute_seconds;
+  into.fault_events += s.fault_events;
+  into.dma_retries += s.dma_retries;
+  if (s.failed) {
+    into.failed = true;
+    into.persistent_fault = s.persistent_fault;
+    into.failure = s.failure;
+  }
+}
+
+}  // namespace
+
+sim::LaunchStats run_filter_grained(sim::MeshExecutor& exec,
+                                    const tensor::Tensor& input,
+                                    const tensor::Tensor& filter,
+                                    tensor::Tensor& output,
+                                    const ConvShape& shape,
+                                    const perf::ConvPlan& plan,
+                                    std::int64_t ro_begin,
+                                    std::int64_t ro_end) {
+  const auto& spec = exec.spec();
+  check_mesh_compatibility(shape, plan, spec.mesh_rows);
+  ro_end = resolve_ro_end(shape, ro_end);
+
+  const std::int64_t big_k = shape.kr * shape.kc * shape.ni;
+  const std::int64_t big_co = shape.co();
+  const std::int64_t big_b = shape.batch;
+  const std::int64_t pixels = (ro_end - ro_begin) * big_co * big_b;
+  const std::int64_t bpx = perf::filter_grained_block_px(shape, plan, spec);
+  const std::int64_t k_chunk = perf::filter_grained_k_chunk(shape, plan, spec);
+  if (pixels <= 0) return {};
+  if (bpx <= 0 || k_chunk <= 0) {
+    throw MeshMappingError("filter-grained tile set overflows LDM for " +
+                           shape.to_string());
+  }
+
+  // The filter tensor [Kr][Kc][Ni][No] row-major IS the [K x No] matrix
+  // in the contraction order the bitwise contract pins down (kr, kc, ni
+  // ascending) — no host-side permutation needed.
+  std::span<const double> w_matrix = filter.data();
+  std::span<const double> in = input.data();
+  std::span<double> out = output.data();
+  const std::int64_t ci = shape.ci;
+  const std::int64_t ni = shape.ni;
+  const std::int64_t no = shape.no;
+
+  std::vector<double> col;
+  std::vector<double> panel;
+  sim::LaunchStats total;
+
+  for (std::int64_t px0 = 0; px0 < pixels; px0 += bpx) {
+    const std::int64_t w = std::min(bpx, pixels - px0);
+    col.assign(static_cast<std::size_t>(big_k * w), 0.0);
+    // Column-matrix panel: row k = (kr*Kc + kc)*Ni + ni_c of the im2col
+    // lowering, columns the flattened (ro, co, b) pixels [px0, px0+w).
+    // Pixels with a common (ro, co) are batch-contiguous in the input,
+    // so the gather copies runs.
+    for (std::int64_t k = 0; k < big_k; ++k) {
+      const std::int64_t kr = k / (shape.kc * ni);
+      const std::int64_t kc = (k / ni) % shape.kc;
+      const std::int64_t ni_c = k % ni;
+      double* dst_row = col.data() + k * w;
+      std::int64_t n = 0;
+      while (n < w) {
+        const std::int64_t px = px0 + n;
+        const std::int64_t ro = ro_begin + px / (big_co * big_b);
+        const std::int64_t co = (px / big_b) % big_co;
+        const std::int64_t b = px % big_b;
+        const std::int64_t run = std::min(big_b - b, w - n);
+        const double* src =
+            in.data() +
+            (((ro + kr) * ci + (co + kc)) * ni + ni_c) * big_b + b;
+        std::memcpy(dst_row + n, src,
+                    static_cast<std::size_t>(run) * sizeof(double));
+        n += run;
+      }
+    }
+
+    panel.assign(static_cast<std::size_t>(no * w), 0.0);
+    const sim::LaunchStats stats =
+        mesh_gemm(exec, w_matrix, col, panel, no, big_k, w,
+                  {.accumulate = false, .k_chunk = k_chunk});
+    merge_stats(total, stats);
+    if (total.failed) return total;
+
+    // Scatter the [No x w] panel back into [Ro][Co][No][B] (again in
+    // batch-contiguous runs).
+    for (std::int64_t no_c = 0; no_c < no; ++no_c) {
+      const double* src_row = panel.data() + no_c * w;
+      std::int64_t n = 0;
+      while (n < w) {
+        const std::int64_t px = px0 + n;
+        const std::int64_t ro = ro_begin + px / (big_co * big_b);
+        const std::int64_t co = (px / big_b) % big_co;
+        const std::int64_t b = px % big_b;
+        const std::int64_t run = std::min(big_b - b, w - n);
+        double* dst =
+            out.data() + ((ro * big_co + co) * no + no_c) * big_b + b;
+        std::memcpy(dst, src_row + n,
+                    static_cast<std::size_t>(run) * sizeof(double));
+        n += run;
+      }
+    }
+  }
+  return total;
+}
+
+sim::LaunchStats run_pixel_grained(sim::MeshExecutor& exec,
+                                   const tensor::Tensor& input,
+                                   const tensor::Tensor& filter,
+                                   tensor::Tensor& output,
+                                   const ConvShape& shape,
+                                   const perf::ConvPlan& plan,
+                                   std::int64_t ro_begin,
+                                   std::int64_t ro_end) {
+  const auto& spec = exec.spec();
+  const std::int64_t p = spec.mesh_rows;
+  check_mesh_compatibility(shape, plan, static_cast<int>(p));
+  ro_end = resolve_ro_end(shape, ro_end);
+  if (ro_end <= ro_begin) return {};
+
+  const std::int64_t ni_t = ceil_div(shape.ni, p);
+  const std::int64_t no_t = ceil_div(shape.no, p);
+  const std::int64_t b_t = ceil_div(shape.batch, p);
+  const std::int64_t taps = shape.kr * shape.kc;
+  const std::int64_t big_co = shape.co();
+  const std::int64_t ni = shape.ni;
+  const std::int64_t no = shape.no;
+  const std::int64_t big_b = shape.batch;
+  const std::int64_t ci = shape.ci;
+
+  std::span<const double> in = input.data();
+  std::span<const double> w_all = filter.data();
+  std::span<double> out = output.data();
+
+  auto kernel = [&, ro_begin, ro_end](sim::CpeContext& ctx) {
+    const std::int64_t i = ctx.row();
+    const std::int64_t j = ctx.col();
+
+    auto w_taps = ctx.ldm().alloc_doubles(
+        static_cast<std::size_t>(taps * ni_t * no_t));
+    auto w_recv =
+        ctx.ldm().alloc_doubles(static_cast<std::size_t>(ni_t * no_t));
+    auto di_tile =
+        ctx.ldm().alloc_doubles(static_cast<std::size_t>(ni_t * b_t));
+    auto di_recv =
+        ctx.ldm().alloc_doubles(static_cast<std::size_t>(ni_t * b_t));
+    auto do_tile =
+        ctx.ldm().alloc_doubles(static_cast<std::size_t>(no_t * b_t));
+
+    const std::int64_t valid_no =
+        std::clamp<std::int64_t>(no - i * no_t, 0, no_t);
+    const std::int64_t valid_b =
+        std::clamp<std::int64_t>(big_b - j * b_t, 0, b_t);
+
+    // Preload every filter tap tile once: W(i,j) = output-channel block
+    // i x input-channel block j (the Fig. 3 distribution), [ni_t][no_t]
+    // row-major, zero-padded at the ragged edges.
+    for (std::int64_t t = 0; t < taps; ++t) {
+      std::span<double> tile = std::span<double>(w_taps).subspan(
+          static_cast<std::size_t>(t * ni_t * no_t),
+          static_cast<std::size_t>(ni_t * no_t));
+      for (std::int64_t r = 0; r < ni_t; ++r) {
+        std::span<double> row =
+            tile.subspan(static_cast<std::size_t>(r * no_t),
+                         static_cast<std::size_t>(no_t));
+        const std::int64_t ni_idx = j * ni_t + r;
+        const std::int64_t valid = ni_idx < ni ? valid_no : 0;
+        if (valid > 0) {
+          ctx.dma_get({w_all.data() + (t * ni + ni_idx) * no + i * no_t,
+                       static_cast<std::size_t>(valid)},
+                      row.first(static_cast<std::size_t>(valid)));
+        }
+        std::fill(row.begin() + valid, row.end(), 0.0);
+      }
+    }
+
+    for (std::int64_t ro = ro_begin; ro < ro_end; ++ro) {
+      for (std::int64_t co = 0; co < big_co; ++co) {
+        std::fill(do_tile.begin(), do_tile.end(), 0.0);
+        for (std::int64_t t = 0; t < taps; ++t) {
+          const std::int64_t kr = t / shape.kc;
+          const std::int64_t kc = t % shape.kc;
+          // Di tile: input-channel block i x batch block j.
+          for (std::int64_t r = 0; r < ni_t; ++r) {
+            std::span<double> row =
+                di_tile.subspan(static_cast<std::size_t>(r * b_t),
+                                static_cast<std::size_t>(b_t));
+            const std::int64_t ni_idx = i * ni_t + r;
+            const std::int64_t valid = ni_idx < ni ? valid_b : 0;
+            if (valid > 0) {
+              ctx.dma_get(
+                  {in.data() +
+                       (((ro + kr) * ci + (co + kc)) * ni + ni_idx) * big_b +
+                       j * b_t,
+                   static_cast<std::size_t>(valid)},
+                  row.first(static_cast<std::size_t>(valid)));
+            }
+            std::fill(row.begin() + valid, row.end(), 0.0);
+          }
+          mesh_gemm_accumulate(
+              ctx,
+              std::span<const double>(w_taps).subspan(
+                  static_cast<std::size_t>(t * ni_t * no_t),
+                  static_cast<std::size_t>(ni_t * no_t)),
+              di_tile, do_tile, w_recv, di_recv, static_cast<int>(no_t),
+              static_cast<int>(ni_t), static_cast<int>(b_t));
+        }
+        for (std::int64_t ml = 0; ml < valid_no; ++ml) {
+          if (valid_b == 0) break;
+          const std::int64_t no_idx = i * no_t + ml;
+          ctx.dma_put(
+              std::span<const double>(do_tile).subspan(
+                  static_cast<std::size_t>(ml * b_t),
+                  static_cast<std::size_t>(valid_b)),
+              {out.data() + ((ro * big_co + co) * no + no_idx) * big_b +
+                   j * b_t,
+               static_cast<std::size_t>(valid_b)});
+        }
+      }
+    }
+  };
+  return exec.run(kernel);
+}
+
+}  // namespace swdnn::conv

@@ -1,0 +1,62 @@
+#pragma once
+// The multi-grained convolution mappings (MG3MConv's insight applied to
+// this library; DESIGN.md §16).
+//
+// The paper's two LDM-blocked algorithms (ldm_blocked.h) demand mesh-
+// divisible channels and batch tiles; outside that band dispatch used
+// to fall all the way back to the host GEMM. These two mappings close
+// the gap with different grains of the same mesh GEMM:
+//
+//   * filter-grained — im2col lowering executed on the mesh: one
+//     [Kr*Kc*Ni x No] filter matrix (the filter tensor's natural
+//     flattening) against pixel-column panels of the patch matrix,
+//     streamed through mesh_gemm in plan.block_px-wide passes. Any
+//     stride-1 shape maps; the contraction spans the whole Kr*Kc*Ni
+//     extent, so the inner pipeline stays long even when Ni is tiny.
+//     Pays the lowering traffic (the patch gather re-reads the input
+//     Kr*Kc times and stages the column matrix through memory).
+//
+//   * pixel-grained — per-output-pixel panel GEMM with every filter tap
+//     LDM-resident: for each (ro, co) the mesh contracts out[No x B] +=
+//     sum over (kr, kc) of W_tap[Ni x No]^T x in[Ni x B]. The filter
+//     crosses the memory interface exactly once per launch; feasible
+//     only while all Kr*Kc tap tiles fit LDM — the small-shape regime's
+//     mapping.
+//
+// Bitwise contract: both mappings accumulate each output element's
+// contributions in ascending (kr, kc, ni) order — the reference loop's
+// order — so outputs are bitwise identical to reference_forward (and to
+// the paper's two mappings), not merely close.
+
+#include "src/conv/shape.h"
+#include "src/perf/plan.h"
+#include "src/sim/executor.h"
+#include "src/tensor/tensor.h"
+
+namespace swdnn::conv {
+
+/// Filter-grained forward for output rows [ro_begin, ro_end) (defaults
+/// cover the whole image). Issues ceil(pixels / block_px) mesh_gemm
+/// launches; stats are summed over them. Stops at the first failed
+/// launch and returns its stats (callers translate to LaunchFault).
+sim::LaunchStats run_filter_grained(sim::MeshExecutor& exec,
+                                    const tensor::Tensor& input,
+                                    const tensor::Tensor& filter,
+                                    tensor::Tensor& output,
+                                    const ConvShape& shape,
+                                    const perf::ConvPlan& plan,
+                                    std::int64_t ro_begin = 0,
+                                    std::int64_t ro_end = -1);
+
+/// Pixel-grained forward for output rows [ro_begin, ro_end): a single
+/// launch; every CPE walks the same (ro, co, kr, kc) nest in lockstep.
+sim::LaunchStats run_pixel_grained(sim::MeshExecutor& exec,
+                                   const tensor::Tensor& input,
+                                   const tensor::Tensor& filter,
+                                   tensor::Tensor& output,
+                                   const ConvShape& shape,
+                                   const perf::ConvPlan& plan,
+                                   std::int64_t ro_begin = 0,
+                                   std::int64_t ro_end = -1);
+
+}  // namespace swdnn::conv

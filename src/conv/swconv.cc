@@ -5,7 +5,10 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/conv/multigrain.h"
+#include "src/conv/reference.h"
 #include "src/timing/kernels.h"
+#include "src/util/rng.h"
 
 namespace swdnn::conv {
 
@@ -116,6 +119,96 @@ std::optional<perf::AutotuneReport> SwConvolution::autotune_plan(
   return report;
 }
 
+std::optional<perf::MeasuredAutotuneReport>
+SwConvolution::autotune_plan_measured(const ConvShape& shape) {
+  {
+    std::lock_guard<std::mutex> lock(tune_mutex_);
+    if (!tuned_.insert(shape).second) return std::nullopt;  // already tuned
+  }
+  perf::PlanCache::Entry entry = plan_cache_.peek(shape);
+  if (entry == nullptr) {
+    plan_cache_.warm(shape, cache_builder());
+    entry = plan_cache_.peek(shape);
+  }
+  if (entry == nullptr || entry->ranked.empty()) return std::nullopt;
+
+  // Phase 1: the modeled schedule search, exactly as autotune_plan.
+  const perf::ScheduleAutotuner tuner(spec_);
+  perf::CachedPlan tuned_entry;
+  tuned_entry.ranked = tuner.tune_ranked(shape, entry->ranked, nullptr);
+  tuned_entry.executable = entry->executable;
+
+  // Phase 2: confirm the top modeled candidates with timed launches.
+  // Candidate A is the best mesh-executable entry; candidate B is the
+  // next executable entry, preferring the best one from a *different*
+  // mapping family (that is where the model's ordering is least
+  // trustworthy — two families can score close on very different cost
+  // structures).
+  perf::MeasuredAutotuneReport report;
+  report.shape = shape;
+  if (tuned_entry.executable.size() >= 2) {
+    const std::size_t ia = tuned_entry.executable[0];
+    std::size_t ib = tuned_entry.executable[1];
+    for (const std::size_t idx : tuned_entry.executable) {
+      if (tuned_entry.ranked[idx].plan.kind !=
+          tuned_entry.ranked[ia].plan.kind) {
+        ib = idx;
+        break;
+      }
+    }
+
+    tensor::Tensor input = make_input(shape);
+    tensor::Tensor filter = make_filter(shape);
+    tensor::Tensor output = make_output(shape);
+    util::Rng rng(0x5eedu);
+    rng.fill_uniform(input.data(), -1.0, 1.0);
+    rng.fill_uniform(filter.data(), -1.0, 1.0);
+
+    auto timed = [&](const perf::PlanChoice& choice) {
+      perf::MeasuredCandidate c;
+      c.plan = choice.plan;
+      c.modeled_gflops_per_cg = choice.estimate.gflops_per_cg;
+      try {
+        const ForwardResult r =
+            execute_choice(choice, input, filter, output, shape);
+        c.measured_seconds =
+            r.stats.modeled_seconds(choice.plan.double_buffer);
+        c.measured_gflops =
+            r.stats.modeled_gflops(choice.plan.double_buffer);
+      } catch (const sim::LaunchFault&) {
+        // A faulted confirmation launch simply loses the comparison.
+        c.measured_seconds = 0;
+        c.measured_gflops = 0;
+      }
+      return c;
+    };
+    report.candidates.push_back(timed(tuned_entry.ranked[ia]));
+    report.candidates.push_back(timed(tuned_entry.ranked[ib]));
+
+    const auto& a = report.candidates[0];
+    const auto& bc = report.candidates[1];
+    if (a.measured_seconds > 0 && bc.measured_seconds > 0 &&
+        bc.measured_seconds < a.measured_seconds) {
+      // The runner-up measured strictly faster: swap the two entries.
+      // Both positions are executable, so the executable index list
+      // stays valid and best_executable() now serves the measured
+      // winner — an explicit, reported reorder.
+      std::swap(tuned_entry.ranked[ia], tuned_entry.ranked[ib]);
+      report.reordered = true;
+      report.winner_index = 1;
+    }
+  } else if (!tuned_entry.executable.empty()) {
+    const auto& only = tuned_entry.ranked[tuned_entry.executable[0]];
+    perf::MeasuredCandidate c;
+    c.plan = only.plan;
+    c.modeled_gflops_per_cg = only.estimate.gflops_per_cg;
+    report.candidates.push_back(c);
+  }
+
+  plan_cache_.install(shape, std::move(tuned_entry));
+  return report;
+}
+
 perf::PerfEstimate SwConvolution::estimate(const ConvShape& shape) const {
   return plan_for(shape).estimate;
 }
@@ -143,12 +236,25 @@ ForwardResult SwConvolution::execute_choice(const perf::PlanChoice& choice,
   std::lock_guard<std::mutex> launch_lock(exec_mutex_);
   sim::MeshExecutor& exec = shared_executor();
   sim::LaunchStats stats;
-  if (choice.plan.kind == perf::PlanKind::kImageSizeAware) {
-    stats = run_image_size_aware(exec, input, filter, output, shape,
+  switch (choice.plan.kind) {
+    case perf::PlanKind::kImageSizeAware:
+      stats = run_image_size_aware(exec, input, filter, output, shape,
+                                   choice.plan);
+      break;
+    case perf::PlanKind::kBatchSizeAware:
+      stats = run_batch_size_aware(exec, input, filter, output, shape,
+                                   choice.plan);
+      break;
+    case perf::PlanKind::kFilterGrained:
+      stats = run_filter_grained(exec, input, filter, output, shape,
                                  choice.plan);
-  } else {
-    stats = run_batch_size_aware(exec, input, filter, output, shape,
-                                 choice.plan);
+      break;
+    case perf::PlanKind::kPixelGrained:
+      stats = run_pixel_grained(exec, input, filter, output, shape,
+                                choice.plan);
+      break;
+    case perf::PlanKind::kDirect:
+      throw MeshMappingError("direct plan has no mesh kernel");
   }
   if (stats.failed) {
     throw sim::LaunchFault(stats.failure, stats.persistent_fault);
@@ -175,12 +281,25 @@ sim::MultiCgStats SwConvolution::forward_multi_cg(
           "NoC link to core group " + std::to_string(cg) + " is down",
           /*persistent=*/true);
     }
-    if (p.kind == perf::PlanKind::kImageSizeAware) {
-      stats.per_cg.push_back(run_image_size_aware(
-          exec, input, filter, output, shape, p, part.begin, part.end));
-    } else {
-      stats.per_cg.push_back(run_batch_size_aware(
-          exec, input, filter, output, shape, p, part.begin, part.end));
+    switch (p.kind) {
+      case perf::PlanKind::kImageSizeAware:
+        stats.per_cg.push_back(run_image_size_aware(
+            exec, input, filter, output, shape, p, part.begin, part.end));
+        break;
+      case perf::PlanKind::kBatchSizeAware:
+        stats.per_cg.push_back(run_batch_size_aware(
+            exec, input, filter, output, shape, p, part.begin, part.end));
+        break;
+      case perf::PlanKind::kFilterGrained:
+        stats.per_cg.push_back(run_filter_grained(
+            exec, input, filter, output, shape, p, part.begin, part.end));
+        break;
+      case perf::PlanKind::kPixelGrained:
+        stats.per_cg.push_back(run_pixel_grained(
+            exec, input, filter, output, shape, p, part.begin, part.end));
+        break;
+      case perf::PlanKind::kDirect:
+        throw MeshMappingError("direct plan has no mesh kernel");
     }
     if (stats.per_cg.back().failed) {
       throw sim::LaunchFault(stats.per_cg.back().failure,
@@ -219,24 +338,65 @@ double SwConvolution::cycle_accounted_gflops_per_cg(
   double gemm_steps = 0;        // mesh GEMM bus/sync rounds per step
   double dma_requests = 0;      // DMA descriptors per CPE per step
 
-  if (plan.kind == perf::PlanKind::kImageSizeAware) {
-    const double bb = static_cast<double>(plan.block_b);
-    const double bco = static_cast<double>(plan.block_co);
-    const double s_tile = bco * bb / p;  // pixel-batch extent per CPE
-    flops_cpe_step = 2.0 * krkc * ni_p * no_p * s_tile * p;  // over t steps
-    bus_bytes_cpe = krkc * (p - 1.0) * (ni_p * no_p + ni_p * s_tile) * ds;
-    gemm_steps = krkc * p;
-    dma_requests = krkc * (bco + 1.0) + bco;
-  } else {
-    const double bco = static_cast<double>(plan.block_co);
-    const double kc = static_cast<double>(shape.kc);
-    const double kr = static_cast<double>(shape.kr);
-    const double b_p = b / p;
-    const double gemms = kr * bco * kc;  // valid (ci, kc) pairs per step
-    flops_cpe_step = 2.0 * gemms * ni_p * no_p * b_p * p;
-    bus_bytes_cpe = gemms * (p - 1.0) * (ni_p * no_p + ni_p * b_p) * ds;
-    gemm_steps = gemms * p;
-    dma_requests = kr * (bco + kc - 1) + gemms + bco;
+  switch (plan.kind) {
+    case perf::PlanKind::kImageSizeAware: {
+      const double bb = static_cast<double>(plan.block_b);
+      const double bco = static_cast<double>(plan.block_co);
+      const double s_tile = bco * bb / p;  // pixel-batch extent per CPE
+      flops_cpe_step = 2.0 * krkc * ni_p * no_p * s_tile * p;  // over t steps
+      bus_bytes_cpe = krkc * (p - 1.0) * (ni_p * no_p + ni_p * s_tile) * ds;
+      gemm_steps = krkc * p;
+      dma_requests = krkc * (bco + 1.0) + bco;
+      break;
+    }
+    case perf::PlanKind::kBatchSizeAware: {
+      const double bco = static_cast<double>(plan.block_co);
+      const double kc = static_cast<double>(shape.kc);
+      const double kr = static_cast<double>(shape.kr);
+      const double b_p = b / p;
+      const double gemms = kr * bco * kc;  // valid (ci, kc) pairs per step
+      flops_cpe_step = 2.0 * gemms * ni_p * no_p * b_p * p;
+      bus_bytes_cpe = gemms * (p - 1.0) * (ni_p * no_p + ni_p * b_p) * ds;
+      gemm_steps = gemms * p;
+      dma_requests = kr * (bco + kc - 1) + gemms + bco;
+    break;
+    }
+    case perf::PlanKind::kFilterGrained: {
+      // Outer step = one pixel-block pass of the mesh GEMM driver:
+      // ceil(K / k_chunk) contraction chunks of ceil-divided tiles.
+      const std::int64_t bpx =
+          perf::filter_grained_block_px(shape, plan, spec_);
+      const std::int64_t chunk =
+          perf::filter_grained_k_chunk(shape, plan, spec_);
+      const double big_k = krkc * ni;
+      const double m_t = std::ceil(no / static_cast<double>(p));
+      const double n_t =
+          std::ceil(static_cast<double>(std::max<std::int64_t>(bpx, 1)) / p);
+      const double k_t = std::ceil(
+          static_cast<double>(std::max<std::int64_t>(chunk, 1)) / p);
+      const double chunks =
+          std::ceil(big_k / static_cast<double>(
+                                std::max<std::int64_t>(chunk, 1)));
+      flops_cpe_step = 2.0 * chunks * p * k_t * m_t * n_t;
+      bus_bytes_cpe = chunks * (p - 1.0) * (k_t * m_t + k_t * n_t) * ds;
+      gemm_steps = chunks * p;
+      dma_requests = chunks * 2.0 * k_t + m_t;
+      break;
+    }
+    case perf::PlanKind::kPixelGrained: {
+      // Outer step = one (ro, co) output pixel: Kr*Kc tap GEMMs on
+      // ceil-divided [Ni/p x No/p] x [Ni/p x B/p] tiles.
+      const double ni_t = std::ceil(ni / static_cast<double>(p));
+      const double no_t = std::ceil(no / static_cast<double>(p));
+      const double b_t = std::ceil(b / static_cast<double>(p));
+      flops_cpe_step = 2.0 * krkc * p * ni_t * no_t * b_t;
+      bus_bytes_cpe = krkc * (p - 1.0) * (ni_t * no_t + ni_t * b_t) * ds;
+      gemm_steps = krkc * p;
+      dma_requests = krkc * ni_t + no_t;
+      break;
+    }
+    case perf::PlanKind::kDirect:
+      break;  // handled above
   }
 
   const double fma_cycles =

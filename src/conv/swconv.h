@@ -89,6 +89,20 @@ class SwConvolution {
   /// identical (the tuned knobs are schedule-only; see autotune.h).
   std::optional<perf::AutotuneReport> autotune_plan(const ConvShape& shape);
 
+  /// Measured autotune (DESIGN.md §16): schedule-tunes the ranking like
+  /// autotune_plan, then *confirms* the top modeled candidates with
+  /// timed simulator launches — the top two mesh-executable entries,
+  /// preferring a pair from different mapping families — on
+  /// deterministic synthetic data. If the runner-up measures strictly
+  /// faster (LaunchStats::modeled_seconds under the plan's buffering
+  /// mode), the two entries swap places before the ranking is installed
+  /// — an explicit, reported reorder, never a silent one. Counter-
+  /// neutral and idempotent like autotune_plan (shares its tuned-shapes
+  /// set). A candidate whose timed launch faults simply loses the
+  /// comparison; this method never throws on faults.
+  std::optional<perf::MeasuredAutotuneReport> autotune_plan_measured(
+      const ConvShape& shape);
+
   /// Hit/miss/eviction counters of this object's plan cache.
   perf::PlanCacheStats plan_cache_stats() const {
     return plan_cache_.stats();

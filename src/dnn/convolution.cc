@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "src/conv/backward.h"
+#include "src/conv/epilogue.h"
 #include "src/conv/im2col.h"
 #include "src/conv/reference.h"
 #include "src/dnn/backend_context.h"
@@ -88,6 +89,14 @@ bool Convolution::use_api() const {
   return context_ != nullptr && shape_.stride_r == 1 && shape_.stride_c == 1;
 }
 
+void Convolution::ensure_host_scratch() {
+  if (host_in_.size() != 0) return;
+  host_in_ = conv::make_input(shape_);
+  host_out_ = conv::make_output(shape_);
+  host_dout_ = conv::make_output(shape_);
+  host_din_ = conv::make_input(shape_);
+}
+
 std::vector<std::int64_t> Convolution::infer_shape(
     const std::vector<std::int64_t>& input_dims) {
   if (input_dims !=
@@ -107,10 +116,20 @@ void Convolution::plan(const std::vector<std::int64_t>& input_dims) {
   if (use_api()) context_->warm_conv_plan(shape_);
 }
 
+// Route fidelity: a kHostIm2col layer's compiled path must run the
+// same im2col kernel its eager twin runs. It used to be safe to send
+// every compiled conv through the API — ragged shapes had no mesh
+// mapping, so the API landed on the host im2col fallback anyway — but
+// the multigrain mappings (pixel-grained in particular) make almost
+// any stride-1 shape mesh-executable, and the mesh kernels accumulate
+// in reference (kr,kc,ni) order while im2col lowers K as (ni,kr,kc):
+// correct to 1e-15 but not bitwise. The compiled/eager bitwise
+// differential therefore requires the layer's declared backend to pick
+// the route, not the plan chooser.
 void Convolution::forward_view(const tensor::TensorView& input,
                                tensor::TensorView& output) {
-  if (!use_api()) {
-    Layer::forward_view(input, output);
+  if (!use_api() || backend_ == ConvBackend::kHostIm2col) {
+    Layer::forward_view(input, output);  // eager kernels, bitwise twin
     return;
   }
   input_view_ = input;  // liveness: the planner pins it to our backward
@@ -128,12 +147,28 @@ void Convolution::forward_view(const tensor::TensorView& input,
 void Convolution::forward_view_fused(const tensor::TensorView& input,
                                      tensor::TensorView& output,
                                      Layer& epilogue) {
-  input_view_ = input;  // liveness: the planner pins it to our backward
   // Mask epilogues (ReLU) fold into the backend dispatch — bias add and
   // activation run while the output is hot and the mask is written in
   // the same pass. Cached-output epilogues (tanh, sigmoid) get the
   // bias folded in and the nonlinearity applied in place right after.
   double* mask = epilogue.epilogue_mask_data();
+  if (backend_ == ConvBackend::kHostIm2col) {
+    // Same route-fidelity rule as forward_view: fuse on the host so
+    // the node stays bitwise-equal to its eager twin (apply_epilogue
+    // is element-for-element the unfused bias+ReLU arithmetic).
+    ensure_host_scratch();
+    std::copy(input.data().begin(), input.data().end(),
+              host_in_.data().begin());
+    host_out_.zero();
+    conv::im2col_forward(host_in_, filter_, host_out_, shape_, &host_pool_);
+    const conv::ConvEpilogue ep{
+        with_bias_ ? bias_.data().data() : nullptr, mask};
+    conv::apply_epilogue(host_out_.data().data(), shape_, ep);
+    output.copy_from(host_out_);
+    if (mask == nullptr) epilogue.epilogue_forward_inplace(output);
+    return;
+  }
+  input_view_ = input;  // liveness: the planner pins it to our backward
   context_->conv_forward_fused(shape_, input.data().data(),
                                filter_.data().data(), output.data().data(),
                                with_bias_ ? bias_.data().data() : nullptr,
@@ -155,6 +190,21 @@ void Convolution::backward_view_fused(tensor::TensorView& d_output,
           for (std::int64_t b = 0; b < shape_.batch; ++b)
             d_bias_.at(no) += d_output.at(ro, co, no, b);
   }
+  if (backend_ == ConvBackend::kHostIm2col) {
+    // Host-backend gradients stay on the eager im2col kernels (route
+    // fidelity; see forward_view). host_in_ still holds this step's
+    // input from the fused forward.
+    ensure_host_scratch();
+    std::copy(d_output.data().begin(), d_output.data().end(),
+              host_dout_.data().begin());
+    conv::im2col_backward_filter(host_in_, host_dout_, d_filter_, shape_,
+                                 &host_pool_);
+    host_din_.zero();
+    conv::im2col_backward_data(host_dout_, filter_, host_din_, shape_,
+                               &host_pool_);
+    d_input.copy_from(host_din_);
+    return;
+  }
   context_->conv_backward_filter(shape_, input_view_.data().data(),
                                  d_output.data().data(),
                                  d_filter_.data().data());
@@ -165,8 +215,8 @@ void Convolution::backward_view_fused(tensor::TensorView& d_output,
 
 void Convolution::backward_view(const tensor::TensorView& d_output,
                                 tensor::TensorView& d_input) {
-  if (!use_api()) {
-    Layer::backward_view(d_output, d_input);
+  if (!use_api() || backend_ == ConvBackend::kHostIm2col) {
+    Layer::backward_view(d_output, d_input);  // eager kernels
     return;
   }
   if (with_bias_) {

@@ -13,6 +13,7 @@
 #include "src/conv/shape.h"
 #include "src/conv/swconv.h"
 #include "src/dnn/layer.h"
+#include "src/tensor/pool.h"
 #include "src/util/rng.h"
 
 namespace swdnn::dnn {
@@ -92,6 +93,15 @@ class Convolution : public Layer {
 
   BackendContext* context_ = nullptr;     // set by bind()
   tensor::TensorView input_view_;         // the arena keeps it live
+
+  // Host-route compiled scratch: a kHostIm2col layer's fused node runs
+  // the eager im2col kernels directly (route fidelity — the multigrain
+  // mesh mappings accept shapes the host route must keep), staged
+  // through presized members and a private pool so steady-state
+  // compiled steps mint zero tensors. Sized on first fused call.
+  void ensure_host_scratch();
+  tensor::Tensor host_in_, host_out_, host_dout_, host_din_;
+  tensor::TensorPool host_pool_;
 };
 
 }  // namespace swdnn::dnn

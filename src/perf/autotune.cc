@@ -24,13 +24,26 @@ PlanChoice ScheduleAutotuner::tune_choice(const conv::ConvShape& shape,
         candidate.promote_input_dma = false;
         candidate.promote_filter_dma = false;
         if (promote) {
-          if (candidate.kind == PlanKind::kImageSizeAware) {
-            candidate.promote_input_dma = true;
-          } else if (candidate.kind == PlanKind::kBatchSizeAware) {
-            candidate.promote_filter_dma = true;
-          } else {
-            continue;  // nothing to promote: identical to promote=false
+          bool promotable = false;
+          switch (candidate.kind) {
+            case PlanKind::kImageSizeAware:
+              candidate.promote_input_dma = true;
+              promotable = true;
+              break;
+            case PlanKind::kBatchSizeAware:
+              candidate.promote_filter_dma = true;
+              promotable = true;
+              break;
+            case PlanKind::kDirect:
+            case PlanKind::kFilterGrained:
+            case PlanKind::kPixelGrained:
+              // Nothing to promote: the direct strawman has no DMA
+              // loop to hoist and the multigrain mappings derive their
+              // DMA schedule from the shape. Their rb_b/rb_no register
+              // schedule is still searched by the enclosing loops.
+              break;
           }
+          if (!promotable) continue;  // identical to promote=false
         }
         if (!plan_feasible(shape, candidate, spec_)) continue;
         const PerfEstimate est = model_.estimate(shape, candidate);

@@ -48,6 +48,24 @@ struct AutotuneReport {
   }
 };
 
+/// One candidate of a measured-autotune confirmation run.
+struct MeasuredCandidate {
+  ConvPlan plan;
+  double modeled_gflops_per_cg = 0;  ///< closed-form score after tuning
+  double measured_seconds = 0;       ///< timed simulator launch
+  double measured_gflops = 0;        ///< LaunchStats::modeled_gflops
+};
+
+/// What a measured-autotune run decided (SwConvolution::
+/// autotune_plan_measured): the modeled top candidates, their timed
+/// launches, and whether measurement overturned the model's order.
+struct MeasuredAutotuneReport {
+  conv::ConvShape shape;
+  std::vector<MeasuredCandidate> candidates;  ///< in modeled rank order
+  std::size_t winner_index = 0;  ///< into candidates, after measurement
+  bool reordered = false;  ///< measurement promoted the runner-up
+};
+
 class ScheduleAutotuner {
  public:
   explicit ScheduleAutotuner(

@@ -76,6 +76,53 @@ std::vector<PlanChoice> PlanChooser::rank(const conv::ConvShape& shape) const {
     }
   }
 
+  // Multigrain candidates (MG3MConv's per-regime mappings). Enumerated
+  // after the paper's plans so stable_sort keeps the incumbents ahead on
+  // exact score ties; the new mappings must *win* a regime to lead the
+  // ranking. The filter-grained lowering is scored at its derived
+  // pixel block plus a few explicit blocks (smaller blocks lengthen the
+  // LDM contraction chunk, larger ones amortize the filter re-read —
+  // the crossover is shape-dependent). The pixel-grained mapping has no
+  // blocking knob at all.
+  {
+    const std::int64_t px_cap =
+        ((conv_pixels(shape) + spec_.mesh_rows - 1) / spec_.mesh_rows) *
+        spec_.mesh_rows;
+    std::vector<std::int64_t> bpx_grid = {0};
+    for (std::int64_t bpx : {std::int64_t{256}, std::int64_t{512},
+                             std::int64_t{1024}}) {
+      if (bpx < px_cap) bpx_grid.push_back(bpx);
+    }
+    // A half-panel variant rides along even on shapes too small for the
+    // explicit grid: two same-family candidates with distinct blockings
+    // give the fault ladder an in-family rescue plan (the ladder never
+    // crosses mapping families, so a lone candidate would fall straight
+    // through to the host after one fault).
+    if (px_cap / 2 >= spec_.mesh_rows) bpx_grid.push_back(px_cap / 2);
+    std::vector<std::int64_t> seen_blocks;
+    for (std::int64_t bpx : bpx_grid) {
+      ConvPlan plan;
+      plan.kind = PlanKind::kFilterGrained;
+      plan.block_px = bpx;
+      if (!plan_feasible(shape, plan, spec_)) continue;
+      // Distinct grid entries can clamp to the same effective block;
+      // keep one candidate per resolved block.
+      const std::int64_t resolved = filter_grained_block_px(shape, plan, spec_);
+      if (std::find(seen_blocks.begin(), seen_blocks.end(), resolved) !=
+          seen_blocks.end()) {
+        continue;
+      }
+      seen_blocks.push_back(resolved);
+      choices.push_back({plan, model_.estimate(shape, plan)});
+    }
+
+    ConvPlan pg;
+    pg.kind = PlanKind::kPixelGrained;
+    if (plan_feasible(shape, pg, spec_)) {
+      choices.push_back({pg, model_.estimate(shape, pg)});
+    }
+  }
+
   std::stable_sort(choices.begin(), choices.end(),
                    [](const PlanChoice& a, const PlanChoice& b) {
                      return a.estimate.gflops_per_cg > b.estimate.gflops_per_cg;

@@ -76,6 +76,30 @@ double PerformanceModel::rbw_batch_plan(const conv::ConvShape& shape,
   return (filter_term + input_term) * kDs * t / 2.0;
 }
 
+double PerformanceModel::rbw_filter_grained(const conv::ConvShape& shape,
+                                            const ConvPlan& plan) const {
+  const double t = spec_.peak_gflops_per_cg();
+  const double k = static_cast<double>(shape.kr * shape.kc * shape.ni);
+  const double bpx =
+      static_cast<double>(filter_grained_block_px(shape, plan, spec_));
+  const double filter_term = bpx > 0 ? 1.0 / bpx : 1.0;
+  const double lowering_term = 3.0 / static_cast<double>(shape.no);
+  const double output_term = 1.0 / k;
+  return (filter_term + lowering_term + output_term) * kDs * t / 2.0;
+}
+
+double PerformanceModel::rbw_pixel_grained(const conv::ConvShape& shape,
+                                           const ConvPlan& plan) const {
+  (void)plan;
+  const double t = spec_.peak_gflops_per_cg();
+  const double k = static_cast<double>(shape.kr * shape.kc * shape.ni);
+  const double p = static_cast<double>(conv_pixels(shape));
+  const double input_term = 1.0 / static_cast<double>(shape.no);
+  const double output_term = 1.0 / k;
+  const double filter_term = 1.0 / p;
+  return (input_term + output_term + filter_term) * kDs * t / 2.0;
+}
+
 double PerformanceModel::rbw_register_simd(const ConvPlan& plan) const {
   // Eq. (5): (rbB + 4*rbNo) * DS / (2*rbB*rbNo / T_cpe); the 4x on the
   // filter term pays for replicating a scalar across the vector lanes.
@@ -111,7 +135,8 @@ TrafficBreakdown PerformanceModel::traffic(const conv::ConvShape& shape,
   const auto kr = static_cast<double>(shape.kr);
   const auto kc = static_cast<double>(shape.kc);
 
-  if (plan.kind == PlanKind::kImageSizeAware) {
+  switch (plan.kind) {
+  case PlanKind::kImageSizeAware: {
     // Algorithm 1. Steps: (B/bB) * Ro * (Co/bCo) * Kr * Kc. In the
     // image-size-aware layout (4, C, R, N, B/4) the contiguous axis is
     // C (times the 4 batch lanes), so the DMA block a request streams
@@ -133,7 +158,9 @@ TrafficBreakdown PerformanceModel::traffic(const conv::ConvShape& shape,
     t.output.bytes = b * ro * co * no * kDs;
     t.output.block_bytes = static_cast<std::int64_t>(bco) * 4 * 8;
     t.output.direction = DmaDirection::kPut;
-  } else if (plan.kind == PlanKind::kBatchSizeAware) {
+    break;
+  }
+  case PlanKind::kBatchSizeAware: {
     // Algorithm 2. Input: one pixel column of all channels and batches
     // per get, re-read once per Kr and once per output-column tile halo.
     const double bco = static_cast<double>(plan.block_co);
@@ -151,7 +178,51 @@ TrafficBreakdown PerformanceModel::traffic(const conv::ConvShape& shape,
     t.output.bytes = b * ro * co * no * kDs;
     t.output.block_bytes = static_cast<std::int64_t>(b) * 8;
     t.output.direction = DmaDirection::kPut;
-  } else {
+    break;
+  }
+  case PlanKind::kFilterGrained: {
+    // One [K x No] filter matrix re-streamed per pixel-column pass plus
+    // the full im2col lowering: the patch gather reads the input K/Ni
+    // times over, stages the column matrix through memory, and the GEMM
+    // reads it back — three K*P-sized streams charged to the input.
+    const double k_rows = kr * kc * ni;
+    const double pixels = ro * co * b;
+    const std::int64_t bpx = filter_grained_block_px(shape, plan, spec_);
+    const double passes =
+        bpx > 0 ? std::ceil(pixels / static_cast<double>(bpx)) : 1.0;
+    const std::int64_t n_t =
+        bpx > 0 ? (bpx + spec_.mesh_rows - 1) / spec_.mesh_rows : 1;
+    const std::int64_t m_t =
+        (shape.no + spec_.mesh_cols - 1) / spec_.mesh_cols;
+    t.input.bytes = 3.0 * k_rows * pixels * kDs;
+    t.input.block_bytes = n_t * 8;
+    t.filter.bytes = passes * k_rows * no * kDs;
+    t.filter.block_bytes = m_t * 8;
+    t.output.bytes = no * pixels * kDs;
+    t.output.block_bytes = n_t * 8;
+    t.output.direction = DmaDirection::kPut;
+    break;
+  }
+  case PlanKind::kPixelGrained: {
+    // The filter is fetched exactly once and stays LDM-resident; every
+    // output pixel then streams one [Ni x B] input tile per tap and
+    // puts its [No x B] panel.
+    const double k_rows = kr * kc * ni;
+    const double pixels = ro * co * b;
+    const std::int64_t b_t =
+        (shape.batch + spec_.mesh_rows - 1) / spec_.mesh_rows;
+    const std::int64_t no_t =
+        (shape.no + spec_.mesh_cols - 1) / spec_.mesh_cols;
+    t.input.bytes = k_rows * pixels * kDs;
+    t.input.block_bytes = b_t * 8;
+    t.filter.bytes = k_rows * no * kDs;
+    t.filter.block_bytes = no_t * 8;
+    t.output.bytes = no * pixels * kDs;
+    t.output.block_bytes = b_t * 8;
+    t.output.direction = DmaDirection::kPut;
+    break;
+  }
+  case PlanKind::kDirect: {
     // Direct gload: every operand from memory, zero reuse below
     // registers.
     t.input.bytes = 2.0 * b * ro * co * ni * no * kr * kc * kDs / 2.0;
@@ -161,6 +232,8 @@ TrafficBreakdown PerformanceModel::traffic(const conv::ConvShape& shape,
     t.output.bytes = b * ro * co * no * kDs;
     t.output.block_bytes = 32;
     t.output.direction = DmaDirection::kPut;
+    break;
+  }
   }
 
   auto align = [this](StreamTraffic& s) {
@@ -208,9 +281,22 @@ PerfEstimate PerformanceModel::estimate(const conv::ConvShape& shape,
     return e;
   }
 
-  e.rbw_mem_gbs = plan.kind == PlanKind::kImageSizeAware
-                      ? rbw_image_plan(shape, plan)
-                      : rbw_batch_plan(shape, plan);
+  switch (plan.kind) {
+    case PlanKind::kDirect:
+      break;  // handled above
+    case PlanKind::kImageSizeAware:
+      e.rbw_mem_gbs = rbw_image_plan(shape, plan);
+      break;
+    case PlanKind::kBatchSizeAware:
+      e.rbw_mem_gbs = rbw_batch_plan(shape, plan);
+      break;
+    case PlanKind::kFilterGrained:
+      e.rbw_mem_gbs = rbw_filter_grained(shape, plan);
+      break;
+    case PlanKind::kPixelGrained:
+      e.rbw_mem_gbs = rbw_pixel_grained(shape, plan);
+      break;
+  }
   if (!plan.use_register_comm) {
     // Without mesh data sharing, each CPE fetches all Ni input channels
     // and all No filter channels itself instead of 1/8 of each: the
@@ -223,11 +309,18 @@ PerfEstimate PerformanceModel::estimate(const conv::ConvShape& shape,
   e.rbw_ldm_gbs = rbw_register_simd(plan);
   e.mbw_ldm_gbs = spec_.ldm_reg_bandwidth_gbs;
 
-  // EE depends on the inner-loop trip count, which is the (possibly
-  // blocked) input-channel extent each CPE contracts over.
-  const std::int64_t effective_ni =
+  // EE depends on the inner-loop trip count: the (possibly blocked)
+  // input-channel extent for the paper's mappings, the LDM contraction
+  // chunk for the filter-grained GEMM (its pipeline drains once per
+  // chunk, not per channel block), and the per-tap Ni contraction for
+  // the pixel-grained panels (they drain at every tap).
+  std::int64_t inner_trip =
       plan.block_ni > 0 ? std::min(plan.block_ni, shape.ni) : shape.ni;
-  e.ee = timing::simulated_ee(effective_ni, plan.reordered_pipeline) *
+  if (plan.kind == PlanKind::kFilterGrained) {
+    inner_trip = std::max<std::int64_t>(
+        1, filter_grained_k_chunk(shape, plan, spec_));
+  }
+  e.ee = timing::simulated_ee(inner_trip, plan.reordered_pipeline) *
          kOuterLoopOverhead;
 
   const double rm = std::min(1.0, e.mbw_mem_gbs / e.rbw_mem_gbs);

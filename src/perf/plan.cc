@@ -4,7 +4,28 @@
 
 namespace swdnn::perf {
 
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+std::int64_t ldm_budget_doubles(const arch::Sw26010Spec& spec) {
+  return static_cast<std::int64_t>(spec.ldm_bytes - spec.ldm_reserved_bytes) /
+         8;
+}
+
+// The contraction chunk the filter-grained GEMM should keep per LDM
+// pass to leave the pipeline simulator a long inner loop. Below this
+// the derived pixel block falls back to whatever fits at k_t = 1.
+constexpr std::int64_t kFilterGrainedMinKt = 8;
+
+}  // namespace
+
 const char* plan_kind_name(PlanKind kind) {
+  // Exhaustive on purpose: adding a PlanKind must be a compile error
+  // (-Wswitch/-Wreturn-type) here and in every switch that describes or
+  // dispatches plans.
   switch (kind) {
     case PlanKind::kDirect:
       return "direct";
@@ -12,23 +33,105 @@ const char* plan_kind_name(PlanKind kind) {
       return "img";
     case PlanKind::kBatchSizeAware:
       return "batch";
+    case PlanKind::kFilterGrained:
+      return "fgrain";
+    case PlanKind::kPixelGrained:
+      return "pgrain";
   }
   return "?";
 }
 
+bool plan_kind_is_multigrain(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kDirect:
+    case PlanKind::kImageSizeAware:
+    case PlanKind::kBatchSizeAware:
+      return false;
+    case PlanKind::kFilterGrained:
+    case PlanKind::kPixelGrained:
+      return true;
+  }
+  return false;
+}
+
 std::string ConvPlan::to_string() const {
   std::string s = plan_kind_name(kind);
-  if (kind == PlanKind::kImageSizeAware) {
-    s += "(bB=" + std::to_string(block_b) + ",bCo=" + std::to_string(block_co) +
-         ")";
-  } else if (kind == PlanKind::kBatchSizeAware) {
-    s += "(bCo=" + std::to_string(block_co) + ")";
+  switch (kind) {
+    case PlanKind::kDirect:
+      break;
+    case PlanKind::kImageSizeAware:
+      s += "(bB=" + std::to_string(block_b) +
+           ",bCo=" + std::to_string(block_co) + ")";
+      break;
+    case PlanKind::kBatchSizeAware:
+      s += "(bCo=" + std::to_string(block_co) + ")";
+      break;
+    case PlanKind::kFilterGrained:
+      s += "(bPx=" + std::to_string(block_px) + ")";
+      break;
+    case PlanKind::kPixelGrained:
+      break;
   }
   if (block_ni > 0) s += "-bNi" + std::to_string(block_ni);
   if (!use_register_comm) s += "-noregcomm";
   if (!double_buffer) s += "-nodb";
   if (!reordered_pipeline) s += "-noreorder";
   return s;
+}
+
+std::int64_t conv_pixels(const conv::ConvShape& shape) {
+  return shape.ro() * shape.co() * shape.batch;
+}
+
+std::int64_t filter_grained_block_px(const conv::ConvShape& shape,
+                                     const ConvPlan& plan,
+                                     const arch::Sw26010Spec& spec) {
+  const std::int64_t p = spec.mesh_rows;
+  const std::int64_t m_t = ceil_div(shape.no, p);
+  const std::int64_t budget = ldm_budget_doubles(spec);
+  // The whole pixel extent rounded to the mesh: blocks past it only pad.
+  const std::int64_t px_cap = ceil_div(conv_pixels(shape), p) * p;
+
+  std::int64_t n_t = 0;
+  if (plan.block_px > 0) {
+    n_t = ceil_div(std::min(plan.block_px, px_cap), p);
+  } else {
+    // Derive the widest pixel block that still leaves the contraction a
+    // k_t >= kFilterGrainedMinKt chunk (footprint per the mesh_gemm
+    // driver: 2*k_t*(m_t+n_t) + m_t*n_t + n_t doubles); if even a
+    // one-row chunk cannot carry a full-width block, take the widest
+    // that fits at k_t = 1.
+    const std::int64_t at_min_kt =
+        (budget - 2 * kFilterGrainedMinKt * m_t) /
+        (m_t + 1 + 2 * kFilterGrainedMinKt);
+    const std::int64_t at_one = (budget - 2 * m_t) / (m_t + 3);
+    n_t = at_min_kt >= 1 ? at_min_kt : at_one;
+    n_t = std::min(n_t, ceil_div(px_cap, p));
+  }
+  if (n_t < 1) return 0;
+  // The output tile plus writeback staging must fit even before any
+  // contraction rows do (the driver refuses otherwise).
+  if (m_t * n_t + n_t >= budget) return 0;
+  return std::max<std::int64_t>(n_t * p, p);
+}
+
+std::int64_t filter_grained_k_chunk(const conv::ConvShape& shape,
+                                    const ConvPlan& plan,
+                                    const arch::Sw26010Spec& spec) {
+  const std::int64_t bpx = filter_grained_block_px(shape, plan, spec);
+  if (bpx <= 0) return 0;
+  const std::int64_t p = spec.mesh_rows;
+  const std::int64_t k = shape.kr * shape.kc * shape.ni;
+  const std::int64_t m_t = ceil_div(shape.no, p);
+  const std::int64_t n_t = ceil_div(bpx, p);
+  const std::int64_t budget = ldm_budget_doubles(spec);
+  const std::int64_t fixed = m_t * n_t + n_t;
+  if (fixed >= budget) return 0;
+  // Same derivation as mesh_gemm_default_k_chunk, kept in the perf
+  // layer so the model scores exactly the chunk the kernel will run.
+  const std::int64_t k_t =
+      std::max<std::int64_t>(1, (budget - fixed) / (2 * (m_t + n_t)));
+  return std::min(k, k_t * p);
 }
 
 std::int64_t ldm_bytes_required(const conv::ConvShape& shape,
@@ -39,25 +142,52 @@ std::int64_t ldm_bytes_required(const conv::ConvShape& shape,
   const std::int64_t cols = spec.mesh_cols;
   const std::int64_t cpes = rows * cols;
 
-  auto ceil_div = [](std::int64_t a, std::int64_t b) {
-    return (a + b - 1) / b;
-  };
-
   if (plan.kind == PlanKind::kDirect) {
     // gload keeps nothing resident beyond registers.
     return 0;
   }
 
+  if (plan.kind == PlanKind::kFilterGrained) {
+    // The mesh_gemm driver's tile set at the plan's pixel block and the
+    // chunk the driver will pick for it.
+    const std::int64_t bpx = filter_grained_block_px(shape, plan, spec);
+    const std::int64_t chunk = filter_grained_k_chunk(shape, plan, spec);
+    if (bpx <= 0 || chunk <= 0) {
+      // Infeasible: report a footprint plan_feasible must reject.
+      return static_cast<std::int64_t>(spec.ldm_bytes) + 1;
+    }
+    const std::int64_t m_t = ceil_div(shape.no, rows);
+    const std::int64_t n_t = ceil_div(bpx, rows);
+    const std::int64_t k_t = ceil_div(chunk, rows);
+    return ds * (2 * k_t * (m_t + n_t) + m_t * n_t + n_t);
+  }
+
+  if (plan.kind == PlanKind::kPixelGrained) {
+    // All Kr*Kc filter tap tiles stay resident; one input tile (plus
+    // its regcomm receive buffer and the filter receive buffer) and one
+    // output accumulator tile cycle per pixel.
+    const std::int64_t ni_t = ceil_div(shape.ni, rows);
+    const std::int64_t no_t = ceil_div(shape.no, cols);
+    const std::int64_t b_t = ceil_div(shape.batch, rows);
+    const std::int64_t taps = shape.kr * shape.kc;
+    return ds * (taps * ni_t * no_t + ni_t * no_t + 2 * ni_t * b_t +
+                 no_t * b_t);
+  }
+
+  auto ceil_div_l = [](std::int64_t a, std::int64_t b) {
+    return (a + b - 1) / b;
+  };
+
   // Per-CPE channel shares: bNi/8 input channels per mesh column, No/8
   // output channels per column of the filter distribution.
   const std::int64_t bni =
       plan.block_ni > 0 ? std::min(plan.block_ni, shape.ni) : shape.ni;
-  const std::int64_t ni_share = ceil_div(bni, rows);
-  const std::int64_t no_share = ceil_div(shape.no, cols);
+  const std::int64_t ni_share = ceil_div_l(bni, rows);
+  const std::int64_t no_share = ceil_div_l(shape.no, cols);
 
   std::int64_t in_tile = 0, w_tile = 0, out_tile = 0;
   if (plan.kind == PlanKind::kImageSizeAware) {
-    const std::int64_t b_share = ceil_div(plan.block_b, rows);
+    const std::int64_t b_share = ceil_div_l(plan.block_b, rows);
     // The input tile always carries the Kc-1 column halo: the sliding
     // window of line 6 of Algorithm 1 touches bCo+Kc-1 columns.
     const std::int64_t co_tile = plan.block_co + shape.kc - 1;
@@ -65,7 +195,7 @@ std::int64_t ldm_bytes_required(const conv::ConvShape& shape,
     w_tile = ni_share * no_share;  // one (kc, kr) slice
     out_tile = plan.block_co * no_share * b_share;
   } else {  // batch-size-aware
-    const std::int64_t b_share = ceil_div(shape.batch, rows);
+    const std::int64_t b_share = ceil_div_l(shape.batch, rows);
     // One input pixel column of all channels/batches at a time.
     in_tile = ni_share * b_share;
     const std::int64_t w_slices = plan.promote_filter_dma ? shape.kc : 1;
@@ -84,15 +214,27 @@ std::int64_t ldm_bytes_required(const conv::ConvShape& shape,
 bool plan_feasible(const conv::ConvShape& shape, const ConvPlan& plan,
                    const arch::Sw26010Spec& spec) {
   if (plan.kind == PlanKind::kDirect) return true;
-  if (plan.block_co <= 0 || plan.block_co > shape.co()) return false;
-  if (plan.kind == PlanKind::kImageSizeAware) {
-    if (plan.block_b <= 0 || plan.block_b > shape.batch) return false;
-    if (shape.batch % plan.block_b != 0) return false;
-  }
-  if (plan.block_ni != 0) {
-    if (plan.block_ni <= 0 || plan.block_ni > shape.ni ||
-        shape.ni % plan.block_ni != 0) {
-      return false;
+  if (plan_kind_is_multigrain(plan.kind)) {
+    // The multigrain mappings derive their own tiling from the shape:
+    // no bCo/bB knobs, and they contract the full channel depth (bNi
+    // blocking would change the summation grouping the mappings pin
+    // down for bitwise identity).
+    if (plan.block_ni != 0) return false;
+    if (plan.kind == PlanKind::kFilterGrained) {
+      if (plan.block_px < 0) return false;
+      if (filter_grained_k_chunk(shape, plan, spec) <= 0) return false;
+    }
+  } else {
+    if (plan.block_co <= 0 || plan.block_co > shape.co()) return false;
+    if (plan.kind == PlanKind::kImageSizeAware) {
+      if (plan.block_b <= 0 || plan.block_b > shape.batch) return false;
+      if (shape.batch % plan.block_b != 0) return false;
+    }
+    if (plan.block_ni != 0) {
+      if (plan.block_ni <= 0 || plan.block_ni > shape.ni ||
+          shape.ni % plan.block_ni != 0) {
+        return false;
+      }
     }
   }
   if (plan.rb_b <= 0 || plan.rb_no <= 0) return false;

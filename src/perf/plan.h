@@ -1,12 +1,30 @@
 #pragma once
 // Convolution execution plans (the knobs Sections IV-VI expose).
 //
-// A plan fixes: the loop transformation (image-size-aware Algorithm 1 or
-// batch-size-aware Algorithm 2, or the direct-gload strawman), the LDM
-// blocking sizes, the register blocking, and the optimization toggles
-// (register communication, double buffering, reordered pipeline, DMA
-// promotion). The performance model scores plans; the chooser picks the
-// best feasible one; the functional kernels execute them.
+// A plan fixes: the mapping (how the convolution is laid onto the mesh
+// GEMM), the LDM blocking sizes, the register blocking, and the
+// optimization toggles (register communication, double buffering,
+// reordered pipeline, DMA promotion). The performance model scores
+// plans; the chooser picks the best feasible one; the functional
+// kernels execute them.
+//
+// The mapping family (MG3MConv's insight, applied to this library):
+//   * kImageSizeAware / kBatchSizeAware — the paper's Algorithm 1/2
+//     loop transformations of the direct convolution. Strongest on the
+//     well-provisioned evaluation band (B=128, channels >= 64, mesh-
+//     divisible everything).
+//   * kFilterGrained — im2col lowering run on the mesh: one GEMM of
+//     the [Kr*Kc*Ni x No] filter matrix against pixel-column blocks of
+//     the patch matrix. Any ragged dimension works (tiles are
+//     ceil-divided and zero-padded) and the contraction runs over the
+//     whole Kr*Kc*Ni extent, so the inner pipeline stays long even
+//     when Ni alone is tiny. Pays for the lowering: the patch gather
+//     reads the input Kr*Kc times and stages it through memory.
+//   * kPixelGrained — per-output-pixel panel GEMM with the whole
+//     filter resident in LDM: out(ro,co)[No x B] accumulates one
+//     Ni-contraction per tap. No lowering traffic and no divisibility
+//     constraint at all (any stride-1 Ni/No/B/H/W), but the filter
+//     must fit LDM — the small-shape regime's mapping.
 
 #include <cstdint>
 #include <string>
@@ -20,9 +38,15 @@ enum class PlanKind {
   kDirect,          ///< gload straight from memory (Fig. 2 middle column)
   kImageSizeAware,  ///< Algorithm 1: block on Co and B
   kBatchSizeAware,  ///< Algorithm 2: stream pixels, amortize over B
+  kFilterGrained,   ///< filters x im2col-pixels mesh GEMM (any shape)
+  kPixelGrained,    ///< per-output-pixel panel GEMM, LDM-resident filter
 };
 
 const char* plan_kind_name(PlanKind kind);
+
+/// True for the mappings added by the multi-grained family (useful for
+/// benches and tests that compare "new mapping vs incumbent").
+bool plan_kind_is_multigrain(PlanKind kind);
 
 struct ConvPlan {
   PlanKind kind = PlanKind::kImageSizeAware;
@@ -40,6 +64,16 @@ struct ConvPlan {
   // handles both.
   std::int64_t block_ni = 0;
 
+  // Pixel-column block of the filter-grained mapping: how many
+  // flattened (ro, co, b) output pixels one mesh-GEMM pass covers
+  // (0 = derive the largest LDM-feasible block). Larger blocks
+  // amortize the filter re-read (1/bPx in the cost model) but shrink
+  // the LDM contraction chunk and with it the inner-loop length.
+  // An LDM-blocking knob like block_co — part of the plan's numeric
+  // identity (it changes summation grouping), never touched by the
+  // schedule-only autotuner. Ignored by the other kinds.
+  std::int64_t block_px = 0;
+
   // Register blocking (Section V-B / Eq. 5). rb_b batch elements
   // (rb_b/4 vectors) by rb_no output channels are held in registers.
   std::int64_t rb_b = 16;
@@ -55,11 +89,32 @@ struct ConvPlan {
   std::string to_string() const;
 };
 
+/// Flattened output-pixel extent Ro*Co*B — the n axis of the
+/// filter-grained GEMM and the pixel count the pixel-grained mapping
+/// loops over.
+std::int64_t conv_pixels(const conv::ConvShape& shape);
+
+/// The pixel-column block the filter-grained mapping will actually use:
+/// plan.block_px clamped to the (mesh-rounded) pixel extent, or the
+/// largest LDM-feasible block when plan.block_px == 0.
+std::int64_t filter_grained_block_px(const conv::ConvShape& shape,
+                                     const ConvPlan& plan,
+                                     const arch::Sw26010Spec& spec);
+
+/// The contraction chunk (rows of the Kr*Kc*Ni axis) one LDM pass of
+/// the filter-grained GEMM streams, given the plan's pixel block. This
+/// is the inner-loop extent the EE model sees for the mapping.
+std::int64_t filter_grained_k_chunk(const conv::ConvShape& shape,
+                                    const ConvPlan& plan,
+                                    const arch::Sw26010Spec& spec);
+
 /// Per-CPE LDM footprint in bytes for running `plan` on `shape` with the
 /// paper's mesh data distribution (each CPE holds 1/64 of every tile:
 /// Ni/8 input channels on its column, No/8 output channels, B/8 or bB/8
 /// of the batch on its row). Double buffering doubles the streamed
-/// tiles. Promotion enlarges the hoisted tile.
+/// tiles. Promotion enlarges the hoisted tile. The multigrain mappings
+/// use ceil-divided tiles and (filter-grained) the minimum one-row
+/// contraction chunk.
 std::int64_t ldm_bytes_required(const conv::ConvShape& shape,
                                 const ConvPlan& plan,
                                 const arch::Sw26010Spec& spec);

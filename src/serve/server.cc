@@ -477,9 +477,21 @@ void InferenceServer::update_health_locked() {
       (counters_.deadline_missed - health_snapshot_.deadline_missed) +
       (counters_.failed - health_snapshot_.failed) +
       (counters_.rejected() - health_snapshot_.rejected());
-  const HealthState next = (breaker_open || distress > 0)
-                               ? HealthState::kDegraded
-                               : HealthState::kServing;
+  // Hysteresis: recovery needs a run of QUIET watchdog periods, not
+  // one. Without it kDegraded lasts a single period (~1ms in tests) —
+  // invisible to any poller — and a health endpoint would flap on
+  // every isolated failure.
+  constexpr int kRecoveryQuietSweeps = 50;
+  HealthState next;
+  if (breaker_open || distress > 0) {
+    quiet_sweeps_ = 0;
+    next = HealthState::kDegraded;
+  } else if (health_ == HealthState::kDegraded &&
+             ++quiet_sweeps_ < kRecoveryQuietSweeps) {
+    next = HealthState::kDegraded;
+  } else {
+    next = HealthState::kServing;
+  }
   if (next != health_) {
     health_ = next;
     trace_instant(next == HealthState::kDegraded ? "health degraded"

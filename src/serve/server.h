@@ -253,6 +253,7 @@ class InferenceServer {
   ServingCounters counters_;
   ServingCounters health_snapshot_;  ///< counters at last watchdog tick
   HealthState health_ = HealthState::kServing;
+  int quiet_sweeps_ = 0;  ///< consecutive distress-free watchdog ticks
   int in_flight_batches_ = 0;
   bool stopping_ = false;
 

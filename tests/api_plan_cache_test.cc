@@ -119,10 +119,12 @@ TEST_F(ApiPlanCacheTest, LastPlanAlgoReportsTheCachedChoice) {
   EXPECT_EQ(last_plan_algo(handle_), PlanAlgo::kNone);  // nothing ran yet
   const Problem p;
   forward(p);
-  // On the 2x2 mesh this shape is only executable by Algorithm 2 (the
-  // image plan's bB grid starts far above batch=4).
-  EXPECT_EQ(last_plan_algo(handle_), PlanAlgo::kBatchSizeAware);
-  EXPECT_STREQ(plan_algo_name(last_plan_algo(handle_)), "batch-size-aware");
+  // On the 2x2 mesh the channel-blocked incumbents leave only
+  // Algorithm 2 executable (the image plan's bB grid starts far above
+  // batch=4), and at this tiny No the filter-grained lowering models
+  // ahead of it — the multigrain small-output regime.
+  EXPECT_EQ(last_plan_algo(handle_), PlanAlgo::kFilterGrained);
+  EXPECT_STREQ(plan_algo_name(last_plan_algo(handle_)), "filter-grained");
 }
 
 TEST_F(ApiPlanCacheTest, TracerSeesMissThenHit) {
@@ -151,10 +153,11 @@ TEST_F(ApiPlanCacheTest, TracerSeesMissThenHit) {
 }
 
 TEST_F(ApiPlanCacheTest, UnmappableShapeFallsBackWithRecordedReason) {
-  // Ni=3 cannot distribute over the 2-wide mesh: the host GEMM is the
-  // designed route, but the reroute must be counted and diagnosable —
-  // the silent-masking regression.
-  const Problem p(conv::ConvShape::from_output(2, 3, 5, 3, 3, 2, 2));
+  // Ni=3 cannot distribute over the 2-wide mesh and No=4096 overflows
+  // every multigrain tile set: the host GEMM is the designed route, but
+  // the reroute must be counted and diagnosable — the silent-masking
+  // regression.
+  const Problem p(conv::ConvShape::from_output(2, 3, 4096, 3, 3, 2, 2));
   sim::EventTracer tracer;
   ASSERT_EQ(set_event_tracer(handle_, &tracer), Status::kSuccess);
   const std::vector<double> y = forward(p);

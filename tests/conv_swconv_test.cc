@@ -59,7 +59,10 @@ TEST(SwConv, ExplicitPlanForwardMatchesReference) {
 TEST(SwConv, MultiCgForwardMatchesReferenceAndScales) {
   const arch::Sw26010Spec spec = mesh_spec(2);
   SwConvolution sw(spec);
-  const ConvShape shape = ConvShape::from_output(4, 4, 4, 8, 4, 3, 3);
+  // Large enough that per-CG work dwarfs the fixed launch overhead for
+  // every mapping family (the multigrain kernels finish tiny shapes so
+  // fast the 2us overhead would dominate the scaling ratio).
+  const ConvShape shape = ConvShape::from_output(8, 8, 8, 16, 4, 3, 3);
   util::Rng rng(43);
   tensor::Tensor in = make_input(shape), w = make_filter(shape);
   rng.fill_uniform(in.data(), -1, 1);
@@ -71,7 +74,11 @@ TEST(SwConv, MultiCgForwardMatchesReferenceAndScales) {
       sw.forward_multi_cg(in, w, actual, shape, 4);
   EXPECT_LE(expected.max_abs_diff(actual), 1e-12);
   EXPECT_EQ(stats.per_cg.size(), 4u);
-  EXPECT_EQ(stats.total_flops(), static_cast<std::uint64_t>(shape.flops()));
+  // Padded-tile mapping families (the multigrain kernels) execute —
+  // and honestly charge — the zero-padding multiplies their ceil-div
+  // tiles add, so accounted flops can exceed the nominal count but
+  // must never undershoot it.
+  EXPECT_GE(stats.total_flops(), static_cast<std::uint64_t>(shape.flops()));
   // Equal row partitions -> near-linear scaling.
   EXPECT_GT(stats.scaling_speedup(), 3.0);
 }

@@ -73,6 +73,51 @@ TEST(Chooser, EstimatesAreStableAcrossTheSweep) {
   EXPECT_LT(hi / lo, 3.5);
 }
 
+TEST(Chooser, IncumbentsStillWinThePaperGrid) {
+  // The multigrain mappings must not regress the paper's home turf:
+  // on the well-provisioned B=128 / 64x64-output grid the chooser
+  // still picks one of the paper's two blocked mappings.
+  PlanChooser chooser;
+  for (std::int64_t ni : {128, 256}) {
+    for (std::int64_t no : {128, 256}) {
+      const PlanChoice c = chooser.choose(paper_shape(ni, no));
+      EXPECT_FALSE(plan_kind_is_multigrain(c.plan.kind))
+          << ni << "x" << no << " -> " << c.plan.to_string();
+    }
+  }
+}
+
+TEST(Chooser, FilterGrainedWinsSmallImageRegimes) {
+  // Tiny output images starve the incumbents' pixel blocking (bCo
+  // degenerates to 1 and the RBW term explodes) while the im2col
+  // lowering keeps its contraction long; the chooser must cross over.
+  PlanChooser chooser;
+  for (const auto& shape :
+       {conv::ConvShape::from_output(8, 32, 32, 6, 6, 3, 3),
+        conv::ConvShape::from_output(16, 128, 128, 6, 6, 3, 3)}) {
+    const PlanChoice c = chooser.choose(shape);
+    EXPECT_EQ(c.plan.kind, PlanKind::kFilterGrained) << shape.to_string();
+  }
+}
+
+TEST(Chooser, EmitsAnInFamilyRescueCandidate) {
+  // The fault ladder never crosses mapping families, so wherever a
+  // filter-grained plan is ranked there must be a second one with a
+  // different resolved pixel block for the ladder to fall back to.
+  PlanChooser chooser;
+  const auto shape = conv::ConvShape::from_output(8, 32, 32, 6, 6, 3, 3);
+  const auto ranked = chooser.rank(shape);
+  std::vector<std::int64_t> fg_blocks;
+  for (const PlanChoice& c : ranked) {
+    if (c.plan.kind == PlanKind::kFilterGrained) {
+      fg_blocks.push_back(
+          filter_grained_block_px(shape, c.plan, arch::default_spec()));
+    }
+  }
+  ASSERT_GE(fg_blocks.size(), 2u);
+  EXPECT_NE(fg_blocks[0], fg_blocks[1]);
+}
+
 TEST(Chooser, ThrowsWhenNoCandidateDivides) {
   // A batch too small to tile and an output width of 1 leave no valid
   // image plan, but the batch plan with bCo=... still works; craft a

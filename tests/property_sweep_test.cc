@@ -7,6 +7,7 @@
 #include "src/conv/fftconv.h"
 #include "src/conv/im2col.h"
 #include "src/conv/ldm_blocked.h"
+#include "src/conv/multigrain.h"
 #include "src/conv/reference.h"
 #include "src/util/rng.h"
 
@@ -79,6 +80,24 @@ TEST(PropertySweep, AllPathsAgreeOnRandomShapes) {
     tensor::Tensor via_batch = make_output(rc.shape);
     run_batch_size_aware(exec, in, w, via_batch, rc.shape, rc.batch_plan);
     EXPECT_LE(reference.max_abs_diff(via_batch), 1e-11);
+
+    // The multigrain mappings hold a stronger contract than the
+    // incumbents: they accumulate in the reference loop's (kr, kc, ni)
+    // order, so their outputs are bitwise equal, not merely close.
+    perf::ConvPlan fg;
+    fg.kind = perf::PlanKind::kFilterGrained;
+    if (perf::plan_feasible(rc.shape, fg, exec.spec())) {
+      tensor::Tensor via_fg = make_output(rc.shape);
+      run_filter_grained(exec, in, w, via_fg, rc.shape, fg);
+      EXPECT_EQ(reference.max_abs_diff(via_fg), 0.0);
+    }
+    perf::ConvPlan pg;
+    pg.kind = perf::PlanKind::kPixelGrained;
+    if (perf::plan_feasible(rc.shape, pg, exec.spec())) {
+      tensor::Tensor via_pg = make_output(rc.shape);
+      run_pixel_grained(exec, in, w, via_pg, rc.shape, pg);
+      EXPECT_EQ(reference.max_abs_diff(via_pg), 0.0);
+    }
     ++checked;
   }
   EXPECT_EQ(checked, 25);
