@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -114,6 +115,19 @@ bool bitwise_equal(const std::vector<double>& a,
 
 int main() {
   const unsigned hw = std::thread::hardware_concurrency();
+  // The environment's thread request, recorded (not obeyed — the bench
+  // pins its own counts so serial vs parallel is always exercised) to
+  // make the ROADMAP's "collected at N cores" caveat machine-checkable
+  // from the JSON artifact alone. 0 = unset or unparseable.
+  const char* env = std::getenv("SWDNN_HOST_THREADS");
+  long env_threads = 0;
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && parsed >= 1 && parsed <= 1024) {
+      env_threads = parsed;
+    }
+  }
   const int parallel_threads =
       hw >= 8 ? 8 : (hw > 1 ? static_cast<int>(hw) : 2);
 
@@ -171,6 +185,7 @@ int main() {
   }
   std::fprintf(f, "{\n  \"bench\": \"host_parallel\",\n");
   std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hw);
+  std::fprintf(f, "  \"env_swdnn_host_threads\": %ld,\n", env_threads);
   std::fprintf(f, "  \"parallel_threads\": %d,\n", parallel_threads);
   std::fprintf(f, "  \"gemm_m\": %lld,\n  \"gemm_n\": %lld,\n"
                "  \"gemm_k\": %lld,\n",

@@ -138,23 +138,26 @@ SwConvolution::autotune_plan_measured(const ConvShape& shape) {
   tuned_entry.ranked = tuner.tune_ranked(shape, entry->ranked, nullptr);
   tuned_entry.executable = entry->executable;
 
-  // Phase 2: confirm the top modeled candidates with timed launches.
-  // Candidate A is the best mesh-executable entry; candidate B is the
-  // next executable entry, preferring the best one from a *different*
-  // mapping family (that is where the model's ordering is least
-  // trustworthy — two families can score close on very different cost
-  // structures).
+  // Phase 2: confirm the top modeled candidates with timed launches —
+  // a tournament of up to three: the model's top mesh-executable pick
+  // plus the best executable rival from EACH of the two other mapping
+  // families (cross-family is where the model's ordering is least
+  // trustworthy — the families score close on very different cost
+  // structures, so one timed launch per family settles it).
   perf::MeasuredAutotuneReport report;
   report.shape = shape;
   if (tuned_entry.executable.size() >= 2) {
-    const std::size_t ia = tuned_entry.executable[0];
-    std::size_t ib = tuned_entry.executable[1];
+    std::vector<std::size_t> contenders{tuned_entry.executable[0]};
     for (const std::size_t idx : tuned_entry.executable) {
-      if (tuned_entry.ranked[idx].plan.kind !=
-          tuned_entry.ranked[ia].plan.kind) {
-        ib = idx;
-        break;
+      const perf::PlanFamily family =
+          perf::plan_kind_family(tuned_entry.ranked[idx].plan.kind);
+      bool seen = false;
+      for (const std::size_t c : contenders) {
+        seen |= perf::plan_kind_family(tuned_entry.ranked[c].plan.kind) ==
+                family;
       }
+      if (!seen) contenders.push_back(idx);
+      if (contenders.size() == 3) break;
     }
 
     tensor::Tensor input = make_input(shape);
@@ -176,26 +179,34 @@ SwConvolution::autotune_plan_measured(const ConvShape& shape) {
         c.measured_gflops =
             r.stats.modeled_gflops(choice.plan.double_buffer);
       } catch (const sim::LaunchFault&) {
-        // A faulted confirmation launch simply loses the comparison.
+        // A faulted confirmation launch simply loses the tournament.
         c.measured_seconds = 0;
         c.measured_gflops = 0;
       }
       return c;
     };
-    report.candidates.push_back(timed(tuned_entry.ranked[ia]));
-    report.candidates.push_back(timed(tuned_entry.ranked[ib]));
+    for (const std::size_t idx : contenders) {
+      report.candidates.push_back(timed(tuned_entry.ranked[idx]));
+    }
 
-    const auto& a = report.candidates[0];
-    const auto& bc = report.candidates[1];
-    if (a.measured_seconds > 0 && bc.measured_seconds > 0 &&
-        bc.measured_seconds < a.measured_seconds) {
-      // The runner-up measured strictly faster: swap the two entries.
-      // Both positions are executable, so the executable index list
-      // stays valid and best_executable() now serves the measured
-      // winner — an explicit, reported reorder.
-      std::swap(tuned_entry.ranked[ia], tuned_entry.ranked[ib]);
+    // The model's pick keeps the crown unless a rival measured
+    // STRICTLY faster (a faulted launch, seconds == 0, never wins);
+    // among rivals, better rank breaks ties.
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < report.candidates.size(); ++j) {
+      const double tb = report.candidates[best].measured_seconds;
+      const double tj = report.candidates[j].measured_seconds;
+      if (tj > 0 && (tb <= 0 || tj < tb)) best = j;
+    }
+    if (best != 0) {
+      // Swap the winner into the top rank. Both positions are
+      // executable, so the executable index list stays valid and
+      // best_executable() now serves the measured winner — an
+      // explicit, reported reorder.
+      std::swap(tuned_entry.ranked[contenders[0]],
+                tuned_entry.ranked[contenders[best]]);
       report.reordered = true;
-      report.winner_index = 1;
+      report.winner_index = best;
     }
   } else if (!tuned_entry.executable.empty()) {
     const auto& only = tuned_entry.ranked[tuned_entry.executable[0]];

@@ -35,6 +35,11 @@ Layer& Network::add(LayerPtr layer) {
   return *layers_.back();
 }
 
+std::vector<LayerPtr> Network::release_layers() {
+  uncompile();
+  return std::move(layers_);
+}
+
 const CompiledStats& Network::compile(
     const std::vector<std::int64_t>& input_dims,
     const CompileOptions& options) {
@@ -178,8 +183,9 @@ const tensor::Tensor& Network::forward(const tensor::Tensor& input) {
 const tensor::Tensor& Network::backward(const tensor::Tensor& d_output) {
   if (compiled_ && !run_eager_) return backward_compiled(d_output);
   tensor::Tensor grad = d_output;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    grad = (*it)->backward(grad);
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    grad = layers_[i]->backward(grad);
+    if (backward_hook_) backward_hook_(i, i);
   }
   backward_result_ = std::move(grad);
   return backward_result_;
@@ -245,6 +251,7 @@ const tensor::Tensor& Network::backward_compiled(
         break;
     }
     trace_node(i, "bwd", d_out.size() * 8, d_in.size() * 8, begin, now_ns());
+    if (backward_hook_) backward_hook_(node.first_layer, node.last_layer);
   }
   grad_views_.front().copy_to(backward_result_);
   return backward_result_;

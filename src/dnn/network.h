@@ -25,6 +25,7 @@
 // the two paths agree bitwise).
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -104,6 +105,27 @@ class Network {
     return ref;
   }
 
+  /// Surrenders the layer stack (uncompiling first). Pipeline
+  /// parallelism uses this to partition one factory-built network into
+  /// per-stage sub-networks without re-seeding the parameters.
+  std::vector<LayerPtr> release_layers();
+
+  /// Observation hook for gradient-exchange overlap: invoked after each
+  /// backward unit completes — per graph node on the compiled path
+  /// (first_layer/last_layer spanning fused runs, emitted in the
+  /// graph's reverse node order), per layer on the eager path
+  /// (first == last). By the time the hook fires, the parameter
+  /// gradients of every layer in [first_layer, last_layer] are fully
+  /// written for this step, so a collective may start reducing them
+  /// while earlier layers are still back-propagating. The hook runs on
+  /// the calling thread and must not re-enter this Network. Empty
+  /// function detaches.
+  using BackwardNodeHook =
+      std::function<void(std::size_t first_layer, std::size_t last_layer)>;
+  void set_backward_node_hook(BackwardNodeHook hook) {
+    backward_hook_ = std::move(hook);
+  }
+
   /// Builds the execution graph for this input shape: shape inference,
   /// graph passes, arena liveness packing, backend binding and plan
   /// warm-up. Throws std::invalid_argument on a shape error.
@@ -164,6 +186,7 @@ class Network {
 
   std::vector<LayerPtr> layers_;
   bool training_ = true;
+  BackwardNodeHook backward_hook_;
 
   // Compiled-graph state.
   bool compiled_ = false;

@@ -1,0 +1,400 @@
+#include "src/parallel/pipeline.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace swdnn::parallel {
+
+std::vector<dnn::Batch> split_micro_batches(const dnn::Batch& batch,
+                                            int parts) {
+  const auto total = static_cast<std::int64_t>(batch.labels.size());
+  if (parts <= 0 || total < parts) {
+    throw std::invalid_argument("split_micro_batches: bad part count");
+  }
+  const auto& dims = batch.images.dims();
+  if (dims.empty() || dims.back() != total) {
+    throw std::invalid_argument(
+        "split_micro_batches: trailing image dim must be the batch size");
+  }
+  // The batch dimension is innermost (row-major, trailing), so each
+  // micro-batch is a strided gather: every leading-index "row" of the
+  // image tensor contributes a contiguous [begin, end) span.
+  const std::int64_t rows = batch.images.size() / total;
+  const std::int64_t base = total / parts;
+  const std::int64_t rem = total % parts;
+  const auto src = batch.images.data();
+  std::vector<dnn::Batch> out;
+  out.reserve(static_cast<std::size_t>(parts));
+  std::int64_t cursor = 0;
+  for (int p = 0; p < parts; ++p) {
+    const std::int64_t len = base + (p < rem ? 1 : 0);
+    std::vector<std::int64_t> mb_dims = dims;
+    mb_dims.back() = len;
+    dnn::Batch mb;
+    mb.images = tensor::Tensor(mb_dims);
+    auto dst = mb.images.data();
+    for (std::int64_t row = 0; row < rows; ++row) {
+      const double* from = src.data() + row * total + cursor;
+      std::copy(from, from + len, dst.data() + row * len);
+    }
+    mb.labels.assign(batch.labels.begin() + cursor,
+                     batch.labels.begin() + cursor + len);
+    out.push_back(std::move(mb));
+    cursor += len;
+  }
+  return out;
+}
+
+std::vector<std::vector<PipeStep>> build_1f1b_schedule(int stages,
+                                                       int micro_batches) {
+  if (stages <= 0 || micro_batches <= 0) {
+    throw std::invalid_argument("build_1f1b_schedule: bad arguments");
+  }
+  const int S = stages;
+  const int M = micro_batches;
+  std::vector<int> f_done(static_cast<std::size_t>(S), 0);
+  std::vector<int> b_done(static_cast<std::size_t>(S), 0);
+  std::vector<std::vector<PipeStep>> ticks;
+  const int cap = 4 * (S + M) + 16;
+  while (true) {
+    bool all_done = true;
+    for (const int b : b_done) all_done &= b == M;
+    if (all_done) break;
+    if (static_cast<int>(ticks.size()) > cap) {
+      throw std::logic_error("build_1f1b_schedule: schedule did not drain");
+    }
+    // Decisions read only state from BEFORE this tick, so the steps of
+    // one tick are truly concurrent.
+    const std::vector<int> f_prev = f_done;
+    const std::vector<int> b_prev = b_done;
+    std::vector<PipeStep> tick;
+    for (int s = 0; s < S; ++s) {
+      const auto us = static_cast<std::size_t>(s);
+      const int nf = f_prev[us];
+      const int nb = b_prev[us];
+      const bool can_f =
+          nf < M && (s == 0 || f_prev[static_cast<std::size_t>(s - 1)] > nf);
+      const bool can_b =
+          nb < M && f_prev[us] > nb &&
+          (s == S - 1 || b_prev[static_cast<std::size_t>(s + 1)] > nb);
+      // 1F1B: once the warm-up forwards (min(S - s, M)) are in flight,
+      // only a backward may issue — the stage idles rather than exceed
+      // the warm-up residency (that bound is what sizes the staging
+      // arena).
+      const bool at_capacity = nf >= std::min(M, nb + (S - s));
+      if (can_b && (at_capacity || !can_f)) {
+        tick.push_back(PipeStep{s, PipeAction::kBackward, nb});
+        b_done[us] = nb + 1;
+      } else if (can_f && !at_capacity) {
+        tick.push_back(PipeStep{s, PipeAction::kForward, nf});
+        f_done[us] = nf + 1;
+      }
+    }
+    ticks.push_back(std::move(tick));
+  }
+  return ticks;
+}
+
+PipelineParallelTrainer::PipelineParallelTrainer(
+    int stages, int micro_batches,
+    const std::function<std::unique_ptr<dnn::Network>()>& make_network,
+    double learning_rate, double momentum)
+    : micro_batches_(micro_batches) {
+  auto net = make_network();
+  auto layers = net->release_layers();
+  const auto L = layers.size();
+  if (stages <= 0 || static_cast<std::size_t>(stages) > L) {
+    throw std::invalid_argument(
+        "PipelineParallelTrainer: stages must be in [1, num_layers]");
+  }
+  if (micro_batches <= 0) {
+    throw std::invalid_argument(
+        "PipelineParallelTrainer: micro_batches must be >= 1");
+  }
+  const std::size_t base = L / static_cast<std::size_t>(stages);
+  const std::size_t rem = L % static_cast<std::size_t>(stages);
+  std::size_t cursor = 0;
+  for (int s = 0; s < stages; ++s) {
+    const std::size_t len = base + (static_cast<std::size_t>(s) < rem ? 1 : 0);
+    auto stage_net = std::make_unique<dnn::Network>();
+    for (std::size_t i = 0; i < len; ++i) {
+      stage_net->add(std::move(layers[cursor + i]));
+    }
+    stage_ranges_.emplace_back(cursor, cursor + len - 1);
+    stage_nets_.push_back(std::move(stage_net));
+    optimizers_.emplace_back(learning_rate, momentum);
+    cursor += len;
+  }
+
+  schedule_ = build_1f1b_schedule(stages, micro_batches);
+  tick_f_.assign(static_cast<std::size_t>(stages),
+                 std::vector<int>(static_cast<std::size_t>(micro_batches), -1));
+  tick_b_ = tick_f_;
+  for (std::size_t t = 0; t < schedule_.size(); ++t) {
+    for (const PipeStep& step : schedule_[t]) {
+      auto& table = step.action == PipeAction::kForward ? tick_f_ : tick_b_;
+      table[static_cast<std::size_t>(step.stage)]
+           [static_cast<std::size_t>(step.micro_batch)] =
+               static_cast<int>(t);
+    }
+  }
+  last_fwd_mb_.assign(static_cast<std::size_t>(stages), -1);
+}
+
+PipelineParallelTrainer::~PipelineParallelTrainer() = default;
+
+void PipelineParallelTrainer::compile(
+    const std::vector<std::int64_t>& micro_batch_input_dims,
+    const arch::Sw26010Spec* spec) {
+  shared_context_ = std::make_unique<dnn::BackendContext>(spec);
+  dnn::CompileOptions options;
+  options.context = shared_context_.get();
+  std::vector<std::int64_t> dims = micro_batch_input_dims;
+  for (auto& stage_net : stage_nets_) {
+    const auto& stats = stage_net->compile(dims, options);
+    dims = stats.activation_dims.back();
+  }
+  setup_staging(micro_batch_input_dims);
+}
+
+void PipelineParallelTrainer::setup_staging(
+    const std::vector<std::int64_t>& micro_batch_input_dims) {
+  const int S = stages();
+  const int M = micro_batches_;
+  // Per-stage input/output dims for this micro-batch shape.
+  std::vector<std::vector<std::int64_t>> stage_in;
+  std::vector<std::vector<std::int64_t>> stage_out;
+  std::vector<std::int64_t> dims = micro_batch_input_dims;
+  for (int s = 0; s < S; ++s) {
+    stage_in.push_back(dims);
+    dnn::Network& net = *stage_nets_[static_cast<std::size_t>(s)];
+    for (std::size_t i = 0; i < net.num_layers(); ++i) {
+      dims = net.layer(i).infer_shape(dims);
+    }
+    stage_out.push_back(dims);
+  }
+
+  // Boundary slots, liveness straight from the schedule: a staged
+  // activation lives from its producing forward to the consumer
+  // stage's backward (the recompute re-reads it there); a staged
+  // gradient from the producing backward to the upstream backward.
+  staging_.reset();
+  std::vector<std::vector<std::size_t>> fwd_slot(
+      static_cast<std::size_t>(S > 0 ? S - 1 : 0));
+  auto bwd_slot = fwd_slot;
+  for (int b = 0; b + 1 < S; ++b) {
+    const auto ub = static_cast<std::size_t>(b);
+    for (int m = 0; m < M; ++m) {
+      const auto um = static_cast<std::size_t>(m);
+      fwd_slot[ub].push_back(staging_.request(
+          stage_out[ub], tick_f_[ub][um], tick_b_[ub + 1][um]));
+      bwd_slot[ub].push_back(staging_.request(
+          stage_out[ub], tick_b_[ub + 1][um], tick_b_[ub][um]));
+    }
+  }
+  staging_.plan();
+  fwd_views_.assign(fwd_slot.size(), {});
+  bwd_views_.assign(bwd_slot.size(), {});
+  for (std::size_t b = 0; b < fwd_slot.size(); ++b) {
+    for (std::size_t m = 0; m < static_cast<std::size_t>(M); ++m) {
+      fwd_views_[b].push_back(staging_.view(fwd_slot[b][m]));
+      bwd_views_[b].push_back(staging_.view(bwd_slot[b][m]));
+    }
+  }
+
+  input_scratch_.clear();
+  dout_scratch_.clear();
+  grad_acc_.clear();
+  for (int s = 0; s < S; ++s) {
+    const auto us = static_cast<std::size_t>(s);
+    input_scratch_.emplace_back(
+        s > 0 ? stage_in[us] : std::vector<std::int64_t>{1});
+    dout_scratch_.emplace_back(
+        s < S - 1 ? stage_out[us] : std::vector<std::int64_t>{1});
+    std::vector<tensor::Tensor> accs;
+    for (const auto& pg : stage_nets_[us]->params()) {
+      accs.emplace_back(pg.param->dims());
+    }
+    grad_acc_.push_back(std::move(accs));
+  }
+  staged_mb_dims_ = micro_batch_input_dims;
+  staging_ready_ = true;
+}
+
+PipelineParallelTrainer::StepResult PipelineParallelTrainer::train_step(
+    const dnn::Batch& batch) {
+  const auto total = static_cast<std::int64_t>(batch.labels.size());
+  if (total % micro_batches_ != 0) {
+    throw std::invalid_argument(
+        "PipelineParallelTrainer: batch size " + std::to_string(total) +
+        " not divisible by micro_batches " + std::to_string(micro_batches_));
+  }
+  const auto mbs = split_micro_batches(batch, micro_batches_);
+  if (!staging_ready_) {
+    setup_staging(mbs.front().images.dims());
+  } else if (mbs.front().images.dims() != staged_mb_dims_) {
+    throw std::invalid_argument(
+        "PipelineParallelTrainer: micro-batch shape does not match the "
+        "staged shape");
+  }
+
+  const int S = stages();
+  StepResult result;
+  result.ticks = static_cast<int>(schedule_.size());
+  std::fill(last_fwd_mb_.begin(), last_fwd_mb_.end(), -1);
+  double loss_sum = 0;
+
+  // Fetches the staged (or raw, for stage 0) input of (s, m) into the
+  // stage's scratch and forwards it, refreshing last_logits_ on the
+  // last stage. `stage_output` must be false on the recompute path:
+  // by then the output slot's liveness has ended and its bytes may
+  // back a different in-flight boundary.
+  const auto run_forward = [&](int s, int m, bool stage_output) -> void {
+    const auto us = static_cast<std::size_t>(s);
+    const auto um = static_cast<std::size_t>(m);
+    const tensor::Tensor* in;
+    if (s == 0) {
+      in = &mbs[um].images;
+    } else {
+      fwd_views_[us - 1][um].copy_to(input_scratch_[us]);
+      in = &input_scratch_[us];
+    }
+    const tensor::Tensor& out = stage_nets_[us]->forward(*in);
+    if (s == S - 1) {
+      last_logits_ = out;
+    } else if (stage_output) {
+      fwd_views_[us][um].copy_from(out);
+    }
+    last_fwd_mb_[us] = m;
+  };
+
+  for (const auto& tick : schedule_) {
+    for (const PipeStep& step : tick) {
+      const int s = step.stage;
+      const int m = step.micro_batch;
+      const auto us = static_cast<std::size_t>(s);
+      const auto um = static_cast<std::size_t>(m);
+      if (step.action == PipeAction::kForward) {
+        run_forward(s, m, /*stage_output=*/true);
+        continue;
+      }
+      // Backward: restore this micro-batch's activations first. The
+      // recompute is bitwise-exact (deterministic forward from the
+      // staged input), and skipped when the stage's last forward was
+      // already (s, m) — always true on the last stage under 1F1B.
+      if (last_fwd_mb_[us] != m) {
+        run_forward(s, m, /*stage_output=*/false);
+        ++result.recomputed_forwards;
+      }
+      const tensor::Tensor* d_out;
+      dnn::LossResult loss;
+      if (s == S - 1) {
+        loss = dnn::softmax_cross_entropy(last_logits_, mbs[um].labels);
+        const auto samples = static_cast<double>(mbs[um].labels.size());
+        const double scale = samples / static_cast<double>(total);
+        for (double& g : loss.d_logits.data()) g *= scale;
+        loss_sum += loss.loss * samples;
+        result.correct += loss.correct;
+        d_out = &loss.d_logits;
+      } else {
+        bwd_views_[us][um].copy_to(dout_scratch_[us]);
+        d_out = &dout_scratch_[us];
+      }
+      const tensor::Tensor& d_in = stage_nets_[us]->backward(*d_out);
+      if (s > 0) {
+        bwd_views_[us - 1][um].copy_from(d_in);
+      }
+      // Ascending micro-batch accumulation: 1F1B executes each stage's
+      // backwards in micro-batch order, so accumulate as they land.
+      const auto params = stage_nets_[us]->params();
+      for (std::size_t p = 0; p < params.size(); ++p) {
+        const auto grad = params[p].grad->data();
+        auto acc = grad_acc_[us][p].data();
+        if (m == 0) {
+          std::copy(grad.begin(), grad.end(), acc.begin());
+        } else {
+          for (std::size_t e = 0; e < grad.size(); ++e) acc[e] += grad[e];
+        }
+      }
+    }
+  }
+
+  for (int s = 0; s < S; ++s) {
+    const auto us = static_cast<std::size_t>(s);
+    const auto params = stage_nets_[us]->params();
+    for (std::size_t p = 0; p < params.size(); ++p) {
+      const auto acc = grad_acc_[us][p].data();
+      auto grad = params[p].grad->data();
+      std::copy(acc.begin(), acc.end(), grad.begin());
+    }
+    optimizers_[us].step(params);
+  }
+  result.loss = loss_sum / static_cast<double>(total);
+  return result;
+}
+
+PipelineParallelTrainer::StepResult PipelineParallelTrainer::reference_step(
+    dnn::Network& net, dnn::Sgd& opt, const dnn::Batch& batch,
+    int micro_batches) {
+  const auto total = static_cast<std::int64_t>(batch.labels.size());
+  if (total % micro_batches != 0) {
+    throw std::invalid_argument(
+        "reference_step: batch size not divisible by micro_batches");
+  }
+  const auto mbs = split_micro_batches(batch, micro_batches);
+  StepResult result;
+  double loss_sum = 0;
+  std::vector<tensor::Tensor> accs;
+  for (const auto& pg : net.params()) accs.emplace_back(pg.param->dims());
+  for (int m = 0; m < micro_batches; ++m) {
+    const auto um = static_cast<std::size_t>(m);
+    const tensor::Tensor& logits = net.forward(mbs[um].images);
+    dnn::LossResult loss = dnn::softmax_cross_entropy(logits, mbs[um].labels);
+    const auto samples = static_cast<double>(mbs[um].labels.size());
+    const double scale = samples / static_cast<double>(total);
+    for (double& g : loss.d_logits.data()) g *= scale;
+    loss_sum += loss.loss * samples;
+    result.correct += loss.correct;
+    net.backward(loss.d_logits);
+    const auto params = net.params();
+    for (std::size_t p = 0; p < params.size(); ++p) {
+      const auto grad = params[p].grad->data();
+      auto acc = accs[p].data();
+      if (m == 0) {
+        std::copy(grad.begin(), grad.end(), acc.begin());
+      } else {
+        for (std::size_t e = 0; e < grad.size(); ++e) acc[e] += grad[e];
+      }
+    }
+  }
+  const auto params = net.params();
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    const auto acc = accs[p].data();
+    auto grad = params[p].grad->data();
+    std::copy(acc.begin(), acc.end(), grad.begin());
+  }
+  opt.step(params);
+  result.loss = loss_sum / static_cast<double>(total);
+  return result;
+}
+
+double PipelineParallelTrainer::max_param_divergence(dnn::Network& net) {
+  const auto reference = net.params();
+  std::size_t cursor = 0;
+  double worst = 0;
+  for (auto& stage_net : stage_nets_) {
+    for (const auto& pg : stage_net->params()) {
+      worst = std::max(worst,
+                       reference.at(cursor).param->max_abs_diff(*pg.param));
+      ++cursor;
+    }
+  }
+  if (cursor != reference.size()) {
+    throw std::invalid_argument(
+        "max_param_divergence: parameter count mismatch");
+  }
+  return worst;
+}
+
+}  // namespace swdnn::parallel

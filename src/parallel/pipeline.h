@@ -1,0 +1,176 @@
+#pragma once
+// Pipeline parallelism across core groups (first cut).
+//
+// Instead of replicating the whole network per rank (data parallelism),
+// the layer stack of ONE model is partitioned into contiguous stages,
+// one per CG; a batch is split into micro-batches that flow through the
+// stages in a 1F1B (one-forward-one-backward) schedule, so at steady
+// state every stage is busy and only the classic pipeline bubble
+// (S - 1 ticks at each end) idles. Boundary activations and gradients
+// are staged in an arena (tensor::Arena) with liveness intervals
+// derived from the schedule, exactly as the compiled network stages its
+// own activations.
+//
+// Memory discipline follows the recomputation school: a stage keeps
+// only its INPUT per in-flight micro-batch; before backward it re-runs
+// its forward from that staged input unless its activations already
+// hold that micro-batch (the last stage's 1F1B pattern — F(m) directly
+// followed by B(m) — always skips the recompute). Recomputation is
+// bitwise-exact because forward is deterministic; models with dropout
+// are excluded (an extra forward would advance the mask RNG).
+//
+// Determinism contract: micro-batch boundaries come from the fixed
+// near-equal split, the schedule is a pure function of (stages,
+// micro_batches), and each stage accumulates its parameter gradients in
+// ascending micro-batch order — which is the order 1F1B executes
+// backwards anyway. The result is bitwise-identical to reference_step:
+// sequential micro-batch accumulation on the unpartitioned network.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/dnn/backend_context.h"
+#include "src/dnn/network.h"
+#include "src/dnn/sgd.h"
+#include "src/dnn/trainer.h"
+#include "src/tensor/arena.h"
+
+namespace swdnn::arch {
+struct Sw26010Spec;
+}  // namespace swdnn::arch
+
+namespace swdnn::parallel {
+
+/// Splits a batch along its trailing (batch) dimension into `parts`
+/// near-equal micro-batches, earlier parts taking the remainder (the
+/// same convention as the row partitioner). Labels split alongside.
+std::vector<dnn::Batch> split_micro_batches(const dnn::Batch& batch,
+                                            int parts);
+
+/// What one pipeline tick does on one stage.
+enum class PipeAction { kForward, kBackward };
+
+struct PipeStep {
+  int stage = 0;
+  PipeAction action = PipeAction::kForward;
+  int micro_batch = 0;
+};
+
+/// Deterministic greedy 1F1B schedule for `stages` x `micro_batches`:
+/// tick t lists the steps that run concurrently at t (ascending stage).
+/// A stage prefers a backward once its warm-up forwards (min(S - s, M))
+/// are in flight, keeping at most that many micro-batches resident.
+std::vector<std::vector<PipeStep>> build_1f1b_schedule(int stages,
+                                                       int micro_batches);
+
+class PipelineParallelTrainer {
+ public:
+  /// Builds ONE network via `make_network`, takes its layer stack and
+  /// partitions it into `stages` contiguous near-equal sub-networks
+  /// (parameters keep their seed-initialized values — no re-seeding).
+  /// Every train_step splits its batch into `micro_batches` equal
+  /// micro-batches (batch size must be divisible).
+  PipelineParallelTrainer(
+      int stages, int micro_batches,
+      const std::function<std::unique_ptr<dnn::Network>()>& make_network,
+      double learning_rate, double momentum = 0.0);
+  ~PipelineParallelTrainer();
+
+  int stages() const { return static_cast<int>(stage_nets_.size()); }
+  int micro_batches() const { return micro_batches_; }
+  dnn::Network& stage(int s) {
+    return *stage_nets_.at(static_cast<std::size_t>(s));
+  }
+  /// [first_layer, last_layer] of the original stack owned by stage s.
+  std::pair<std::size_t, std::size_t> stage_layers(int s) const {
+    return stage_ranges_.at(static_cast<std::size_t>(s));
+  }
+
+  /// Compiles every stage for the MICRO-batch input shape against one
+  /// shared BackendContext, and plans the staging arena from the
+  /// schedule's liveness intervals. Optional: uncompiled stages run
+  /// eagerly and the staging arena is planned at the first step.
+  void compile(const std::vector<std::int64_t>& micro_batch_input_dims,
+               const arch::Sw26010Spec* spec = nullptr);
+
+  dnn::BackendContext* shared_context() { return shared_context_.get(); }
+
+  /// The 1F1B schedule driving every step.
+  const std::vector<std::vector<PipeStep>>& schedule() const {
+    return schedule_;
+  }
+
+  /// Packed footprint of the boundary staging buffers (0 before the
+  /// arena is planned), next to the keep-everything baseline.
+  std::int64_t staging_peak_bytes() const { return staging_.peak_bytes(); }
+  std::int64_t staging_naive_bytes() const { return staging_.naive_bytes(); }
+
+  struct StepResult {
+    double loss = 0;          ///< sample-weighted mean over micro-batches
+    std::int64_t correct = 0;
+    int ticks = 0;                  ///< schedule length executed
+    int recomputed_forwards = 0;    ///< stage forwards re-run for backward
+  };
+
+  /// One optimization step: micro-batch split, 1F1B execution across
+  /// the stages, per-stage gradient accumulation in ascending
+  /// micro-batch order, one optimizer step. Bitwise-identical to
+  /// reference_step on an identically-seeded unpartitioned network.
+  StepResult train_step(const dnn::Batch& batch);
+
+  /// The semantics train_step must match, on a single replica: split
+  /// the batch the same way, run micro-batches sequentially (forward,
+  /// loss scaled by mb/total samples, backward), accumulate parameter
+  /// gradients in ascending micro-batch order, then apply one
+  /// optimizer step. Shared by the differential tests.
+  static StepResult reference_step(dnn::Network& net, dnn::Sgd& opt,
+                                   const dnn::Batch& batch,
+                                   int micro_batches);
+
+  /// Largest parameter divergence from `net` (same architecture), for
+  /// differential tests. 0 = bitwise-identical parameters.
+  double max_param_divergence(dnn::Network& net);
+
+ private:
+  /// Shape-infers the stage boundaries for this micro-batch input
+  /// shape, requests arena slots with schedule-derived liveness, plans,
+  /// and presizes the per-stage scratch tensors.
+  void setup_staging(const std::vector<std::int64_t>& micro_batch_input_dims);
+
+  int micro_batches_;
+  std::vector<std::unique_ptr<dnn::Network>> stage_nets_;
+  std::vector<std::pair<std::size_t, std::size_t>> stage_ranges_;
+  std::vector<dnn::Sgd> optimizers_;  ///< one per stage, same hyperparams
+  std::unique_ptr<dnn::BackendContext> shared_context_;
+  std::vector<std::vector<PipeStep>> schedule_;
+  /// tick_f_[s][m] / tick_b_[s][m]: the tick running F/B of (s, m).
+  std::vector<std::vector<int>> tick_f_;
+  std::vector<std::vector<int>> tick_b_;
+
+  // Staging state (fixed after setup_staging).
+  bool staging_ready_ = false;
+  tensor::Arena staging_;
+  /// Boundary b sits between stage b and b+1 (b in 0..S-2):
+  /// fwd_views_[b][m] stages stage b's output for micro-batch m,
+  /// bwd_views_[b][m] stages stage b+1's input gradient.
+  std::vector<std::vector<tensor::TensorView>> fwd_views_;
+  std::vector<std::vector<tensor::TensorView>> bwd_views_;
+  /// Per-stage presized scratch: forward input / backward d_output.
+  std::vector<tensor::Tensor> input_scratch_;
+  std::vector<tensor::Tensor> dout_scratch_;
+  /// Per-stage gradient accumulators, ascending (layer, param) order.
+  std::vector<std::vector<tensor::Tensor>> grad_acc_;
+  /// Micro-batch input dims the staging was planned for (validation).
+  std::vector<std::int64_t> staged_mb_dims_;
+  /// Which micro-batch each stage's activations currently hold (-1 =
+  /// none); drives the recompute-before-backward decision.
+  std::vector<int> last_fwd_mb_;
+  /// The last stage's logits for the micro-batch it just forwarded
+  /// (1F1B runs its backward before any other last-stage forward).
+  tensor::Tensor last_logits_;
+};
+
+}  // namespace swdnn::parallel

@@ -57,13 +57,16 @@ struct MeasuredCandidate {
 };
 
 /// What a measured-autotune run decided (SwConvolution::
-/// autotune_plan_measured): the modeled top candidates, their timed
-/// launches, and whether measurement overturned the model's order.
+/// autotune_plan_measured): the tournament field — the model's top
+/// executable pick plus the best executable rival from each other
+/// mapping family (up to three candidates) — their timed launches, and
+/// whether measurement overturned the model's order.
 struct MeasuredAutotuneReport {
   conv::ConvShape shape;
-  std::vector<MeasuredCandidate> candidates;  ///< in modeled rank order
+  /// [0] = the model's pick; rivals follow in modeled rank order.
+  std::vector<MeasuredCandidate> candidates;
   std::size_t winner_index = 0;  ///< into candidates, after measurement
-  bool reordered = false;  ///< measurement promoted the runner-up
+  bool reordered = false;  ///< measurement promoted a rival
 };
 
 class ScheduleAutotuner {

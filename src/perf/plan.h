@@ -48,6 +48,21 @@ const char* plan_kind_name(PlanKind kind);
 /// benches and tests that compare "new mapping vs incumbent").
 bool plan_kind_is_multigrain(PlanKind kind);
 
+/// The three mapping families with fundamentally different cost
+/// structures — direct/blocked loads, im2col-lowered GEMM, and
+/// pixel-panel GEMM. The measured-autotune tournament confirms the
+/// model's top pick against the best executable rival of each OTHER
+/// family, because cross-family is where the model's ordering is least
+/// trustworthy.
+enum class PlanFamily {
+  kIncumbent,      ///< kDirect / kImageSizeAware / kBatchSizeAware
+  kFilterGrained,  ///< kFilterGrained
+  kPixelGrained,   ///< kPixelGrained
+};
+
+PlanFamily plan_kind_family(PlanKind kind);
+const char* plan_family_name(PlanFamily family);
+
 struct ConvPlan {
   PlanKind kind = PlanKind::kImageSizeAware;
 

@@ -121,6 +121,8 @@ void TaskPool::set_thread_count(int threads) {
   spawn_workers();
 }
 
+bool TaskPool::in_pool_worker() { return t_in_pool_worker; }
+
 std::int64_t TaskPool::chunk_count(std::int64_t begin, std::int64_t end,
                                    std::int64_t grain) {
   if (end <= begin) return 0;

@@ -67,6 +67,14 @@ class TaskPool {
   static std::int64_t chunk_count(std::int64_t begin, std::int64_t end,
                                   std::int64_t grain);
 
+  /// True on a pool worker thread (inside a chunk callback). The
+  /// gradient-exchange overlap path leans on this: a bucket reduction
+  /// triggered from inside a replica-stepping parallel_for runs inline
+  /// on the worker that completed the bucket last, overlapping with the
+  /// remaining backward chunks on the other lanes — the determinism
+  /// contract makes that scheduling freedom numerically invisible.
+  static bool in_pool_worker();
+
   ~TaskPool();
   TaskPool(const TaskPool&) = delete;
   TaskPool& operator=(const TaskPool&) = delete;

@@ -23,6 +23,16 @@ std::vector<RowPartition> partition_output_rows(std::int64_t total_rows,
   return parts;
 }
 
+double noc_allreduce_seconds(std::int64_t bytes, int cgs,
+                             const NocInterconnectSpec& spec) {
+  if (cgs <= 1) return 0.0;
+  const double k = static_cast<double>(cgs);
+  const double chunk_bytes = static_cast<double>(bytes) / k;
+  const double steps = 2.0 * (k - 1.0);
+  return steps * (chunk_bytes / (spec.link_bandwidth_gbs * 1e9) +
+                  spec.hop_latency_us * 1e-6);
+}
+
 double MultiCgStats::modeled_seconds(bool overlap) const {
   double slowest = 0;
   for (const auto& s : per_cg) {

@@ -29,6 +29,26 @@ struct RowPartition {
 std::vector<RowPartition> partition_output_rows(std::int64_t total_rows,
                                                 int num_parts);
 
+/// Cost model for CG-to-CG traffic over the on-chip NoC. The paper
+/// gives no NoC bandwidth number, so these are inferred defaults
+/// (DESIGN.md §8): the NoC is on-die and joins the four CGs' memory
+/// controllers, so a link is modeled well above the 8 GB/s node
+/// injection bandwidth and well below aggregate DDR (4 x 36 GB/s),
+/// with sub-microsecond hop latency (no network software stack).
+/// Hierarchical gradient exchange charges its intra-node phase here.
+struct NocInterconnectSpec {
+  double link_bandwidth_gbs = 64.0;  ///< CG-to-CG on-chip link
+  double hop_latency_us = 0.2;       ///< per NoC hop (on-die, no NIC)
+};
+
+/// Seconds one ring all-reduce of `bytes` across `cgs` core groups
+/// takes over the NoC: the standard 2*(k-1) steps moving bytes/k each
+/// (reduce-scatter + all-gather), charged at NoC link speed. The
+/// hierarchical exchange uses this for its intra-node reduce+broadcast
+/// phases (each phase is half the ring: (k-1) steps).
+double noc_allreduce_seconds(std::int64_t bytes, int cgs,
+                             const NocInterconnectSpec& spec = {});
+
 struct MultiCgStats {
   std::vector<LaunchStats> per_cg;
   double launch_overhead_seconds = 0;

@@ -156,26 +156,79 @@ TEST(Multigrain, RefuseToMapThrowsForTheHostLadder) {
                MeshMappingError);
 }
 
-TEST(Multigrain, MeasuredAutotuneConfirmsAcrossFamilies) {
-  // The measured protocol times the best executable candidate against
-  // the best one from a DIFFERENT family and installs the faster; here
-  // the model is right (filter-grained genuinely wins this regime), so
-  // measurement confirms and the cache serves the same winner after.
+TEST(Multigrain, MeasuredAutotuneRunsAFullFamilyTournament) {
+  // The measured protocol times the model's top executable pick
+  // against the best executable rival from EACH other mapping family —
+  // a top-3 tournament when all three families can map the shape, as
+  // here — and installs the fastest. The model is right in this regime
+  // (filter-grained genuinely wins), so measurement confirms and the
+  // cache serves the same winner after.
   const ConvShape shape = ConvShape::from_output(8, 32, 32, 6, 6, 3, 3);
   SwConvolution sw;
   const auto report = sw.autotune_plan_measured(shape);
   ASSERT_TRUE(report.has_value());
-  ASSERT_EQ(report->candidates.size(), 2u);
-  EXPECT_NE(report->candidates[0].plan.kind, report->candidates[1].plan.kind);
-  EXPECT_GT(report->candidates[0].measured_seconds, 0.0);
-  EXPECT_GT(report->candidates[1].measured_seconds, 0.0);
+  ASSERT_EQ(report->candidates.size(), 3u);
+  // One candidate per family, every launch genuinely timed.
+  EXPECT_NE(perf::plan_kind_family(report->candidates[0].plan.kind),
+            perf::plan_kind_family(report->candidates[1].plan.kind));
+  EXPECT_NE(perf::plan_kind_family(report->candidates[0].plan.kind),
+            perf::plan_kind_family(report->candidates[2].plan.kind));
+  EXPECT_NE(perf::plan_kind_family(report->candidates[1].plan.kind),
+            perf::plan_kind_family(report->candidates[2].plan.kind));
+  for (const auto& c : report->candidates) {
+    EXPECT_GT(c.measured_seconds, 0.0);
+    EXPECT_GT(c.measured_gflops, 0.0);
+  }
   EXPECT_FALSE(report->reordered);
   EXPECT_EQ(report->winner_index, 0u);
   const auto& winner = report->candidates[report->winner_index];
   EXPECT_EQ(winner.plan.kind, perf::PlanKind::kFilterGrained);
+  // The tournament winner measured no slower than every rival.
+  for (const auto& c : report->candidates) {
+    EXPECT_LE(winner.measured_seconds, c.measured_seconds);
+  }
   EXPECT_EQ(sw.plan_for(shape).plan.to_string(), winner.plan.to_string());
   // Second call: the shape is already tuned, the protocol is a no-op.
   EXPECT_FALSE(sw.autotune_plan_measured(shape).has_value());
+}
+
+TEST(Multigrain, MeasuredTournamentShrinksWhenAFamilyCannotMap) {
+  // Ni=3 rules out the channel-blocked incumbent plans, so the field
+  // is the two multigrain families only — the tournament degrades to
+  // the old two-candidate duel instead of inventing a third entry.
+  const ConvShape shape = ConvShape::from_output(3, 3, 5, 6, 6, 3, 3);
+  SwConvolution sw;
+  const auto lookup = sw.ranked_plans(shape);
+  ASSERT_GE(lookup.entry->executable.size(), 2u);
+  const auto report = sw.autotune_plan_measured(shape);
+  ASSERT_TRUE(report.has_value());
+  ASSERT_EQ(report->candidates.size(), 2u);
+  for (const auto& c : report->candidates) {
+    EXPECT_TRUE(perf::plan_kind_is_multigrain(c.plan.kind));
+  }
+  EXPECT_NE(perf::plan_kind_family(report->candidates[0].plan.kind),
+            perf::plan_kind_family(report->candidates[1].plan.kind));
+  // Whatever won, the cache serves it.
+  const auto& winner = report->candidates[report->winner_index];
+  EXPECT_EQ(sw.plan_for(shape).plan.to_string(), winner.plan.to_string());
+}
+
+TEST(Multigrain, PlanFamiliesPartitionTheKinds) {
+  using perf::PlanFamily;
+  using perf::PlanKind;
+  EXPECT_EQ(perf::plan_kind_family(PlanKind::kDirect),
+            PlanFamily::kIncumbent);
+  EXPECT_EQ(perf::plan_kind_family(PlanKind::kImageSizeAware),
+            PlanFamily::kIncumbent);
+  EXPECT_EQ(perf::plan_kind_family(PlanKind::kBatchSizeAware),
+            PlanFamily::kIncumbent);
+  EXPECT_EQ(perf::plan_kind_family(PlanKind::kFilterGrained),
+            PlanFamily::kFilterGrained);
+  EXPECT_EQ(perf::plan_kind_family(PlanKind::kPixelGrained),
+            PlanFamily::kPixelGrained);
+  EXPECT_STREQ(perf::plan_family_name(PlanFamily::kIncumbent), "incumbent");
+  EXPECT_STREQ(perf::plan_family_name(PlanFamily::kFilterGrained), "fgrain");
+  EXPECT_STREQ(perf::plan_family_name(PlanFamily::kPixelGrained), "pgrain");
 }
 
 }  // namespace

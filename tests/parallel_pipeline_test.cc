@@ -1,0 +1,194 @@
+// Pipeline parallelism: micro-batch splitting, the 1F1B schedule, and
+// the bitwise differential against single-replica sequential
+// micro-batch accumulation — across stage counts, multiple steps, and
+// parameter updates (momentum state included).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/dnn/convolution.h"
+#include "src/dnn/fully_connected.h"
+#include "src/dnn/pooling.h"
+#include "src/dnn/relu.h"
+#include "src/parallel/pipeline.h"
+#include "src/util/rng.h"
+
+namespace swdnn::parallel {
+namespace {
+
+TEST(MicroBatchSplit, PreservesEverySampleInOrder) {
+  dnn::SyntheticBars data(4, 3, 0.05, 11);
+  const dnn::Batch batch = data.sample(10);
+  const auto mbs = split_micro_batches(batch, 4);  // 3+3+2+2
+  ASSERT_EQ(mbs.size(), 4u);
+  EXPECT_EQ(mbs[0].labels.size(), 3u);
+  EXPECT_EQ(mbs[3].labels.size(), 2u);
+  std::int64_t cursor = 0;
+  for (const auto& mb : mbs) {
+    const auto len = static_cast<std::int64_t>(mb.labels.size());
+    EXPECT_EQ(mb.images.dims().back(), len);
+    for (std::int64_t b = 0; b < len; ++b) {
+      EXPECT_EQ(mb.labels[static_cast<std::size_t>(b)],
+                batch.labels[static_cast<std::size_t>(cursor + b)]);
+      for (std::int64_t r = 0; r < 4; ++r) {
+        for (std::int64_t c = 0; c < 4; ++c) {
+          ASSERT_EQ(mb.images.at(r, c, 0, b),
+                    batch.images.at(r, c, 0, cursor + b));
+        }
+      }
+    }
+    cursor += len;
+  }
+  EXPECT_THROW(split_micro_batches(batch, 0), std::invalid_argument);
+  EXPECT_THROW(split_micro_batches(batch, 11), std::invalid_argument);
+}
+
+TEST(Schedule1F1B, ClassicShapeAndDependencies) {
+  const int S = 2, M = 4;
+  const auto ticks = build_1f1b_schedule(S, M);
+  // The canonical pipeline length: M + S - 1 tick-pairs.
+  EXPECT_EQ(ticks.size(), static_cast<std::size_t>(2 * (M + S - 1)));
+
+  std::vector<std::vector<int>> tick_f(S, std::vector<int>(M, -1));
+  std::vector<std::vector<int>> tick_b(S, std::vector<int>(M, -1));
+  for (std::size_t t = 0; t < ticks.size(); ++t) {
+    for (const PipeStep& step : ticks[t]) {
+      auto& table = step.action == PipeAction::kForward ? tick_f : tick_b;
+      ASSERT_EQ(table[step.stage][step.micro_batch], -1) << "double-issue";
+      table[step.stage][step.micro_batch] = static_cast<int>(t);
+    }
+  }
+  for (int s = 0; s < S; ++s) {
+    for (int m = 0; m < M; ++m) {
+      ASSERT_GE(tick_f[s][m], 0);
+      ASSERT_GE(tick_b[s][m], 0);
+      // F(s,m) strictly after F(s-1,m); B(s,m) strictly after B(s+1,m)
+      // and after F(s,m).
+      if (s > 0) {
+        EXPECT_GT(tick_f[s][m], tick_f[s - 1][m]);
+      }
+      if (s < S - 1) {
+        EXPECT_GT(tick_b[s][m], tick_b[s + 1][m]);
+      }
+      EXPECT_GT(tick_b[s][m], tick_f[s][m]);
+      // 1F1B residency bound: at most min(S - s, M) micro-batches in
+      // flight per stage.
+      if (m >= std::min(S - s, M)) {
+        EXPECT_GT(tick_f[s][m], tick_b[s][m - std::min(S - s, M)]);
+      }
+    }
+  }
+  // The last stage never waits between forward and backward, so its
+  // backward always reuses the live activations (no recompute).
+  for (int m = 0; m < M; ++m) {
+    EXPECT_EQ(tick_b[S - 1][m], tick_f[S - 1][m] + 1);
+  }
+  EXPECT_THROW(build_1f1b_schedule(0, 4), std::invalid_argument);
+}
+
+std::unique_ptr<dnn::Network> make_net(std::int64_t batch) {
+  util::Rng rng(808);  // fixed seed: pipeline and reference identical
+  auto net = std::make_unique<dnn::Network>();
+  // 4 layers so up to 4 stages: conv -> relu -> pool -> fc.
+  // 6x6x1 input -> conv 3x3 (2 filters) -> 4x4x2 -> pool 2 -> 2x2x2.
+  net->emplace<dnn::Convolution>(
+      conv::ConvShape::from_output(batch, 1, 2, 4, 4, 3, 3), rng);
+  net->emplace<dnn::Relu>();
+  net->emplace<dnn::MaxPooling>(2);
+  net->emplace<dnn::FullyConnected>(2 * 2 * 2, 3, rng);
+  return net;
+}
+
+TEST(Pipeline, BitwiseMatchesReferenceAcrossStageCounts) {
+  // The tentpole differential: 1F1B execution with staging, recompute,
+  // and per-stage ascending-micro-batch accumulation must equal
+  // sequential micro-batch accumulation on the whole network — to the
+  // bit, over multiple steps, including the momentum updates.
+  dnn::SyntheticBars data(6, 3, 0.05, 21);
+  for (const int stages : {1, 2, 3, 4}) {
+    PipelineParallelTrainer pp(stages, /*micro_batches=*/4,
+                               [] { return make_net(2); }, 0.1, 0.9);
+    auto ref = make_net(2);  // eager reference, micro-batch shaped
+    dnn::Sgd ref_opt(0.1, 0.9);
+    for (int step = 0; step < 4; ++step) {
+      const dnn::Batch batch = data.sample(8);
+      const auto got = pp.train_step(batch);
+      const auto want =
+          PipelineParallelTrainer::reference_step(*ref, ref_opt, batch, 4);
+      EXPECT_EQ(got.loss, want.loss) << stages << " stages, step " << step;
+      EXPECT_EQ(got.correct, want.correct);
+      EXPECT_EQ(pp.max_param_divergence(*ref), 0.0)
+          << stages << " stages, step " << step;
+    }
+  }
+}
+
+TEST(Pipeline, CompiledStagesMatchEagerReference) {
+  // Stages compiled against one shared context (arena execution, plan
+  // cache) vs the eager unpartitioned network: still bitwise.
+  dnn::SyntheticBars data(6, 3, 0.05, 22);
+  PipelineParallelTrainer pp(3, 4, [] { return make_net(2); }, 0.05, 0.9);
+  pp.compile({6, 6, 1, 2});
+  ASSERT_NE(pp.shared_context(), nullptr);
+  ASSERT_TRUE(pp.stage(0).compiled());
+  auto ref = make_net(2);
+  dnn::Sgd ref_opt(0.05, 0.9);
+  for (int step = 0; step < 3; ++step) {
+    const dnn::Batch batch = data.sample(8);
+    pp.train_step(batch);
+    PipelineParallelTrainer::reference_step(*ref, ref_opt, batch, 4);
+    EXPECT_EQ(pp.max_param_divergence(*ref), 0.0) << "step " << step;
+  }
+}
+
+TEST(Pipeline, RecomputeAndStagingBehaveAsDesigned) {
+  dnn::SyntheticBars data(6, 3, 0.05, 23);
+  PipelineParallelTrainer pp(4, 4, [] { return make_net(2); }, 0.1);
+  const auto result = pp.train_step(data.sample(8));
+  EXPECT_EQ(result.ticks, static_cast<int>(pp.schedule().size()));
+  // Non-final stages must recompute (their activations moved on);
+  // the final stage never does.
+  EXPECT_GT(result.recomputed_forwards, 0);
+  EXPECT_LE(result.recomputed_forwards, 3 * 4);
+  // The staging arena packs: boundary slots with disjoint liveness
+  // share bytes.
+  EXPECT_GT(pp.staging_peak_bytes(), 0);
+  EXPECT_LT(pp.staging_peak_bytes(), pp.staging_naive_bytes());
+
+  // Single stage degenerates to plain micro-batch accumulation: no
+  // boundaries, no recompute.
+  PipelineParallelTrainer solo(1, 4, [] { return make_net(2); }, 0.1);
+  const auto solo_result = solo.train_step(data.sample(8));
+  EXPECT_EQ(solo_result.recomputed_forwards, 0);
+  EXPECT_EQ(solo.staging_peak_bytes(), 0);
+}
+
+TEST(Pipeline, StagePartitionCoversAllLayers) {
+  PipelineParallelTrainer pp(3, 2, [] { return make_net(2); }, 0.1);
+  ASSERT_EQ(pp.stages(), 3);
+  std::size_t next = 0;
+  for (int s = 0; s < 3; ++s) {
+    const auto [first, last] = pp.stage_layers(s);
+    EXPECT_EQ(first, next);
+    EXPECT_GE(last, first);
+    next = last + 1;
+  }
+  EXPECT_EQ(next, 4u);  // all 4 layers owned exactly once
+}
+
+TEST(Pipeline, RejectsBadConfigurations) {
+  EXPECT_THROW(
+      PipelineParallelTrainer(5, 2, [] { return make_net(2); }, 0.1),
+      std::invalid_argument);
+  EXPECT_THROW(
+      PipelineParallelTrainer(2, 0, [] { return make_net(2); }, 0.1),
+      std::invalid_argument);
+  PipelineParallelTrainer pp(2, 4, [] { return make_net(2); }, 0.1);
+  dnn::SyntheticBars data(6, 3, 0.05, 24);
+  // 10 % 4 != 0: micro-batches would be ragged against fixed staging.
+  EXPECT_THROW(pp.train_step(data.sample(10)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swdnn::parallel
